@@ -1,0 +1,276 @@
+package pagefeedback_test
+
+// One benchmark per table/figure of the paper's evaluation, plus the
+// ablations. Each benchmark runs the corresponding harness from
+// internal/experiments and reports the figure's headline quantity as a
+// custom metric, so `go test -bench . -benchmem` regenerates the entire
+// evaluation:
+//
+//	BenchmarkTableI      — Table I (database properties)
+//	BenchmarkFig6        — single-table speedups (mean %, by column)
+//	BenchmarkFig7        — monitoring overhead (%)
+//	BenchmarkFig8        — join speedups (mean %)
+//	BenchmarkFig9        — page-sampling overhead at 1/10/100%
+//	BenchmarkFig10       — clustering-ratio mean/stdev
+//	BenchmarkFig11       — real-database speedups (mean %)
+//	BenchmarkBitvector   — filter width vs overestimation
+//	BenchmarkEstimators  — linear counting vs GEE error
+//	BenchmarkDPSample    — sampling fraction vs max error
+//	BenchmarkAblationBitmapSize — linear-counter bitmap sizing
+//
+// Scale via -benchrows (synthetic rows) when needed; the default keeps a
+// full run to a few minutes.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"pagefeedback"
+	"pagefeedback/internal/experiments"
+)
+
+var benchRows = flag.Int("benchrows", 120000, "synthetic rows for figure benchmarks")
+
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.SyntheticRows = *benchRows
+	cfg.RealScale = 0.5
+	return cfg
+}
+
+func meanSpeedup(rs []experiments.SpeedupResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += r.Speedup
+	}
+	return sum / float64(len(rs))
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableI(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pages int64
+		for _, r := range rows {
+			pages += r.Pages
+		}
+		b.ReportMetric(float64(pages), "total-pages")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig6(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSpeedup(rs)*100, "mean-speedup-%")
+		byCol := map[string][]experiments.SpeedupResult{}
+		for _, r := range rs {
+			byCol[r.Col] = append(byCol[r.Col], r)
+		}
+		for _, col := range []string{"c2", "c3", "c4", "c5"} {
+			b.ReportMetric(meanSpeedup(byCol[col])*100, col+"-speedup-%")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig7(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rs {
+			sum += r.OverheadPct
+		}
+		b.ReportMetric(sum/float64(len(rs)), "mean-overhead-%")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig8(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSpeedup(rs)*100, "mean-speedup-%")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig9(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the 5-predicate overhead per sampling fraction — the
+		// figure's rightmost points.
+		for _, r := range rs {
+			if r.Predicates == 5 {
+				switch r.Fraction {
+				case 0.01:
+					b.ReportMetric(r.OverheadPct, "5preds-1%-overhead-%")
+				case 0.10:
+					b.ReportMetric(r.OverheadPct, "5preds-10%-overhead-%")
+				case 1.0:
+					b.ReportMetric(r.OverheadPct, "5preds-100%-overhead-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, mean, stdev, err := experiments.Fig10(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mean, "mean-CR")
+		b.ReportMetric(stdev, "stdev-CR")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig11(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanSpeedup(rs)*100, "mean-speedup-%")
+		b.ReportMetric(float64(len(rs)), "queries")
+	}
+}
+
+func BenchmarkBitvector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.BitvectorAccuracy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Overestimation at the narrowest and at the ~1%-of-rows widths.
+		b.ReportMetric(ps[0].OverestPct, "narrowest-overest-%")
+		b.ReportMetric(ps[len(ps)-1].OverestPct, "widest-overest-%")
+	}
+}
+
+func BenchmarkEstimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.EstimatorComparison(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lin, gee float64
+		for _, p := range ps {
+			lin += p.LinearErrPct
+			gee += p.GEEErrPct
+		}
+		n := float64(len(ps))
+		if n > 0 {
+			b.ReportMetric(lin/n, "linear-err-%")
+			b.ReportMetric(gee/n, "gee-err-%")
+		}
+	}
+}
+
+func BenchmarkDPSample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.DPSampleError(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ps {
+			if p.Fraction == 0.01 {
+				b.ReportMetric(p.MaxErrPct, "1%-max-err-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationBitmapSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.BitmapSizeAblation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ps {
+			if p.BitsPerPage == 1 {
+				b.ReportMetric(p.ErrPct, "1bit-per-page-err-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationPoolSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.PoolSizeAblation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ps {
+			b.ReportMetric(p.Speedup*100, fmt.Sprintf("pool%d-speedup-%%", p.PoolPages))
+		}
+	}
+}
+
+func BenchmarkSelfTuningTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ps, err := experiments.SelfTuningTransfer(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ps {
+			b.ReportMetric(p.MeanSpeedup*100, p.Col+"-transfer-speedup-%")
+		}
+	}
+}
+
+// BenchmarkCoreMechanisms micro-benchmarks the paper's per-row costs: the
+// reason the monitors stay under the ~2% overhead budget.
+func BenchmarkCoreMechanisms(b *testing.B) {
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	schema := pagefeedback.NewSchema(
+		pagefeedback.Column{Name: "id", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "v", Kind: pagefeedback.KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("m", schema, []string{"id"}); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]pagefeedback.Row, 20000)
+	for i := range rows {
+		rows[i] = pagefeedback.Row{pagefeedback.Int64(int64(i)), pagefeedback.Int64(int64(i * 7 % 20000))}
+	}
+	if err := eng.Load("m", rows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.CreateIndex("ix_v", "m", "v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Analyze("m"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ScanNoMonitor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query("SELECT COUNT(*) FROM m WHERE v < 10000",
+				&pagefeedback.RunOptions{WarmCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ScanWithMonitors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query("SELECT COUNT(*) FROM m WHERE v < 10000",
+				&pagefeedback.RunOptions{WarmCache: true, MonitorAll: true, SampleFraction: 0.01}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Command dbshell is an interactive shell over the engine: run queries
+// against a demo database, watch estimated-vs-actual page counts, apply
+// feedback, and export/import the learned state.
+//
+//	$ go run ./cmd/dbshell
+//	pagefeedback> SELECT COUNT(padding) FROM t WHERE c2 < 2000
+//	pagefeedback> \explain SELECT COUNT(padding) FROM t WHERE c2 < 2000
+//	pagefeedback> \feedback apply
+//	pagefeedback> \help
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pagefeedback"
+	"pagefeedback/internal/datagen"
+	"pagefeedback/internal/plan"
+)
+
+const helpText = `commands:
+  SELECT ...            run a query (monitoring per \monitor; default on)
+  \explain SELECT ...   show the plan and page-count provenance, don't run
+  \monitor on|off       toggle DPC monitoring for subsequent queries
+  \feedback apply       inject the page counts observed by the last query
+  \feedback show        list the feedback cache
+  \feedback export F    write learned state (cache/histograms/curves) to file F
+  \feedback import F    load learned state from file F
+  \tables               list tables with rows/pages
+  \help                 this text
+  \quit                 exit`
+
+func main() {
+	rows := flag.Int("rows", 100000, "demo synthetic table rows")
+	seed := flag.Int64("seed", 1, "data seed")
+	real := flag.Bool("real", false, "also build the five real-world-like databases (slower)")
+	flag.Parse()
+
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	fmt.Fprintf(os.Stderr, "building synthetic database (%d rows)...\n", *rows)
+	if _, err := datagen.BuildSynthetic(eng, *rows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *real {
+		fmt.Fprintln(os.Stderr, "building real-world-like databases...")
+		if _, err := datagen.BuildAllReal(eng, 0.3, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintln(os.Stderr, `ready — try: SELECT COUNT(padding) FROM t WHERE c2 < 2000  (\help for commands)`)
+
+	sh := &shell{eng: eng, monitor: true, out: os.Stdout}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("pagefeedback> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" && !sh.handle(line) {
+			return
+		}
+		fmt.Print("pagefeedback> ")
+	}
+}
+
+type shell struct {
+	eng     *pagefeedback.Engine
+	monitor bool
+	last    *pagefeedback.Result
+	out     *os.File
+}
+
+// handle processes one line; false means quit.
+func (s *shell) handle(line string) bool {
+	switch {
+	case strings.HasPrefix(line, `\`):
+		return s.meta(line)
+	default:
+		s.runQuery(line)
+	}
+	return true
+}
+
+func (s *shell) meta(line string) bool {
+	fields := strings.Fields(line)
+	switch strings.ToLower(fields[0]) {
+	case `\quit`, `\q`, `\exit`:
+		return false
+	case `\help`, `\h`:
+		fmt.Fprintln(s.out, helpText)
+	case `\monitor`:
+		if len(fields) == 2 {
+			s.monitor = strings.EqualFold(fields[1], "on")
+		}
+		fmt.Fprintf(s.out, "monitoring: %v\n", s.monitor)
+	case `\explain`:
+		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		out, err := s.eng.Explain(sql)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return true
+		}
+		fmt.Fprint(s.out, out)
+	case `\tables`:
+		for _, t := range s.eng.Catalog().Tables() {
+			kind := "heap"
+			if len(t.ClusterCols) > 0 {
+				kind = "clustered on " + strings.Join(t.ClusterCols, ",")
+			}
+			fmt.Fprintf(s.out, "  %-12s %9d rows %7d pages  %s  (%d indexes)\n",
+				t.Name, t.NumRows(), t.NumPages(), kind, len(t.Indexes()))
+		}
+	case `\feedback`:
+		s.feedback(fields[1:])
+	default:
+		fmt.Fprintf(s.out, "unknown command %s (\\help for help)\n", fields[0])
+	}
+	return true
+}
+
+func (s *shell) feedback(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(s.out, `usage: \feedback apply|show|export F|import F`)
+		return
+	}
+	switch strings.ToLower(args[0]) {
+	case "apply":
+		if s.last == nil {
+			fmt.Fprintln(s.out, "no monitored query to apply")
+			return
+		}
+		s.eng.ApplyFeedback(s.last)
+		fmt.Fprintf(s.out, "applied %d observation(s); re-run the query to see the new plan\n", len(s.last.DPC))
+	case "show":
+		entries := s.eng.FeedbackCache().Entries()
+		if len(entries) == 0 {
+			fmt.Fprintln(s.out, "feedback cache empty")
+		}
+		for _, e := range entries {
+			fmt.Fprintf(s.out, "  %s | %-40s card=%-8d dpc=%-6d %s\n",
+				e.Table, e.Predicate, e.Cardinality, e.DPC, e.Mechanism)
+		}
+	case "export":
+		if len(args) < 2 {
+			fmt.Fprintln(s.out, "usage: \\feedback export FILE")
+			return
+		}
+		f, err := os.Create(args[1])
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		defer f.Close()
+		if err := s.eng.ExportFeedback(f); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(s.out, "exported to %s\n", args[1])
+	case "import":
+		if len(args) < 2 {
+			fmt.Fprintln(s.out, "usage: \\feedback import FILE")
+			return
+		}
+		f, err := os.Open(args[1])
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		defer f.Close()
+		n, err := s.eng.ImportFeedback(f)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		fmt.Fprintf(s.out, "imported %d entries\n", n)
+	default:
+		fmt.Fprintln(s.out, `usage: \feedback apply|show|export F|import F`)
+	}
+}
+
+func (s *shell) runQuery(sql string) {
+	res, err := s.eng.Query(sql, &pagefeedback.RunOptions{MonitorAll: s.monitor})
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	s.last = res
+	fmt.Fprint(s.out, plan.Format(res.Plan))
+	for _, row := range res.Rows {
+		fmt.Fprintf(s.out, "  -> %s\n", row)
+	}
+	fmt.Fprintf(s.out, "simulated time %v  (%d physical reads, %d random)\n",
+		res.SimulatedTime, res.Stats.Runtime.PhysicalReads, res.Stats.Runtime.RandomReads)
+	for i, x := range res.Stats.DPC {
+		if res.DPC[i].Mechanism == pagefeedback.MechUnsatisfiable {
+			continue
+		}
+		flag := ""
+		if x.Actual > 0 && x.Estimated > 3*x.Actual {
+			flag = "  <-- overestimated"
+		}
+		fmt.Fprintf(s.out, "DPC %s: est %d, actual %d (%s)%s\n",
+			x.Expression, x.Estimated, x.Actual, x.Mechanism, flag)
+	}
+}

@@ -1,0 +1,87 @@
+// Self-tuning: the §VI future-work loop, end to end. One monitored query
+// teaches the engine a column's clustering density and a join's page-count
+// curve; different predicates and selectivities then plan correctly with no
+// further monitoring; and the learned state survives a "restart" through
+// JSON export/import.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pagefeedback"
+	"pagefeedback/internal/datagen"
+)
+
+func main() {
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	fmt.Println("building the synthetic database (100k rows)...")
+	if _, err := datagen.BuildSynthetic(eng, 100000, 1); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n-- 1. one monitored query on the correlated column c2 --")
+	trained := "SELECT COUNT(padding) FROM t WHERE c2 < 1000"
+	res, err := eng.Query(trained, &pagefeedback.RunOptions{MonitorAll: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := res.Stats.DPC[0]
+	fmt.Printf("   %s: estimated %d pages, observed %d\n", x.Expression, x.Estimated, x.Actual)
+	eng.ApplyFeedback(res)
+
+	fmt.Println("\n-- 2. a DIFFERENT range on c2 plans through the learned histogram --")
+	similar := "SELECT COUNT(padding) FROM t WHERE c2 BETWEEN 40000 AND 41500"
+	out, err := eng.Explain(similar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(indent(out))
+
+	fmt.Println("\n-- 3. one monitored join teaches the join-DPC curve --")
+	join := "SELECT COUNT(t.padding) FROM t, t1 WHERE t1.c1 < 1000 AND t1.c2 = t.c2"
+	jres, err := eng.Query(join, &pagefeedback.RunOptions{MonitorAll: true, SampleFraction: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.ApplyFeedback(jres)
+	biggerJoin := "SELECT COUNT(t.padding) FROM t, t1 WHERE t1.c1 < 3000 AND t1.c2 = t.c2"
+	out, err = eng.Explain(biggerJoin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   3x the outer selectivity, no re-monitoring:\n%s", indent(out))
+
+	fmt.Println("\n-- 4. the learned state survives a restart --")
+	var buf bytes.Buffer
+	if err := eng.ExportFeedback(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   exported %d bytes of feedback state\n", buf.Len())
+
+	eng2 := pagefeedback.New(pagefeedback.DefaultConfig())
+	if _, err := datagen.BuildSynthetic(eng2, 100000, 1); err != nil {
+		log.Fatal(err)
+	}
+	n, err := eng2.ImportFeedback(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   fresh engine imported %d entries; plan for the similar query:\n", n)
+	out, err = eng2.Explain(similar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(indent(out))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range bytes.Split([]byte(s), []byte("\n")) {
+		if len(line) > 0 {
+			out += "   " + string(line) + "\n"
+		}
+	}
+	return out
+}

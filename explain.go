@@ -1,0 +1,51 @@
+package pagefeedback
+
+import (
+	"fmt"
+	"strings"
+
+	"pagefeedback/internal/plan"
+)
+
+// Explain optimizes the query and renders the chosen plan with estimates,
+// without executing it. The second return value lists, for each predicate
+// expression the optimizer costed with a distinct page count, where that
+// estimate came from (analytical model, feedback injection, or the learned
+// histogram) — the provenance a DBA checks before trusting a plan.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := e.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	node, err := e.PlanQuery(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(plan.Format(node))
+
+	// DPC provenance for the query's predicates.
+	appendProvenance := func(table string, pred Conjunction) {
+		if len(pred.Atoms) == 0 {
+			return
+		}
+		est, err := e.opt.EstimateDPC(table, pred)
+		if err != nil {
+			return
+		}
+		source := "analytical (Yao)"
+		if e.opt.HasInjectedDPC(table, pred) {
+			source = "execution feedback"
+		} else if cols := pred.Columns(); len(cols) == 1 {
+			if h, ok := e.opt.DPCHistogram(table, cols[0]); ok && h.Len() > 0 {
+				source = "self-tuning histogram"
+			}
+		}
+		fmt.Fprintf(&b, "DPC(%s, %s) ~ %.0f pages  [%s]\n", table, pred, est, source)
+	}
+	appendProvenance(q.Table, q.Pred)
+	if q.IsJoin() {
+		appendProvenance(q.Table2, q.Pred2)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,132 @@
+package pagefeedback
+
+import (
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/exec"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// Re-exported types so library users never import internal packages.
+type (
+	// Value is one typed column value.
+	Value = tuple.Value
+	// Row is one tuple.
+	Row = tuple.Row
+	// Schema describes a table's columns.
+	Schema = tuple.Schema
+	// Column is one schema column.
+	Column = tuple.Column
+	// Kind is a column type.
+	Kind = tuple.Kind
+	// Conjunction is an AND of atomic predicates.
+	Conjunction = expr.Conjunction
+	// Atom is one atomic predicate.
+	Atom = expr.Atom
+	// CmpOp is a comparison operator.
+	CmpOp = expr.CmpOp
+	// MonitorConfig configures DPC monitoring for one execution.
+	MonitorConfig = exec.MonitorConfig
+	// DPCRequest asks for one distinct page count.
+	DPCRequest = exec.DPCRequest
+	// DPCResult is one obtained distinct page count.
+	DPCResult = exec.DPCResult
+	// IOModel holds simulated device timings.
+	IOModel = storage.IOModel
+	// Table is one base table.
+	Table = catalog.Table
+	// Index is one secondary index.
+	Index = catalog.Index
+)
+
+// Column kinds.
+const (
+	KindInt    = tuple.KindInt
+	KindString = tuple.KindString
+	KindDate   = tuple.KindDate
+)
+
+// Comparison operators.
+const (
+	Eq      = expr.Eq
+	Ne      = expr.Ne
+	Lt      = expr.Lt
+	Le      = expr.Le
+	Gt      = expr.Gt
+	Ge      = expr.Ge
+	Between = expr.Between
+	In      = expr.In
+)
+
+// Monitoring mechanisms (the values of DPCResult.Mechanism).
+const (
+	MechExactScan     = exec.MechExactScan
+	MechDPSample      = exec.MechDPSample
+	MechLinearCount   = exec.MechLinearCount
+	MechBitVector     = exec.MechBitVector
+	MechINLFetch      = exec.MechINLFetch
+	MechUnsatisfiable = exec.MechUnsatisfiable
+)
+
+// Value constructors.
+var (
+	// Int64 builds an integer value.
+	Int64 = tuple.Int64
+	// Str builds a string value.
+	Str = tuple.Str
+	// Date builds a date from days since the Unix epoch.
+	Date = tuple.Date
+	// DateFromTime builds a date from a time.Time.
+	DateFromTime = tuple.DateFromTime
+	// NewSchema builds a schema.
+	NewSchema = tuple.NewSchema
+	// And builds a conjunction.
+	And = expr.And
+	// NewAtom builds col <op> value.
+	NewAtom = expr.NewAtom
+	// NewBetween builds lo <= col <= hi.
+	NewBetween = expr.NewBetween
+	// NewIn builds col IN (...).
+	NewIn = expr.NewIn
+	// MarshalStats renders execution statistics as XML.
+	MarshalStats = exec.MarshalStats
+)
+
+// CreateHeapTable creates an empty heap table.
+func (e *Engine) CreateHeapTable(name string, schema *Schema) (*Table, error) {
+	return e.cat.CreateHeapTable(name, schema)
+}
+
+// CreateClusteredTable creates an empty clustered table.
+func (e *Engine) CreateClusteredTable(name string, schema *Schema, clusterCols []string) (*Table, error) {
+	return e.cat.CreateClusteredTable(name, schema, clusterCols)
+}
+
+// CreateIndex builds a secondary index over cols.
+func (e *Engine) CreateIndex(name, table string, cols ...string) (*Index, error) {
+	tab, ok := e.cat.Table(table)
+	if !ok {
+		return nil, errNoTable(table)
+	}
+	return e.cat.CreateIndex(name, tab, cols)
+}
+
+// Load bulk-loads rows into a table (clustered tables require rows sorted
+// by the clustering key). Any previously learned feedback for the table is
+// invalidated: its page counts were observed against the old data.
+func (e *Engine) Load(table string, rows []Row) error {
+	tab, ok := e.cat.Table(table)
+	if !ok {
+		return errNoTable(table)
+	}
+	if _, err := tab.BulkLoad(rows); err != nil {
+		return err
+	}
+	e.InvalidateFeedback(table)
+	return nil
+}
+
+type errNoTable string
+
+func (e errNoTable) Error() string { return "pagefeedback: no table " + string(e) }

@@ -1,0 +1,3 @@
+module pagefeedback
+
+go 1.22

@@ -1,0 +1,135 @@
+package pagefeedback
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildGroupDB(t *testing.T) *Engine {
+	t.Helper()
+	eng := New(DefaultConfig())
+	schema := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "state", Kind: KindString},
+		Column{Name: "amount", Kind: KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("sales", schema, []string{"id"}); err != nil {
+		t.Fatal(err)
+	}
+	states := []string{"AZ", "CA", "NV", "WA"}
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{Int64(int64(i)), Str(states[i%4]), Int64(int64(i % 10))}
+	}
+	if err := eng.Load("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("sales"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestGroupByCount(t *testing.T) {
+	eng := buildGroupDB(t)
+	res, err := eng.Query("SELECT state, COUNT(*) FROM sales GROUP BY state", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d groups", len(res.Rows))
+	}
+	// Output is in group order: AZ, CA, NV, WA; 250 each.
+	wantStates := []string{"AZ", "CA", "NV", "WA"}
+	for i, row := range res.Rows {
+		if row[0].Str != wantStates[i] || row[1].Int != 250 {
+			t.Errorf("group %d = %v", i, row)
+		}
+	}
+}
+
+func TestGroupBySumWithWhereAndLimit(t *testing.T) {
+	eng := buildGroupDB(t)
+	res, err := eng.Query(
+		"SELECT state, SUM(amount) FROM sales WHERE id < 100 GROUP BY state LIMIT 2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d groups", len(res.Rows))
+	}
+	// Rows 0..99: AZ gets ids 0,4,8,... amounts (i%10). Compute expected.
+	sum := map[string]int64{}
+	states := []string{"AZ", "CA", "NV", "WA"}
+	for i := 0; i < 100; i++ {
+		sum[states[i%4]] += int64(i % 10)
+	}
+	if res.Rows[0][0].Str != "AZ" || res.Rows[0][1].Int != sum["AZ"] {
+		t.Errorf("AZ group = %v, want sum %d", res.Rows[0], sum["AZ"])
+	}
+	if res.Rows[1][0].Str != "CA" || res.Rows[1][1].Int != sum["CA"] {
+		t.Errorf("CA group = %v, want sum %d", res.Rows[1], sum["CA"])
+	}
+}
+
+func TestGroupByMinMax(t *testing.T) {
+	eng := buildGroupDB(t)
+	res, err := eng.Query("SELECT state, MAX(amount) FROM sales GROUP BY state", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// amount = i%10 with i ≡ groupIdx (mod 4): AZ/NV see only even
+	// amounts (max 8), CA/WA see odd (max 9).
+	wantMax := []int64{8, 9, 8, 9}
+	for i, row := range res.Rows {
+		if row[1].Int != wantMax[i] {
+			t.Errorf("max for %v = %d, want %d", row[0], row[1].Int, wantMax[i])
+		}
+	}
+	res, err = eng.Query("SELECT state, MIN(id) FROM sales GROUP BY state", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min id per state: AZ=0, CA=1, NV=2, WA=3.
+	for i, row := range res.Rows {
+		if row[1].Int != int64(i) {
+			t.Errorf("min id for %s = %d, want %d", row[0].Str, row[1].Int, i)
+		}
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	eng := buildGroupDB(t)
+	for _, sql := range []string{
+		"SELECT state, COUNT(*) FROM sales",                        // agg in list, no GROUP BY
+		"SELECT state, COUNT(*) FROM sales GROUP BY amount",        // mismatched group col
+		"SELECT state, amount, COUNT(*) FROM sales GROUP BY state", // two non-agg cols
+		"SELECT state, MIN(state) FROM sales GROUP BY state",       // min over string
+	} {
+		if _, err := eng.Query(sql, nil); err == nil {
+			t.Errorf("%q succeeded, want error", sql)
+		}
+	}
+}
+
+func TestGroupByMonitoredAndExplained(t *testing.T) {
+	eng := buildGroupDB(t)
+	if _, err := eng.CreateIndex("ix_state", "sales", "state"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Query("SELECT state, COUNT(*) FROM sales WHERE id < 500 GROUP BY state",
+		&RunOptions{MonitorAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	out, err := eng.Explain("SELECT state, COUNT(*) FROM sales GROUP BY state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "GroupAgg(state, COUNT(*))") {
+		t.Errorf("explain:\n%s", out)
+	}
+}

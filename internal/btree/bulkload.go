@@ -1,0 +1,163 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"pagefeedback/internal/storage"
+)
+
+// Entry is one key/value pair for bulk loading.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// BulkLoadResult reports where each entry landed, in input order. Clustered
+// tables use it to build secondary indexes pointing at stable RIDs.
+type BulkLoadResult struct {
+	RIDs []storage.RID
+}
+
+// BulkLoad builds a tree bottom-up from entries sorted ascending by key
+// (strictly: duplicate keys are rejected). fillFactor in (0,1] controls how
+// full leaf and inner pages are packed; 1.0 produces the densest tree, the
+// layout a freshly loaded production table would have. The tree must be
+// freshly created and empty.
+//
+// Leaves are allocated in key order immediately after the meta page, so a
+// full scan of a bulk-loaded tree is sequential I/O.
+func (t *Tree) BulkLoad(entries []Entry, fillFactor float64) (*BulkLoadResult, error) {
+	if t.entryCount != 0 || t.height != 1 {
+		return nil, errors.New("btree: BulkLoad on non-empty tree")
+	}
+	if fillFactor <= 0 || fillFactor > 1 {
+		return nil, fmt.Errorf("btree: fill factor %v out of (0,1]", fillFactor)
+	}
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+			return nil, fmt.Errorf("btree: entries not strictly sorted at %d", i)
+		}
+	}
+	res := &BulkLoadResult{RIDs: make([]storage.RID, 0, len(entries))}
+
+	type nodeRef struct {
+		minKey []byte
+		pid    storage.PageID
+	}
+
+	// budget is the per-page byte budget implied by the fill factor: the
+	// usable space of an empty page scaled down.
+	emptyFree := storage.InitPage(make([]byte, storage.PageSize), storage.PageTypeBTreeLeaf).FreeSpace()
+	budget := int(float64(emptyFree) * fillFactor)
+
+	// Pack leaves. The initial root leaf created by Create is reused as the
+	// first leaf.
+	var level []nodeRef
+	cur, err := t.pool.FetchPage(t.file, t.root)
+	if err != nil {
+		return nil, err
+	}
+	curUsed := 0
+	var curMin []byte
+	flush := func() {
+		level = append(level, nodeRef{minKey: curMin, pid: cur.ID})
+		cur.Unpin(true)
+		cur = nil
+	}
+	for _, e := range entries {
+		cell := leafCell(e.Key, e.Value)
+		if len(cell) > storage.PageSize/4 {
+			cur.Unpin(true)
+			return nil, fmt.Errorf("btree: entry of %d bytes too large", len(cell))
+		}
+		cost := len(cell) + 4 // cell + slot entry
+		if curUsed+cost > budget && cur.Page.NumSlots() > 0 {
+			prev := cur
+			next, err := t.pool.NewPage(t.file, storage.PageTypeBTreeLeaf)
+			if err != nil {
+				prev.Unpin(true)
+				return nil, err
+			}
+			prev.Page.SetNext(next.ID)
+			level = append(level, nodeRef{minKey: curMin, pid: prev.ID})
+			prev.Unpin(true)
+			cur = next
+			curUsed = 0
+			curMin = nil
+			t.leafCount++
+		}
+		slot, ok := cur.Page.InsertCell(cell)
+		if !ok {
+			// The fill budget admitted a cell the page cannot hold (can
+			// only happen at fillFactor 1.0 boundaries); open a new page.
+			prev := cur
+			next, err := t.pool.NewPage(t.file, storage.PageTypeBTreeLeaf)
+			if err != nil {
+				prev.Unpin(true)
+				return nil, err
+			}
+			prev.Page.SetNext(next.ID)
+			level = append(level, nodeRef{minKey: curMin, pid: prev.ID})
+			prev.Unpin(true)
+			cur = next
+			curUsed = 0
+			curMin = nil
+			t.leafCount++
+			if slot, ok = cur.Page.InsertCell(cell); !ok {
+				cur.Unpin(true)
+				return nil, errors.New("btree: cell does not fit in empty page")
+			}
+		}
+		if curMin == nil {
+			curMin = append([]byte(nil), e.Key...)
+		}
+		curUsed += cost
+		res.RIDs = append(res.RIDs, storage.RID{Page: cur.ID, Slot: slot})
+	}
+	flush()
+	t.entryCount = int64(len(entries))
+
+	// Build inner levels until one node remains.
+	for len(level) > 1 {
+		var parents []nodeRef
+		node, err := t.pool.NewPage(t.file, storage.PageTypeBTreeInner)
+		if err != nil {
+			return nil, err
+		}
+		nodeUsed := 0
+		var nodeMin []byte
+		for _, child := range level {
+			// childIndex falls back to child 0 for keys below every
+			// separator, so the real minimum key is a correct separator
+			// even for the first cell of a node.
+			cell := innerCell(child.minKey, child.pid)
+			cost := len(cell) + 4
+			if nodeUsed+cost > budget && node.Page.NumSlots() > 0 {
+				parents = append(parents, nodeRef{minKey: nodeMin, pid: node.ID})
+				node.Unpin(true)
+				node, err = t.pool.NewPage(t.file, storage.PageTypeBTreeInner)
+				if err != nil {
+					return nil, err
+				}
+				nodeUsed = 0
+				nodeMin = nil
+			}
+			if _, ok := node.Page.InsertCell(cell); !ok {
+				node.Unpin(true)
+				return nil, errors.New("btree: inner cell does not fit")
+			}
+			if nodeMin == nil {
+				nodeMin = child.minKey
+			}
+			nodeUsed += cost
+		}
+		parents = append(parents, nodeRef{minKey: nodeMin, pid: node.ID})
+		node.Unpin(true)
+		level = parents
+		t.height++
+	}
+	t.root = level[0].pid
+	return res, t.saveMeta()
+}

@@ -1,0 +1,93 @@
+package btree
+
+import (
+	"pagefeedback/internal/storage"
+)
+
+// Cursor iterates leaf entries in key order. Obtain one from SeekGE or
+// SeekFirst; call Next until it returns false; always Close. Key and Value
+// alias the pinned leaf page and are valid only until the next Next or Close.
+type Cursor struct {
+	tree *Tree
+	leaf *storage.PinnedPage
+	slot int
+	err  error
+	// valid reports whether the cursor currently points at an entry.
+	valid bool
+}
+
+// SeekFirst positions a cursor at the smallest entry.
+func (t *Tree) SeekFirst() (*Cursor, error) {
+	return t.SeekGE(nil) // nil key sorts before every real key
+}
+
+// SeekGE positions a cursor at the first entry with key >= the given key.
+func (t *Tree) SeekGE(key []byte) (*Cursor, error) {
+	leaf, _, err := t.descend(key, false)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{tree: t, leaf: leaf}
+	slot, _ := findSlot(leaf.Page, key)
+	c.slot = slot - 1 // Next() advances to `slot`
+	return c, nil
+}
+
+// Next advances to the next entry, returning false at the end of the tree or
+// on error (check Err).
+func (c *Cursor) Next() bool {
+	if c.err != nil || c.leaf == nil {
+		c.valid = false
+		return false
+	}
+	c.slot++
+	for c.slot >= c.leaf.Page.NumSlots() {
+		next := c.leaf.Page.Next()
+		c.leaf.Unpin(false)
+		c.leaf = nil
+		if next == storage.InvalidPageID {
+			c.valid = false
+			return false
+		}
+		pp, err := c.tree.pool.FetchPage(c.tree.file, next)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return false
+		}
+		c.leaf = pp
+		c.slot = 0
+	}
+	c.valid = true
+	return true
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current entry's key (aliases the page buffer).
+func (c *Cursor) Key() []byte {
+	return cellKey(c.leaf.Page.Cell(storage.SlotID(c.slot)))
+}
+
+// Value returns the current entry's value (aliases the page buffer).
+func (c *Cursor) Value() []byte {
+	return leafCellValue(c.leaf.Page.Cell(storage.SlotID(c.slot)))
+}
+
+// RID returns the (leaf page, slot) address of the current entry.
+func (c *Cursor) RID() storage.RID {
+	return storage.RID{Page: c.leaf.ID, Slot: storage.SlotID(c.slot)}
+}
+
+// Err returns the first error encountered while iterating.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's page pin. It is safe to call multiple times.
+func (c *Cursor) Close() {
+	if c.leaf != nil {
+		c.leaf.Unpin(false)
+		c.leaf = nil
+	}
+	c.valid = false
+}

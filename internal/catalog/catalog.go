@@ -1,0 +1,477 @@
+// Package catalog defines tables, secondary indexes, and the catalog that
+// owns them. It gives the executor and optimizer a uniform view of storage:
+// every table supports a full scan in page order (grouped page access) and
+// point fetches by RID; every secondary index supports range seeks that
+// yield RIDs.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pagefeedback/internal/btree"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/heap"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// StorageKind says how a table's rows are physically arranged.
+type StorageKind uint8
+
+// Table storage kinds.
+const (
+	// KindHeap stores rows in arrival order in a heap file.
+	KindHeap StorageKind = iota
+	// KindClustered stores rows in clustering-key order in B+tree leaves.
+	KindClustered
+)
+
+// Table is one base table.
+type Table struct {
+	Name        string
+	Schema      *tuple.Schema
+	Kind        StorageKind
+	ClusterCols []string // clustering key columns (KindClustered only)
+
+	heapFile  *heap.File
+	clustered *btree.Tree
+	indexes   []*Index
+	version   int64 // bumped by every mutation; see Version
+}
+
+// Version returns the table's modification counter. Every Insert, Delete,
+// and BulkLoad advances it; consumers of execution feedback compare the
+// version a page count was observed at against the current one to decide
+// whether the observation is still trustworthy.
+func (t *Table) Version() int64 { return t.version }
+
+// Index is one secondary (non-clustered) index. Entries are
+// EncodeKey(column values..., rid) with an empty value, so duplicate column
+// values stay unique and the RID is recovered from the key's last value.
+type Index struct {
+	Name  string
+	Table *Table
+	Cols  []string
+	tree  *btree.Tree
+}
+
+// Catalog owns all tables of a database instance.
+type Catalog struct {
+	pool   *storage.BufferPool
+	tables map[string]*Table
+}
+
+// New creates an empty catalog over pool.
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+}
+
+// Pool returns the buffer pool backing the catalog.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// Table looks up a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateHeapTable creates an empty heap table.
+func (c *Catalog) CreateHeapTable(name string, schema *tuple.Schema) (*Table, error) {
+	if _, dup := c.Table(name); dup {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	hf, err := heap.Create(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: schema, Kind: KindHeap, heapFile: hf}
+	c.tables[strings.ToLower(name)] = t
+	return t, nil
+}
+
+// CreateClusteredTable creates an empty clustered table keyed on clusterCols,
+// which must exist in the schema and form a unique key of the data loaded.
+func (c *Catalog) CreateClusteredTable(name string, schema *tuple.Schema, clusterCols []string) (*Table, error) {
+	if _, dup := c.Table(name); dup {
+		return nil, fmt.Errorf("catalog: table %q exists", name)
+	}
+	for _, col := range clusterCols {
+		if _, ok := schema.Ordinal(col); !ok {
+			return nil, fmt.Errorf("catalog: clustering column %q not in schema", col)
+		}
+	}
+	tr, err := btree.Create(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: schema, Kind: KindClustered, ClusterCols: clusterCols, clustered: tr}
+	c.tables[strings.ToLower(name)] = t
+	return t, nil
+}
+
+// clusterKey encodes the clustering-key values of row.
+func (t *Table) clusterKey(row tuple.Row) []byte {
+	var key []byte
+	for _, col := range t.ClusterCols {
+		key = tuple.AppendKey(key, row[t.Schema.MustOrdinal(col)])
+	}
+	return key
+}
+
+// Insert adds one row and returns its RID. For clustered tables prefer
+// BulkLoad: incremental inserts can split leaves, moving earlier rows and
+// invalidating their RIDs (and any secondary index built on them).
+func (t *Table) Insert(row tuple.Row) (storage.RID, error) {
+	enc, err := tuple.Encode(nil, t.Schema, row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	t.version++
+	switch t.Kind {
+	case KindHeap:
+		return t.heapFile.Insert(enc)
+	case KindClustered:
+		return t.clustered.Insert(t.clusterKey(row), enc)
+	default:
+		return storage.RID{}, fmt.Errorf("catalog: bad storage kind %d", t.Kind)
+	}
+}
+
+// BulkLoad loads rows in one pass and returns their RIDs in input order.
+// Heap tables keep arrival order. Clustered tables require rows already
+// sorted by the clustering key (strictly: the key must be unique), and pack
+// leaves densely so RIDs are stable afterward.
+func (t *Table) BulkLoad(rows []tuple.Row) ([]storage.RID, error) {
+	t.version++
+	switch t.Kind {
+	case KindHeap:
+		rids := make([]storage.RID, len(rows))
+		for i, row := range rows {
+			enc, err := tuple.Encode(nil, t.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			rid, err := t.heapFile.Insert(enc)
+			if err != nil {
+				return nil, err
+			}
+			rids[i] = rid
+		}
+		return rids, nil
+	case KindClustered:
+		entries := make([]btree.Entry, len(rows))
+		for i, row := range rows {
+			enc, err := tuple.Encode(nil, t.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = btree.Entry{Key: t.clusterKey(row), Value: enc}
+		}
+		res, err := t.clustered.BulkLoad(entries, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return res.RIDs, nil
+	default:
+		return nil, fmt.Errorf("catalog: bad storage kind %d", t.Kind)
+	}
+}
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int64 {
+	if t.Kind == KindHeap {
+		return t.heapFile.NumRows()
+	}
+	return t.clustered.Entries()
+}
+
+// NumPages returns the number of data pages (heap pages or clustered-index
+// leaf pages) — the P of the paper's cost formulas and Table I.
+func (t *Table) NumPages() int64 {
+	if t.Kind == KindHeap {
+		return int64(t.heapFile.NumPages())
+	}
+	return t.clustered.LeafPages()
+}
+
+// ClusterHeight returns the clustered B+tree height (0 for heaps), for
+// costing the descent of a clustered range seek.
+func (t *Table) ClusterHeight() int {
+	if t.Kind != KindClustered {
+		return 0
+	}
+	return t.clustered.Height()
+}
+
+// FetchRow reads the row at rid. This is the Fetch the paper's access-method
+// costing is about: each distinct page touched is a logical (and on a cold
+// cache, physical random) I/O.
+func (t *Table) FetchRow(rid storage.RID) (tuple.Row, error) {
+	var enc []byte
+	var err error
+	if t.Kind == KindHeap {
+		enc, err = t.heapFile.Get(rid)
+	} else {
+		_, enc, err = t.clustered.Get(rid)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return tuple.Decode(t.Schema, enc)
+}
+
+// Indexes returns the table's secondary indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// IndexByName finds a secondary index by name (case-insensitive).
+func (t *Table) IndexByName(name string) (*Index, bool) {
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Name, name) {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// RowIter walks a table's rows in physical page order.
+type RowIter struct {
+	table *Table
+	hit   *heap.Iterator
+	cur   *btree.Cursor
+	hi    []byte // exclusive clustered-key upper bound, nil = none
+	row   tuple.Row
+	rid   storage.RID
+	err   error
+}
+
+// ScanAll returns an iterator over all rows in page order. It has the
+// grouped page access property: pages are visited exactly once, in
+// ascending PID order for heaps and leaf-chain order for clustered tables.
+func (t *Table) ScanAll() (*RowIter, error) {
+	it := &RowIter{table: t}
+	if t.Kind == KindHeap {
+		it.hit = t.heapFile.Scan()
+		return it, nil
+	}
+	cur, err := t.clustered.SeekFirst()
+	if err != nil {
+		return nil, err
+	}
+	it.cur = cur
+	return it, nil
+}
+
+// ScanRange returns an iterator over the clustered-key range [r.Lo, r.Hi),
+// in key (and hence page) order — the clustered index range seek access
+// path. Only clustered tables support it.
+func (t *Table) ScanRange(r expr.KeyRange) (*RowIter, error) {
+	if t.Kind != KindClustered {
+		return nil, fmt.Errorf("catalog: range scan on non-clustered table %s", t.Name)
+	}
+	cur, err := t.clustered.SeekGE(r.Lo)
+	if err != nil {
+		return nil, err
+	}
+	return &RowIter{table: t, cur: cur, hi: r.Hi}, nil
+}
+
+// Next advances to the next row; false at the end or on error (check Err).
+func (it *RowIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	if it.hit != nil {
+		if !it.hit.Next() {
+			it.err = it.hit.Err()
+			return false
+		}
+		it.rid = it.hit.RID()
+		it.row, it.err = tuple.Decode(it.table.Schema, it.hit.RowBytes())
+		return it.err == nil
+	}
+	if !it.cur.Next() {
+		it.err = it.cur.Err()
+		return false
+	}
+	if it.hi != nil && string(it.cur.Key()) >= string(it.hi) {
+		return false
+	}
+	it.rid = it.cur.RID()
+	it.row, it.err = tuple.Decode(it.table.Schema, it.cur.Value())
+	return it.err == nil
+}
+
+// Row returns the current row.
+func (it *RowIter) Row() tuple.Row { return it.row }
+
+// RID returns the current row's identifier.
+func (it *RowIter) RID() storage.RID { return it.rid }
+
+// Err returns the first error encountered.
+func (it *RowIter) Err() error { return it.err }
+
+// Close releases resources; safe to call multiple times.
+func (it *RowIter) Close() {
+	if it.hit != nil {
+		it.hit.Close()
+	}
+	if it.cur != nil {
+		it.cur.Close()
+	}
+}
+
+// CreateIndex builds a secondary index over cols by scanning the table.
+// The index stores only its key columns (plus the RID), so it covers a
+// query exactly when every referenced column is among cols.
+func (c *Catalog) CreateIndex(name string, table *Table, cols []string) (*Index, error) {
+	if _, dup := table.IndexByName(name); dup {
+		return nil, fmt.Errorf("catalog: index %q exists on %s", name, table.Name)
+	}
+	ords := make([]int, len(cols))
+	for i, col := range cols {
+		o, ok := table.Schema.Ordinal(col)
+		if !ok {
+			return nil, fmt.Errorf("catalog: no column %q in %s", col, table.Name)
+		}
+		ords[i] = o
+	}
+	it, err := table.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	var entries []btree.Entry
+	for it.Next() {
+		row := it.Row()
+		var key []byte
+		for _, o := range ords {
+			key = tuple.AppendKey(key, row[o])
+		}
+		key = tuple.AppendKey(key, tuple.Int64(it.RID().AsInt64()))
+		entries = append(entries, btree.Entry{Key: key})
+	}
+	it.Close()
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return string(entries[i].Key) < string(entries[j].Key)
+	})
+	tr, err := btree.Create(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tr.BulkLoad(entries, 1.0); err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Table: table, Cols: cols, tree: tr}
+	table.indexes = append(table.indexes, ix)
+	return ix, nil
+}
+
+// Covers reports whether the index key contains every column in need.
+func (ix *Index) Covers(need []string) bool {
+	for _, n := range need {
+		found := false
+		for _, c := range ix.Cols {
+			if strings.EqualFold(c, n) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafPages returns the number of index leaf pages (for index I/O costing).
+func (ix *Index) LeafPages() int64 { return ix.tree.LeafPages() }
+
+// Height returns the index tree height.
+func (ix *Index) Height() int { return ix.tree.Height() }
+
+// EntryIter iterates index entries within one key range.
+type EntryIter struct {
+	ix     *Index
+	cur    *btree.Cursor
+	hi     []byte
+	vals   []tuple.Value
+	rid    storage.RID
+	err    error
+	nCols  int
+	closed bool
+}
+
+// SeekRange opens an iterator over entries in [r.Lo, r.Hi).
+func (ix *Index) SeekRange(r expr.KeyRange) (*EntryIter, error) {
+	cur, err := ix.tree.SeekGE(r.Lo)
+	if err != nil {
+		return nil, err
+	}
+	return &EntryIter{ix: ix, cur: cur, hi: r.Hi, nCols: len(ix.Cols)}, nil
+}
+
+// Next advances to the next entry in range.
+func (it *EntryIter) Next() bool {
+	if it.err != nil || it.closed {
+		return false
+	}
+	if !it.cur.Next() {
+		it.err = it.cur.Err()
+		return false
+	}
+	key := it.cur.Key()
+	if it.hi != nil && string(key) >= string(it.hi) {
+		return false
+	}
+	vals, err := tuple.DecodeKey(key)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if len(vals) != it.nCols+1 {
+		it.err = fmt.Errorf("catalog: index %s entry has %d values, want %d", it.ix.Name, len(vals), it.nCols+1)
+		return false
+	}
+	it.vals = vals[:it.nCols]
+	it.rid = storage.RIDFromInt64(vals[it.nCols].Int)
+	// Re-tag date columns (key codec decodes ints generically).
+	for i, col := range it.ix.Cols {
+		if o, ok := it.ix.Table.Schema.Ordinal(col); ok {
+			if it.ix.Table.Schema.Column(o).Kind == tuple.KindDate && it.vals[i].Kind == tuple.KindInt {
+				it.vals[i].Kind = tuple.KindDate
+			}
+		}
+	}
+	return true
+}
+
+// Values returns the current entry's key column values.
+func (it *EntryIter) Values() []tuple.Value { return it.vals }
+
+// RID returns the current entry's row identifier.
+func (it *EntryIter) RID() storage.RID { return it.rid }
+
+// Err returns the first error encountered.
+func (it *EntryIter) Err() error { return it.err }
+
+// Close releases the iterator; safe to call multiple times.
+func (it *EntryIter) Close() {
+	if !it.closed {
+		it.cur.Close()
+		it.closed = true
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"pagefeedback/internal/expr"
+)
+
+// FeedbackEntry is one fed-back observation: for a (table, predicate
+// expression), the observed cardinality and distinct page count, plus how
+// the DPC was obtained.
+type FeedbackEntry struct {
+	Table       string
+	Predicate   string // display form
+	Cardinality int64
+	DPC         int64
+	Mechanism   string // "exact-scan", "linear-counting", "dpsample", "bitvector+dpsample", ...
+	Exact       bool   // true when the mechanism yields the exact count
+	// TableVersion is the table's modification counter at observation
+	// time; a mismatch with the current counter marks the entry stale.
+	TableVersion int64
+}
+
+// FeedbackCache stores (expression, cardinality, distinct page count)
+// triples keyed by the canonical form of the predicate — the augmentation
+// of LEO-style feedback infrastructure described in §II-C. It lets future
+// optimizations of queries with the same predicate reuse the observed DPC
+// instead of the analytical estimate. Safe for concurrent use.
+type FeedbackCache struct {
+	mu      sync.RWMutex
+	entries map[string]FeedbackEntry
+}
+
+// NewFeedbackCache creates an empty cache.
+func NewFeedbackCache() *FeedbackCache {
+	return &FeedbackCache{entries: make(map[string]FeedbackEntry)}
+}
+
+// Key computes the cache key for a predicate on a table. The key is
+// insensitive to conjunct order.
+func Key(table string, pred expr.Conjunction) string {
+	return pred.CanonicalKey(table)
+}
+
+// Store records an observation, overwriting a previous one for the same key.
+// An exact observation is never overwritten by an estimated one for the
+// same key (the exact scan count dominates a sampled estimate).
+func (fc *FeedbackCache) Store(table string, pred expr.Conjunction, e FeedbackEntry) {
+	k := Key(table, pred)
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if old, ok := fc.entries[k]; ok && old.Exact && !e.Exact {
+		return
+	}
+	e.Table = table
+	e.Predicate = pred.String()
+	fc.entries[k] = e
+}
+
+// Lookup returns the stored observation for (table, pred), if any.
+func (fc *FeedbackCache) Lookup(table string, pred expr.Conjunction) (FeedbackEntry, bool) {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	e, ok := fc.entries[Key(table, pred)]
+	return e, ok
+}
+
+// DropTable removes every observation for the table (case-insensitive),
+// returning how many were dropped — the invalidation hook for when the
+// table's data changes and its page counts go stale.
+func (fc *FeedbackCache) DropTable(table string) int {
+	prefix := strings.ToLower(table) + "|"
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	n := 0
+	for k := range fc.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(fc.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached observations.
+func (fc *FeedbackCache) Len() int {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	return len(fc.entries)
+}
+
+// Entries returns all observations sorted by table then predicate text.
+func (fc *FeedbackCache) Entries() []FeedbackEntry {
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	out := make([]FeedbackEntry, 0, len(fc.entries))
+	for _, e := range fc.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Predicate < out[j].Predicate
+	})
+	return out
+}

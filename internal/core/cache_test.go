@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+func caPred() expr.Conjunction {
+	return expr.And(expr.NewAtom("state", expr.Eq, tuple.Str("CA")))
+}
+
+func TestCacheStoreLookup(t *testing.T) {
+	fc := NewFeedbackCache()
+	fc.Store("sales", caPred(), FeedbackEntry{Cardinality: 50000, DPC: 1000, Mechanism: "exact-scan", Exact: true})
+	e, ok := fc.Lookup("Sales", caPred()) // table name case-insensitive
+	if !ok || e.DPC != 1000 || e.Cardinality != 50000 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if fc.Len() != 1 {
+		t.Errorf("Len = %d", fc.Len())
+	}
+	if _, ok := fc.Lookup("other", caPred()); ok {
+		t.Error("lookup on wrong table hit")
+	}
+}
+
+func TestCacheKeyOrderInsensitive(t *testing.T) {
+	a1 := expr.NewAtom("state", expr.Eq, tuple.Str("CA"))
+	a2 := expr.NewAtom("shipdate", expr.Eq, tuple.Date(13665))
+	fc := NewFeedbackCache()
+	fc.Store("t", expr.And(a1, a2), FeedbackEntry{DPC: 7})
+	if e, ok := fc.Lookup("t", expr.And(a2, a1)); !ok || e.DPC != 7 {
+		t.Error("reordered predicate missed the cache")
+	}
+}
+
+func TestCacheExactNotOverwrittenByEstimate(t *testing.T) {
+	fc := NewFeedbackCache()
+	fc.Store("t", caPred(), FeedbackEntry{DPC: 100, Exact: true})
+	fc.Store("t", caPred(), FeedbackEntry{DPC: 90, Exact: false})
+	e, _ := fc.Lookup("t", caPred())
+	if e.DPC != 100 {
+		t.Errorf("exact entry overwritten: DPC = %d", e.DPC)
+	}
+	// But an exact entry replaces an estimate.
+	fc.Store("t", caPred(), FeedbackEntry{DPC: 95, Exact: true})
+	e, _ = fc.Lookup("t", caPred())
+	if e.DPC != 95 {
+		t.Errorf("exact update ignored: DPC = %d", e.DPC)
+	}
+}
+
+func TestCacheEntriesSorted(t *testing.T) {
+	fc := NewFeedbackCache()
+	fc.Store("b", caPred(), FeedbackEntry{DPC: 1})
+	fc.Store("a", caPred(), FeedbackEntry{DPC: 2})
+	es := fc.Entries()
+	if len(es) != 2 || es[0].Table != "a" || es[1].Table != "b" {
+		t.Errorf("Entries = %+v", es)
+	}
+	if es[0].Predicate == "" {
+		t.Error("Predicate text not recorded")
+	}
+}

@@ -1,0 +1,24 @@
+// Package core implements the paper's contribution: low-overhead mechanisms
+// for obtaining distinct page counts (DPC) from query execution feedback.
+//
+// The estimators consume streams of (page id, satisfies-predicate) events
+// produced by the executor's storage-engine-side operators:
+//
+//   - LinearCounter — probabilistic counting over PIDs arriving in arbitrary
+//     order with repeats (Index Seek / Fetch, INL join inner side); §III-A,
+//     Fig 3, after Whang et al.
+//   - GroupedCounter — exact counting when the grouped page access property
+//     holds (scan plans); §III-B.
+//   - DPSample — Bernoulli page sampling that bounds the cost of turning
+//     off predicate short-circuiting; §III-B, Fig 4.
+//   - BitVectorFilter — a derived semi-join predicate built from the outer
+//     join input, enabling DPC monitoring of the inner table during Hash
+//     and Merge joins; §IV, Fig 5.
+//   - SampleDistinct — the reservoir-sampling distinct-value estimator the
+//     paper cites as the alternative to probabilistic counting (§III-A,
+//     [4]); implemented for the comparison experiment.
+//
+// The FeedbackCache stores (expression, cardinality, DPC) triples keyed by
+// canonical predicate text, the integration point with feedback-based
+// optimization frameworks sketched in §II-C.
+package core

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pagefeedback/internal/tuple"
+)
+
+func TestDPCHistogramEmpty(t *testing.T) {
+	h := NewDPCHistogram()
+	if _, ok := h.EstimateRange(0, 100, 50, 80, 1000); ok {
+		t.Error("empty histogram produced an estimate")
+	}
+	if h.Len() != 0 {
+		t.Error("Len != 0")
+	}
+}
+
+func TestDPCHistogramIgnoresInvalid(t *testing.T) {
+	h := NewDPCHistogram()
+	h.Add(DPCObservation{Lo: 10, Hi: 5, Rows: 10, DPC: 2}) // inverted
+	h.Add(DPCObservation{Lo: 0, Hi: 10, Rows: 0, DPC: 2})  // no rows
+	h.Add(DPCObservation{Lo: 0, Hi: 10, Rows: 10, DPC: 0}) // no pages
+	if h.Len() != 0 {
+		t.Errorf("Len = %d after invalid adds", h.Len())
+	}
+}
+
+func TestDPCHistogramClusteredColumnGeneralizes(t *testing.T) {
+	// A clustered column: 1000 rows over [0,1000) landed on 13 pages
+	// (density ~1/77). A different range on the same column should get a
+	// density-scaled estimate, not the Yao-style "one page per row".
+	h := NewDPCHistogram()
+	h.Add(DPCObservation{Lo: 0, Hi: 999, Rows: 1000, DPC: 13})
+	est, ok := h.EstimateRange(1000, 2999, 2000, 77, 1300)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if est < 20 || est > 40 { // ~2000/77 = 26
+		t.Errorf("estimate = %.1f, want ~26", est)
+	}
+}
+
+func TestDPCHistogramScatteredColumn(t *testing.T) {
+	// A scattered column: 1000 rows -> 950 pages (density ~0.95).
+	h := NewDPCHistogram()
+	h.Add(DPCObservation{Lo: 0, Hi: 999, Rows: 1000, DPC: 950})
+	est, ok := h.EstimateRange(500, 1499, 500, 77, 1300)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if est < 400 || est > 500 {
+		t.Errorf("estimate = %.1f, want ~475", est)
+	}
+}
+
+func TestDPCHistogramOverlapWeighting(t *testing.T) {
+	// Two regions with different densities: a query overlapping only the
+	// dense region should use its density.
+	h := NewDPCHistogram()
+	h.Add(DPCObservation{Lo: 0, Hi: 999, Rows: 1000, DPC: 13})      // clustered region
+	h.Add(DPCObservation{Lo: 5000, Hi: 5999, Rows: 1000, DPC: 900}) // scattered region
+	estDense, _ := h.EstimateRange(100, 899, 800, 77, 1300)
+	estSparse, _ := h.EstimateRange(5100, 5899, 800, 77, 1300)
+	if estDense >= estSparse {
+		t.Errorf("dense %.0f >= sparse %.0f", estDense, estSparse)
+	}
+	if estDense > 30 {
+		t.Errorf("dense estimate %.0f too high", estDense)
+	}
+	if estSparse < 500 {
+		t.Errorf("sparse estimate %.0f too low", estSparse)
+	}
+}
+
+func TestDPCHistogramClampsToFeasibleBand(t *testing.T) {
+	h := NewDPCHistogram()
+	// Absurd density 1.0 learned; but 1000 rows at 80 rows/page cannot
+	// touch fewer than 13 pages nor more than min(rows, pages).
+	h.Add(DPCObservation{Lo: 0, Hi: 99, Rows: 100, DPC: 100})
+	est, _ := h.EstimateRange(0, 99, 1000, 80, 500)
+	if est > 500 {
+		t.Errorf("estimate %.0f exceeds table pages", est)
+	}
+	// Density 0-ish can't go below LB.
+	h2 := NewDPCHistogram()
+	h2.Add(DPCObservation{Lo: 0, Hi: 99999, Rows: 100000, DPC: 100})
+	est2, _ := h2.EstimateRange(0, 99999, 8000, 80, 5000)
+	if est2 < 8000/80 {
+		t.Errorf("estimate %.0f below the lower bound", est2)
+	}
+}
+
+func TestDPCHistogramNearestNeighborFallback(t *testing.T) {
+	h := NewDPCHistogram()
+	h.Add(DPCObservation{Lo: 0, Hi: 99, Rows: 100, DPC: 2})
+	// Query range far away but same column: clustering character carries.
+	est, ok := h.EstimateRange(100000, 100099, 100, 77, 1300)
+	if !ok {
+		t.Fatal("no estimate despite history on the column")
+	}
+	if est > 10 {
+		t.Errorf("estimate %.0f ignores the learned density", est)
+	}
+}
+
+func TestDPCHistogramEvictsOldest(t *testing.T) {
+	h := NewDPCHistogram()
+	for i := 0; i < maxObservations+50; i++ {
+		h.Add(DPCObservation{Lo: int64(i), Hi: int64(i), Rows: 1, DPC: 1})
+	}
+	if h.Len() != maxObservations {
+		t.Errorf("Len = %d, want %d", h.Len(), maxObservations)
+	}
+	obs := h.Observations()
+	if obs[0].Lo != 50 {
+		t.Errorf("oldest surviving Lo = %d, want 50", obs[0].Lo)
+	}
+}
+
+func TestObservationFromAtomRange(t *testing.T) {
+	cases := []struct {
+		op     string
+		v, v2  tuple.Value
+		lo, hi int64
+		ok     bool
+	}{
+		{"=", tuple.Int64(5), tuple.Value{}, 5, 5, true},
+		{"<", tuple.Int64(5), tuple.Value{}, math.MinInt64, 4, true},
+		{"<=", tuple.Int64(5), tuple.Value{}, math.MinInt64, 5, true},
+		{">", tuple.Int64(5), tuple.Value{}, 6, math.MaxInt64, true},
+		{">=", tuple.Int64(5), tuple.Value{}, 5, math.MaxInt64, true},
+		{"BETWEEN", tuple.Int64(3), tuple.Int64(9), 3, 9, true},
+		{"<>", tuple.Int64(5), tuple.Value{}, 0, 0, false},
+		{"=", tuple.Str("CA"), tuple.Value{}, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := ObservationFromAtomRange(c.op, c.v, c.v2)
+		if ok != c.ok || (ok && (lo != c.lo || hi != c.hi)) {
+			t.Errorf("%s %v: got (%d,%d,%v), want (%d,%d,%v)", c.op, c.v, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+	// Dates behave as their numeric payload.
+	lo, hi, ok := ObservationFromAtomRange("=", tuple.Date(13665), tuple.Value{})
+	if !ok || lo != 13665 || hi != 13665 {
+		t.Errorf("date range = %d,%d,%v", lo, hi, ok)
+	}
+}

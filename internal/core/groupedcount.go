@@ -1,0 +1,75 @@
+package core
+
+import (
+	"pagefeedback/internal/storage"
+)
+
+// GroupedCounter computes the exact distinct page count during a scan plan,
+// exploiting the grouped page access property (§III-B): a scan processes all
+// rows of a page together and never returns to it, so distinct counting
+// reduces to maintaining one counter and one flag.
+//
+// Feed it every row of the scan via Observe; call Finish (or Count, which
+// implies it) once the scan ends.
+type GroupedCounter struct {
+	count    int64
+	curPID   storage.PageID
+	curHit   bool
+	havePage bool
+	pages    int64 // total pages seen (diagnostics)
+	finished bool
+}
+
+// NewGroupedCounter returns a counter ready for a fresh scan.
+func NewGroupedCounter() *GroupedCounter { return &GroupedCounter{} }
+
+// Observe records one scanned row: the page it lives on and whether it
+// satisfied the monitored predicate.
+func (gc *GroupedCounter) Observe(pid storage.PageID, satisfies bool) {
+	if gc.finished {
+		panic("core: Observe after Finish")
+	}
+	if !gc.havePage || pid != gc.curPID {
+		gc.closePage()
+		gc.curPID = pid
+		gc.curHit = false
+		gc.havePage = true
+		gc.pages++
+	}
+	if satisfies {
+		gc.curHit = true
+	}
+}
+
+// ObservePageHit records that page pid contained at least one qualifying
+// row, without per-row detail (used when the caller already aggregated).
+func (gc *GroupedCounter) ObservePageHit(pid storage.PageID) {
+	gc.Observe(pid, true)
+}
+
+func (gc *GroupedCounter) closePage() {
+	if gc.havePage && gc.curHit {
+		gc.count++
+	}
+}
+
+// Finish closes the last page. Further Observe calls panic.
+func (gc *GroupedCounter) Finish() {
+	if !gc.finished {
+		gc.closePage()
+		gc.havePage = false
+		gc.finished = true
+	}
+}
+
+// Count returns the exact DPC(T, p). It finishes the counter.
+func (gc *GroupedCounter) Count() int64 {
+	gc.Finish()
+	return gc.count
+}
+
+// PagesSeen returns the number of distinct pages the scan visited.
+func (gc *GroupedCounter) PagesSeen() int64 {
+	n := gc.pages
+	return n
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/bits"
+
+	"pagefeedback/internal/tuple"
+)
+
+// hash64 is the splitmix64 finalizer: a fast, well-distributed integer hash
+// used for PIDs and join-key values.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashBytes is an FNV-1a over b, finalized with splitmix64.
+func hashBytes(b []byte) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return hash64(h)
+}
+
+// HashValue hashes a column value for bit-vector filtering. Int and Date
+// values with equal numeric payloads hash equally (they compare equal too).
+func HashValue(v tuple.Value) uint64 {
+	switch v.Kind {
+	case tuple.KindInt, tuple.KindDate:
+		return hash64(uint64(v.Int))
+	case tuple.KindString:
+		return hashBytes([]byte(v.Str))
+	default:
+		return hash64(uint64(v.Kind))
+	}
+}
+
+// reduceRange maps a 64-bit hash onto [0, n) without modulo bias
+// (Lemire's multiply-shift reduction).
+func reduceRange(h uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJoinCurveEmpty(t *testing.T) {
+	c := NewJoinDPCCurve()
+	if _, ok := c.Estimate(100, 1000); ok {
+		t.Error("empty curve produced an estimate")
+	}
+	if c.Len() != 0 {
+		t.Error("Len != 0")
+	}
+}
+
+func TestJoinCurveIgnoresInvalid(t *testing.T) {
+	c := NewJoinDPCCurve()
+	c.Add(JoinDPCPoint{Rows: 0, DPC: 5})
+	c.Add(JoinDPCPoint{Rows: 5, DPC: 0})
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestJoinCurveInterpolation(t *testing.T) {
+	c := NewJoinDPCCurve()
+	c.Add(JoinDPCPoint{Rows: 100, DPC: 2})
+	c.Add(JoinDPCPoint{Rows: 1000, DPC: 14})
+	// Midpoint interpolates linearly.
+	est, ok := c.Estimate(550, 10000)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if math.Abs(est-8) > 1 {
+		t.Errorf("midpoint estimate = %.1f, want ~8", est)
+	}
+	// Below the first point: density scaling.
+	est, _ = c.Estimate(50, 10000)
+	if math.Abs(est-1) > 0.5 {
+		t.Errorf("below-range estimate = %.1f, want ~1", est)
+	}
+	// Above the last point: density extrapolation, nondecreasing.
+	est, _ = c.Estimate(2000, 10000)
+	if est < 14 || est > 40 {
+		t.Errorf("above-range estimate = %.1f", est)
+	}
+}
+
+func TestJoinCurveClampsToTablePages(t *testing.T) {
+	c := NewJoinDPCCurve()
+	c.Add(JoinDPCPoint{Rows: 10, DPC: 10}) // density 1
+	est, _ := c.Estimate(1e9, 500)
+	if est != 500 {
+		t.Errorf("estimate = %.0f, want clamped to 500", est)
+	}
+	est, _ = c.Estimate(0.5, 500)
+	if est < 1 {
+		t.Errorf("estimate %.2f below 1 page", est)
+	}
+}
+
+func TestJoinCurveDuplicateRowsKeepsLatest(t *testing.T) {
+	c := NewJoinDPCCurve()
+	c.Add(JoinDPCPoint{Rows: 100, DPC: 50})
+	c.Add(JoinDPCPoint{Rows: 100, DPC: 5})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	est, _ := c.Estimate(100, 1000)
+	if est != 5 {
+		t.Errorf("estimate = %.0f, want 5 (latest)", est)
+	}
+}
+
+func TestJoinCurveThinning(t *testing.T) {
+	c := NewJoinDPCCurve()
+	for i := int64(1); i <= maxCurvePoints+40; i++ {
+		c.Add(JoinDPCPoint{Rows: i * 10, DPC: i})
+	}
+	if c.Len() > maxCurvePoints {
+		t.Errorf("Len = %d after thinning", c.Len())
+	}
+	// Estimates still sensible after thinning.
+	est, _ := c.Estimate(500, 100000)
+	if math.Abs(est-50) > 5 {
+		t.Errorf("post-thinning estimate = %.0f, want ~50", est)
+	}
+}
+
+func TestJoinCurveMonotoneQuick(t *testing.T) {
+	// Property: for any set of monotone observations, estimates are
+	// nondecreasing in rows.
+	f := func(seeds []uint16) bool {
+		c := NewJoinDPCCurve()
+		rows, dpc := int64(0), int64(0)
+		for _, s := range seeds {
+			rows += int64(s%100) + 1
+			dpc += int64(s % 7)
+			if dpc == 0 {
+				dpc = 1
+			}
+			c.Add(JoinDPCPoint{Rows: rows, DPC: dpc})
+		}
+		if c.Len() == 0 {
+			return true
+		}
+		prev := 0.0
+		for x := 1.0; x < float64(rows)*1.5; x += float64(rows) / 20 {
+			est, ok := c.Estimate(x, 1<<40)
+			if !ok || est < prev-1e-9 {
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pagefeedback/internal/storage"
+)
+
+// LinearCounter estimates COUNT(DISTINCT PID) over a stream of page ids with
+// repeats, using linear (probabilistic) counting: a bitmap hashed on the PID
+// value, with the estimate derived from the fraction of bits left unset
+// (Fig 3 of the paper; Whang, Vander-Zanden, Taylor, TODS 1990).
+//
+// It runs inside the Fetch operator of index plans, where rows — and hence
+// pages — arrive in index-key order rather than page order, so exact
+// counting would require full duplicate elimination. The bitmap is tiny
+// ("much less than one bit per page" suffices), and the per-row work is one
+// hash and one bit set.
+type LinearCounter struct {
+	bits     []uint64
+	numBits  uint64
+	observed int64 // rows observed (diagnostics)
+}
+
+// DefaultLinearCounterBits sizes a counter for an expected page population.
+// Linear counting stays accurate while the load factor n/m is modest; one
+// bit per expected page with a floor of 1024 keeps the standard error well
+// under 1% at the scales of the experiments.
+func DefaultLinearCounterBits(expectedPages int64) uint64 {
+	if expectedPages < 1024 {
+		return 1024
+	}
+	return uint64(expectedPages)
+}
+
+// NewLinearCounter creates a counter with the given bitmap size in bits.
+func NewLinearCounter(numBits uint64) *LinearCounter {
+	if numBits == 0 {
+		panic("core: linear counter with zero bits")
+	}
+	return &LinearCounter{
+		bits:    make([]uint64, (numBits+63)/64),
+		numBits: numBits,
+	}
+}
+
+// AddPID records that a row on page pid satisfied the predicate.
+func (lc *LinearCounter) AddPID(pid storage.PageID) {
+	lc.observed++
+	h := reduceRange(hash64(uint64(pid)), lc.numBits)
+	lc.bits[h/64] |= 1 << (h % 64)
+}
+
+// Observed returns the number of AddPID calls (rows fetched).
+func (lc *LinearCounter) Observed() int64 { return lc.observed }
+
+// Bits returns the bitmap size.
+func (lc *LinearCounter) Bits() uint64 { return lc.numBits }
+
+// Estimate returns the distinct page count estimate
+// m × ln(m / numzero) (step 6 of Fig 3). When every bit is set the load
+// factor was far too high for the configured bitmap; the estimate saturates
+// at m·ln(m), the counter's representable maximum.
+func (lc *LinearCounter) Estimate() float64 {
+	var ones uint64
+	for _, w := range lc.bits {
+		ones += uint64(bits.OnesCount64(w))
+	}
+	numzero := lc.numBits - ones
+	m := float64(lc.numBits)
+	if numzero == 0 {
+		return m * math.Log(m)
+	}
+	return -m * math.Log(float64(numzero)/m)
+}
+
+// EstimateInt returns the estimate rounded to the nearest page count.
+func (lc *LinearCounter) EstimateInt() int64 {
+	return int64(math.Round(lc.Estimate()))
+}
+
+// String summarizes the counter state.
+func (lc *LinearCounter) String() string {
+	return fmt.Sprintf("LinearCounter{bits=%d observed=%d est=%.1f}", lc.numBits, lc.observed, lc.Estimate())
+}

@@ -1,0 +1,368 @@
+// Package datagen generates the evaluation databases: the synthetic
+// T(C1..C5, padding) table of §V-B.1 with controlled column↔clustering
+// correlation, and scaled-down analogs of the paper's five real-world
+// databases (Table I). Scaling preserves what DPC behaviour depends on —
+// rows per page and the on-disk clustering of each queried column — so the
+// experiments reproduce the paper's shapes at laptop scale.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pagefeedback"
+)
+
+// QueryCol describes one column workloads generate predicates on.
+type QueryCol struct {
+	Name string
+	// Lo, Hi bound the value domain (ints/dates).
+	Lo, Hi int64
+	// Date marks date-typed columns.
+	Date bool
+	// Disorder is the window (in rows) within which the column's values
+	// are shuffled relative to the clustering order: 0 = perfectly
+	// correlated, >= table rows = uncorrelated.
+	Disorder int
+}
+
+// Dataset describes one generated database.
+type Dataset struct {
+	Name      string
+	Table     string
+	Rows      int
+	QueryCols []QueryCol
+}
+
+// permWithDisorder returns a permutation of 0..n-1 where element i's value
+// stays within roughly `window` positions of i: window 0 is the identity,
+// window >= n a uniform shuffle. The construction sorts positions by
+// i + U(0, window) and assigns ranks, matching the paper's "different
+// permutations ... intended to capture different on-disk correlations".
+func permWithDisorder(n, window int, rng *rand.Rand) []int {
+	if window <= 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if window >= n {
+		return rng.Perm(n)
+	}
+	type kv struct {
+		pos int
+		key float64
+	}
+	keys := make([]kv, n)
+	for i := range keys {
+		keys[i] = kv{pos: i, key: float64(i) + rng.Float64()*float64(window)}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].key < keys[b].key })
+	out := make([]int, n)
+	for rank, k := range keys {
+		out[k.pos] = rank
+	}
+	return out
+}
+
+// BuildSynthetic creates the synthetic table T of §V-B.1 (scaled to n rows)
+// plus the join copy T1 clustered on C1: C2 equals C1 (fully correlated),
+// C5 is a random permutation (uncorrelated), C3 and C4 sit in between.
+// Indexes: clustered on C1; non-clustered on C2..C5 of T; T1 needs none
+// beyond its clustered key. padding brings rows to ~100 bytes.
+func BuildSynthetic(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	schema := pagefeedback.NewSchema(
+		pagefeedback.Column{Name: "c1", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "c2", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "c3", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "c4", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "c5", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "padding", Kind: pagefeedback.KindString},
+	)
+	// Shuffle windows chosen so the columns span the paper's spectrum at
+	// simulator scale: c2 exact, c3 and c4 progressively looser (both still
+	// winning index plans at low selectivities, like Fig 6's C3/C4), c5
+	// fully independent.
+	disorder := map[string]int{
+		"c2": 0,
+		"c3": n / 200,
+		"c4": n / 40,
+		"c5": n,
+	}
+	pad := strings.Repeat("x", 52) // ~100-byte rows like the paper's
+	// T and T1 share the schema and the per-column correlation character,
+	// but draw INDEPENDENT permutations. (With identical permutations every
+	// T1.Ci = T.Ci join would degenerate to the identity join on row
+	// position, making the fetched pages contiguous regardless of Ci —
+	// varying Ci could then never vary the page count as §V-B.1 intends.)
+	for ti, tn := range []string{"t", "t1"} {
+		trng := rand.New(rand.NewSource(seed + int64(ti)*7919))
+		c3 := permWithDisorder(n, disorder["c3"], trng)
+		c4 := permWithDisorder(n, disorder["c4"], trng)
+		c5 := permWithDisorder(n, disorder["c5"], trng)
+		rows := make([]pagefeedback.Row, n)
+		for i := 0; i < n; i++ {
+			rows[i] = pagefeedback.Row{
+				pagefeedback.Int64(int64(i)),
+				pagefeedback.Int64(int64(i)),
+				pagefeedback.Int64(int64(c3[i])),
+				pagefeedback.Int64(int64(c4[i])),
+				pagefeedback.Int64(int64(c5[i])),
+				pagefeedback.Str(pad),
+			}
+		}
+		if _, err := eng.CreateClusteredTable(tn, schema, []string{"c1"}); err != nil {
+			return nil, err
+		}
+		if err := eng.Load(tn, rows); err != nil {
+			return nil, err
+		}
+	}
+	for _, col := range []string{"c2", "c3", "c4", "c5"} {
+		if _, err := eng.CreateIndex("ix_t_"+col, "t", col); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Analyze("t", "t1"); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: "Synthetic", Table: "t", Rows: n}
+	for _, col := range []string{"c2", "c3", "c4", "c5"} {
+		ds.QueryCols = append(ds.QueryCols, QueryCol{
+			Name: col, Lo: 0, Hi: int64(n - 1), Disorder: disorder[col],
+		})
+	}
+	return ds, nil
+}
+
+// realTable describes one scaled real-world-like table to generate.
+type realTable struct {
+	name        string
+	rows        int
+	padBytes    int // padding to reach the paper's rows/page
+	seed        int64
+	cols        []genCol
+	clusterCol  string
+	datasetName string
+}
+
+// genCol is one generated column.
+type genCol struct {
+	name     string
+	date     bool
+	domain   int64 // number of distinct values (0 = dense unique)
+	disorder int   // shuffle window vs clustering order
+	zipf     bool  // zipfian value frequencies (TPC-H Z=1)
+	query    bool  // include in workload query columns
+}
+
+func buildReal(eng *pagefeedback.Engine, rt realTable) (*Dataset, error) {
+	rng := rand.New(rand.NewSource(rt.seed))
+	cols := []pagefeedback.Column{{Name: "id", Kind: pagefeedback.KindInt}}
+	for _, c := range rt.cols {
+		kind := pagefeedback.KindInt
+		if c.date {
+			kind = pagefeedback.KindDate
+		}
+		cols = append(cols, pagefeedback.Column{Name: c.name, Kind: kind})
+	}
+	cols = append(cols, pagefeedback.Column{Name: "padding", Kind: pagefeedback.KindString})
+	schema := pagefeedback.NewSchema(cols...)
+	if _, err := eng.CreateClusteredTable(rt.name, schema, []string{"id"}); err != nil {
+		return nil, err
+	}
+
+	n := rt.rows
+	// Per-column value sequences.
+	vals := make([][]int64, len(rt.cols))
+	for ci, c := range rt.cols {
+		perm := permWithDisorder(n, c.disorder, rng)
+		v := make([]int64, n)
+		domain := c.domain
+		if domain <= 0 {
+			domain = int64(n)
+		}
+		var zipf *rand.Zipf
+		if c.zipf {
+			zipf = rand.NewZipf(rng, 1.1, 1, uint64(domain-1))
+		}
+		for i := 0; i < n; i++ {
+			base := int64(perm[i])
+			var val int64
+			if zipf != nil {
+				// Zipfian frequency, position still follows the permuted
+				// order so clustering character is preserved.
+				val = base*domain/int64(n) + int64(zipf.Uint64())%3
+				if val >= domain {
+					val = domain - 1
+				}
+			} else {
+				val = base * domain / int64(n)
+			}
+			if c.date {
+				val += 13000 // days offset: dates start 2005-08-04
+			}
+			v[i] = val
+		}
+		vals[ci] = v
+	}
+
+	pad := strings.Repeat("r", rt.padBytes)
+	rows := make([]pagefeedback.Row, n)
+	for i := 0; i < n; i++ {
+		row := make(pagefeedback.Row, 0, len(rt.cols)+2)
+		row = append(row, pagefeedback.Int64(int64(i)))
+		for ci, c := range rt.cols {
+			if c.date {
+				row = append(row, pagefeedback.Date(vals[ci][i]))
+			} else {
+				row = append(row, pagefeedback.Int64(vals[ci][i]))
+			}
+		}
+		row = append(row, pagefeedback.Str(pad))
+		rows[i] = row
+	}
+	if err := eng.Load(rt.name, rows); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Name: rt.datasetName, Table: rt.name, Rows: n}
+	for ci, c := range rt.cols {
+		if _, err := eng.CreateIndex(fmt.Sprintf("ix_%s_%s", rt.name, c.name), rt.name, c.name); err != nil {
+			return nil, err
+		}
+		if !c.query {
+			continue
+		}
+		lo, hi := vals[ci][0], vals[ci][0]
+		for _, v := range vals[ci] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		ds.QueryCols = append(ds.QueryCols, QueryCol{
+			Name: c.name, Lo: lo, Hi: hi, Date: c.date, Disorder: c.disorder,
+		})
+	}
+	if err := eng.Analyze(rt.name); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// The five real-world-like databases of Table I, scaled ~1:100 with rows/
+// page preserved via padding. Disorder windows are chosen to spread the
+// clustering ratio the way Fig 10 reports (mean ~0.56, wide deviation).
+
+// BuildBookRetailer builds the book-retailer orders table (Table I row 1:
+// 27 rows/page). Order date tracks the load order tightly; customer and
+// title are scattered.
+func BuildBookRetailer(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	return buildReal(eng, realTable{
+		name: "orders", datasetName: "Book Retailer", rows: n, padBytes: 220, seed: seed,
+		cols: []genCol{
+			{name: "orderdate", date: true, domain: 730, disorder: n / 200, query: true},
+			{name: "customerid", domain: int64(n / 20), disorder: n, query: true},
+			{name: "titleid", domain: int64(n / 50), disorder: n, query: true},
+			{name: "storeid", domain: 40, disorder: n / 10, query: true},
+		},
+	})
+}
+
+// BuildYellowPages builds the yellow-pages listings table (39 rows/page).
+// Listings load roughly alphabetically, so category correlates loosely;
+// zip is regional (moderate clustering).
+func BuildYellowPages(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	return buildReal(eng, realTable{
+		name: "listings", datasetName: "Yellow Pages", rows: n, padBytes: 140, seed: seed,
+		cols: []genCol{
+			{name: "category", domain: 200, disorder: n / 20, query: true},
+			{name: "zip", domain: 500, disorder: n / 4, query: true},
+			{name: "founded", date: true, domain: 3650, disorder: n, query: true},
+		},
+	})
+}
+
+// BuildTPCH builds a lineitem-like table (54 rows/page, zipf Z=1 values on
+// the quantity-like column). The three date columns correlate with the
+// orderkey clustering at slightly different tightness, as TPC-H's
+// generation rules imply.
+func BuildTPCH(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	// Date domains are compressed relative to TPC-H's 7-year span so that
+	// rows-per-date — the quantity equality selectivity depends on — stays
+	// at the paper's order of magnitude under the 1:100 row scaling.
+	return buildReal(eng, realTable{
+		name: "lineitem", datasetName: "TPC-H", rows: n, padBytes: 80, seed: seed,
+		cols: []genCol{
+			{name: "shipdate", date: true, domain: 365, disorder: n / 100, query: true},
+			{name: "commitdate", date: true, domain: 340, disorder: n / 80, query: true},
+			{name: "receiptdate", date: true, domain: 380, disorder: n / 100, query: true},
+			{name: "partkey", domain: int64(n / 4), disorder: n, query: true},
+			{name: "quantity", domain: 50, disorder: n, zipf: true, query: false},
+		},
+	})
+}
+
+// BuildVoter builds the voter-registration table (46 rows/page).
+// Registration date tracks the load order; precinct is regional.
+func BuildVoter(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	return buildReal(eng, realTable{
+		name: "voters", datasetName: "Voter Data", rows: n, padBytes: 110, seed: seed,
+		cols: []genCol{
+			{name: "regdate", date: true, domain: 250, disorder: n / 400, query: true},
+			{name: "precinct", domain: 300, disorder: n / 60, query: true},
+			{name: "birthyear", domain: 80, disorder: n, query: true},
+		},
+	})
+}
+
+// BuildProducts builds the products table (9 rows/page: wide rows).
+// Products arrive by vendor batches, so vendor correlates strongly;
+// category moderately; listdate weakly.
+func BuildProducts(eng *pagefeedback.Engine, n int, seed int64) (*Dataset, error) {
+	return buildReal(eng, realTable{
+		name: "products", datasetName: "Products", rows: n, padBytes: 820, seed: seed,
+		cols: []genCol{
+			{name: "vendorid", domain: 150, disorder: n / 100, query: true},
+			{name: "category", domain: 60, disorder: n / 8, query: true},
+			{name: "listdate", date: true, domain: 1825, disorder: n / 2, query: true},
+		},
+	})
+}
+
+// BuildAllReal builds the five real-world-like databases into one engine,
+// with row counts scaled by the given factor relative to the paper's
+// (factor 1.0 = 1:100 of Table I).
+func BuildAllReal(eng *pagefeedback.Engine, factor float64, seed int64) ([]*Dataset, error) {
+	scale := func(paperMillions float64) int {
+		n := int(paperMillions * 1e6 / 100 * factor)
+		if n < 2000 {
+			n = 2000
+		}
+		return n
+	}
+	builders := []struct {
+		f    func(*pagefeedback.Engine, int, int64) (*Dataset, error)
+		rows int
+	}{
+		{BuildBookRetailer, scale(10.8)},
+		{BuildYellowPages, scale(1)},
+		{BuildTPCH, scale(60)},
+		{BuildVoter, scale(4)},
+		{BuildProducts, scale(0.56)},
+	}
+	var out []*Dataset
+	for i, b := range builders {
+		ds, err := b.f(eng, b.rows, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package datagen
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pagefeedback"
+)
+
+func newEng() *pagefeedback.Engine {
+	cfg := pagefeedback.DefaultConfig()
+	cfg.PoolPages = 4096
+	return pagefeedback.New(cfg)
+}
+
+func TestPermWithDisorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	id := permWithDisorder(100, 0, rng)
+	for i, v := range id {
+		if v != i {
+			t.Fatal("window 0 is not the identity")
+		}
+	}
+	for _, w := range []int{10, 50, 100, 1000} {
+		p := permWithDisorder(100, w, rng)
+		seen := make([]bool, 100)
+		maxDisp := 0
+		for i, v := range p {
+			if v < 0 || v >= 100 || seen[v] {
+				t.Fatalf("window %d: not a permutation", w)
+			}
+			seen[v] = true
+			d := i - v
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDisp {
+				maxDisp = d
+			}
+		}
+		if w < 100 && maxDisp > w+5 {
+			t.Errorf("window %d: displacement %d exceeds window", w, maxDisp)
+		}
+	}
+}
+
+func TestBuildSynthetic(t *testing.T) {
+	eng := newEng()
+	ds, err := BuildSynthetic(eng, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.QueryCols) != 4 {
+		t.Fatalf("QueryCols = %v", ds.QueryCols)
+	}
+	tab, ok := eng.Catalog().Table("t")
+	if !ok {
+		t.Fatal("table t missing")
+	}
+	if tab.NumRows() != 5000 {
+		t.Errorf("rows = %d", tab.NumRows())
+	}
+	if len(tab.Indexes()) != 4 {
+		t.Errorf("indexes = %d", len(tab.Indexes()))
+	}
+	// ~100-byte rows -> ~70-80 rows/page like the paper's synthetic table.
+	rpp := float64(tab.NumRows()) / float64(tab.NumPages())
+	if rpp < 55 || rpp > 95 {
+		t.Errorf("rows/page = %.1f, want ~80", rpp)
+	}
+	// c2 correlates: the count via SQL returns the right answer.
+	res, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 500 {
+		t.Errorf("count = %d", res.Rows[0][0].Int)
+	}
+	// t1 is a join copy.
+	if _, ok := eng.Catalog().Table("t1"); !ok {
+		t.Error("t1 missing")
+	}
+}
+
+func TestBuildRealWorldRowsPerPage(t *testing.T) {
+	// Each database must land near its Table I rows/page.
+	cases := []struct {
+		build func(*pagefeedback.Engine, int, int64) (*Dataset, error)
+		table string
+		want  float64 // Table I "Avg. Rows Per Page"
+		tol   float64
+	}{
+		{BuildBookRetailer, "orders", 27, 8},
+		{BuildYellowPages, "listings", 39, 12},
+		{BuildTPCH, "lineitem", 54, 16},
+		{BuildVoter, "voters", 46, 14},
+		{BuildProducts, "products", 9, 3},
+	}
+	for _, c := range cases {
+		eng := newEng()
+		ds, err := c.build(eng, 4000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", c.table, err)
+		}
+		tab, _ := eng.Catalog().Table(c.table)
+		rpp := float64(tab.NumRows()) / float64(tab.NumPages())
+		if rpp < c.want-c.tol || rpp > c.want+c.tol {
+			t.Errorf("%s: rows/page = %.1f, want %v±%v", c.table, rpp, c.want, c.tol)
+		}
+		if len(ds.QueryCols) == 0 {
+			t.Errorf("%s: no query columns", c.table)
+		}
+		// Every query column got an index and is queryable.
+		for _, qc := range ds.QueryCols {
+			res, err := eng.Query(
+				"SELECT COUNT(padding) FROM "+c.table+" WHERE "+qc.Name+" = "+itoa(qc.Lo), nil)
+			if err != nil {
+				t.Fatalf("%s.%s: %v", c.table, qc.Name, err)
+			}
+			_ = res
+		}
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestBuildAllReal(t *testing.T) {
+	eng := newEng()
+	dss, err := BuildAllReal(eng, 0.05, 3) // tiny scale for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dss) != 5 {
+		t.Fatalf("built %d datasets", len(dss))
+	}
+	names := map[string]bool{}
+	for _, ds := range dss {
+		names[ds.Name] = true
+	}
+	for _, want := range []string{"Book Retailer", "Yellow Pages", "TPC-H", "Voter Data", "Products"} {
+		if !names[want] {
+			t.Errorf("missing dataset %q", want)
+		}
+	}
+}
+
+func TestSingleTableQueries(t *testing.T) {
+	ds := &Dataset{Table: "t", Rows: 10000, QueryCols: []QueryCol{
+		{Name: "c2", Lo: 0, Hi: 9999}, {Name: "c5", Lo: 0, Hi: 9999},
+	}}
+	qs := SingleTableQueries(ds, 25, 0.01, 0.10, 1)
+	if len(qs) != 50 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if !strings.HasPrefix(q.SQL, "SELECT COUNT(padding) FROM t WHERE") {
+			t.Fatalf("query %d: %s", i, q.SQL)
+		}
+		if q.Selectivity < 0.01 || q.Selectivity > 0.10 {
+			t.Errorf("query %d selectivity %v", i, q.Selectivity)
+		}
+	}
+	// Grouped by column: first 25 on c2.
+	for i := 0; i < 25; i++ {
+		if qs[i].Col != "c2" {
+			t.Fatal("queries not grouped by column")
+		}
+	}
+}
+
+func TestJoinQueries(t *testing.T) {
+	ds := &Dataset{Table: "t", Rows: 10000, QueryCols: []QueryCol{
+		{Name: "c2", Lo: 0, Hi: 9999},
+	}}
+	qs := JoinQueries(ds, 10, 0.005, 0.07, 2)
+	if len(qs) != 10 {
+		t.Fatal("count")
+	}
+	for _, q := range qs {
+		if !strings.Contains(q.SQL, "t1.c2 = t.c2") || !strings.Contains(q.SQL, "t1.c1 <") {
+			t.Errorf("join SQL: %s", q.SQL)
+		}
+	}
+}
+
+func TestMultiPredicateQuery(t *testing.T) {
+	ds := &Dataset{Table: "t", Rows: 10000}
+	q := MultiPredicateQuery(ds, 3, 0.5)
+	if !strings.Contains(q.SQL, "c2 <") || !strings.Contains(q.SQL, "c3 <") || !strings.Contains(q.SQL, "c4 <") {
+		t.Errorf("SQL = %s", q.SQL)
+	}
+	if strings.Contains(q.SQL, "c5") {
+		t.Errorf("k=3 included c5: %s", q.SQL)
+	}
+}
+
+func TestEqualityQueries(t *testing.T) {
+	ds := &Dataset{Table: "orders", Rows: 1000, QueryCols: []QueryCol{
+		{Name: "storeid", Lo: 0, Hi: 39},
+	}}
+	qs := EqualityQueries(ds, 5, 4)
+	if len(qs) != 5 {
+		t.Fatal("count")
+	}
+	for _, q := range qs {
+		if !strings.Contains(q.SQL, "storeid =") {
+			t.Errorf("SQL = %s", q.SQL)
+		}
+	}
+}

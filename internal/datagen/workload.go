@@ -1,0 +1,112 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is one generated workload query with its provenance.
+type Query struct {
+	SQL string
+	// Col is the predicate column; Selectivity the intended fraction.
+	Col         string
+	Selectivity float64
+}
+
+// SingleTableQueries generates the Fig 6/7 workload: per query column,
+// `perCol` queries of the form
+//
+//	SELECT COUNT(padding) FROM <t> WHERE <col> < <val>
+//
+// with selectivities drawn uniformly from [selLo, selHi] (the paper uses
+// 1%..10%; above ~10% the scan is optimal regardless). Queries are grouped
+// by column in QueryCols order, matching the figure's x-axis.
+func SingleTableQueries(ds *Dataset, perCol int, selLo, selHi float64, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Query
+	for _, qc := range ds.QueryCols {
+		for i := 0; i < perCol; i++ {
+			sel := selLo + rng.Float64()*(selHi-selLo)
+			val := qc.Lo + int64(float64(qc.Hi-qc.Lo+1)*sel)
+			out = append(out, Query{
+				SQL: fmt.Sprintf("SELECT COUNT(padding) FROM %s WHERE %s < %d",
+					ds.Table, qc.Name, val),
+				Col:         qc.Name,
+				Selectivity: sel,
+			})
+		}
+	}
+	return out
+}
+
+// JoinQueries generates the Fig 8 workload:
+//
+//	SELECT COUNT(t.padding) FROM t, t1 WHERE t1.c1 < <val> AND t1.<ci> = t.<ci>
+//
+// cycling ci over the synthetic correlation columns, with outer
+// selectivities below the Hash/INL crossover (the paper found ~7%).
+func JoinQueries(ds *Dataset, count int, selLo, selHi float64, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Query, 0, count)
+	for i := 0; i < count; i++ {
+		qc := ds.QueryCols[i%len(ds.QueryCols)]
+		sel := selLo + rng.Float64()*(selHi-selLo)
+		val := int64(float64(ds.Rows) * sel)
+		out = append(out, Query{
+			SQL: fmt.Sprintf(
+				"SELECT COUNT(t.padding) FROM t, t1 WHERE t1.c1 < %d AND t1.%s = t.%s",
+				val, qc.Name, qc.Name),
+			Col:         qc.Name,
+			Selectivity: sel,
+		})
+	}
+	return out
+}
+
+// EqualityQueries generates the Fig 10/11 real-database workload:
+//
+//	SELECT COUNT(padding) FROM <t> WHERE <col> = <val>
+//
+// picking values uniformly from each query column's domain; queries whose
+// selectivity exceeds maxSel are the caller's to filter (the paper keeps
+// selectivity < 10%).
+func EqualityQueries(ds *Dataset, perCol int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Query
+	for _, qc := range ds.QueryCols {
+		domain := qc.Hi - qc.Lo + 1
+		for i := 0; i < perCol; i++ {
+			val := qc.Lo + rng.Int63n(domain)
+			out = append(out, Query{
+				SQL: fmt.Sprintf("SELECT COUNT(padding) FROM %s WHERE %s = %d",
+					ds.Table, qc.Name, val),
+				Col:         qc.Name,
+				Selectivity: 1 / float64(domain),
+			})
+		}
+	}
+	return out
+}
+
+// MultiPredicateQuery generates the Fig 9 workload: k conjuncts on the
+// synthetic table's non-clustering columns, ordered so that only the first
+// is a prefix — obtaining the page counts of the rest requires
+// short-circuiting to be off. Beyond four conjuncts, lower bounds on the
+// same columns are added (the clustering column is avoided so the plan
+// stays a full scan).
+func MultiPredicateQuery(ds *Dataset, k int, sel float64) Query {
+	cols := []string{"c2", "c3", "c4", "c5"}
+	val := int64(float64(ds.Rows) * sel)
+	sql := fmt.Sprintf("SELECT COUNT(padding) FROM %s WHERE %s < %d", ds.Table, cols[0], val)
+	last := cols[0]
+	for i := 1; i < k; i++ {
+		if i < len(cols) {
+			last = cols[i]
+			sql += fmt.Sprintf(" AND %s < %d", last, val)
+		} else {
+			last = cols[i-len(cols)]
+			sql += fmt.Sprintf(" AND %s >= %d", last, i-len(cols)+1)
+		}
+	}
+	return Query{SQL: sql, Col: last, Selectivity: sel}
+}

@@ -1,0 +1,511 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/plan"
+	"pagefeedback/internal/tuple"
+)
+
+// Execution is a built operator tree plus its attached DPC monitors.
+type Execution struct {
+	Ctx  *Context
+	Root Operator
+
+	cfg       *MonitorConfig
+	scanMons  []*scanMonitor
+	seekMons  []*seekMonitor
+	unsat     []DPCResult
+	satisfied map[int]bool // request index -> satisfied
+	seedCtr   int64
+}
+
+// Build instantiates the plan as an operator tree and attaches monitors per
+// the §II-B rules: what can be observed depends on what the current plan
+// executes. cfg may be nil (no monitoring).
+func Build(ctx *Context, root plan.Node, cfg *MonitorConfig) (*Execution, error) {
+	e := &Execution{Ctx: ctx, cfg: cfg, satisfied: map[int]bool{}}
+	op, err := e.build(root)
+	if err != nil {
+		return nil, err
+	}
+	e.Root = op
+	if cfg != nil {
+		for i, req := range cfg.Requests {
+			if !e.satisfied[i] {
+				e.unsat = append(e.unsat, DPCResult{
+					Request:   req,
+					Mechanism: MechUnsatisfiable,
+					Reason:    "the current plan does not evaluate this expression where page ids are visible (§II-B)",
+				})
+			}
+		}
+	}
+	return e, nil
+}
+
+func (e *Execution) nextSeed() int64 {
+	e.seedCtr++
+	if e.cfg != nil {
+		return e.cfg.Seed*1000 + e.seedCtr
+	}
+	return e.seedCtr
+}
+
+func (e *Execution) build(n plan.Node) (Operator, error) {
+	switch node := n.(type) {
+	case *plan.Scan:
+		return e.buildScan(node)
+	case *plan.CoveringScan:
+		op := NewCoveringScan(e.Ctx, node.Index, node.Pred, node.Schem)
+		e.setEst(op, n)
+		return op, nil
+	case *plan.Seek:
+		return e.buildSeek(node)
+	case *plan.Intersect:
+		return e.buildIntersect(node)
+	case *plan.Join:
+		return e.buildJoin(node)
+	case *plan.Sort:
+		in, err := e.build(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		ords, err := resolveAll(in.Schema(), node.Cols)
+		if err != nil {
+			return nil, err
+		}
+		op := NewSort(e.Ctx, in, ords)
+		op.SetDesc(node.Desc)
+		e.setEst(op, n)
+		op.Stats().Children = []*OpStats{in.Stats()}
+		return op, nil
+	case *plan.Project:
+		in, err := e.build(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		ords, err := resolveAll(in.Schema(), node.Cols)
+		if err != nil {
+			return nil, err
+		}
+		op := NewProject(e.Ctx, in, ords, node.Schem)
+		e.setEst(op, n)
+		op.Stats().Children = []*OpStats{in.Stats()}
+		return op, nil
+	case *plan.Limit:
+		in, err := e.build(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		op, err := NewLimit(in, node.N)
+		if err != nil {
+			return nil, err
+		}
+		e.setEst(op, n)
+		op.Stats().Children = []*OpStats{in.Stats()}
+		return op, nil
+	case *plan.GroupAgg:
+		in, err := e.build(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		gord, err := plan.ResolveColumn(in.Schema(), node.GroupCol)
+		if err != nil {
+			return nil, err
+		}
+		aord := -1
+		if node.AggCol != "" {
+			aord, err = plan.ResolveColumn(in.Schema(), node.AggCol)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var fn string
+		switch node.Func {
+		case plan.CountAgg:
+			fn = "count"
+		case plan.SumAgg:
+			fn = "sum"
+		case plan.MinAgg:
+			fn = "min"
+		case plan.MaxAgg:
+			fn = "max"
+		}
+		op, err := NewGroupAgg(e.Ctx, in, gord, fn, aord, node.Schem)
+		if err != nil {
+			return nil, err
+		}
+		e.setEst(op, n)
+		op.Stats().Children = []*OpStats{in.Stats()}
+		return op, nil
+	case *plan.Agg:
+		in, err := e.build(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		ord := -1
+		if node.Col != "" {
+			o, err := plan.ResolveColumn(in.Schema(), node.Col)
+			if err != nil {
+				return nil, err
+			}
+			ord = o
+		}
+		var fn string
+		switch node.Func {
+		case plan.CountAgg:
+			fn = "count"
+		case plan.SumAgg:
+			fn = "sum"
+		case plan.MinAgg:
+			fn = "min"
+		case plan.MaxAgg:
+			fn = "max"
+		}
+		op, err := NewAgg(e.Ctx, in, fn, ord, node.Schem)
+		if err != nil {
+			return nil, err
+		}
+		e.setEst(op, n)
+		op.Stats().Children = []*OpStats{in.Stats()}
+		return op, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+func (e *Execution) setEst(op Operator, n plan.Node) {
+	st := op.Stats()
+	est := n.Est()
+	st.EstRows = est.Rows
+	st.EstDPC = est.DPC
+}
+
+func (e *Execution) buildScan(node *plan.Scan) (Operator, error) {
+	var op *SEScan
+	if node.ClusterRange != nil {
+		op = NewSEClusterRangeScan(e.Ctx, node.Tab, node.Pred, node.ClusterRange)
+	} else {
+		op = NewSEScan(e.Ctx, node.Tab, node.Pred)
+	}
+	e.setEst(op, node)
+	if e.cfg == nil {
+		return op, nil
+	}
+	for i, req := range e.cfg.Requests {
+		if e.satisfied[i] || req.Join || !sameTable(req.Table, node.Tab.Name) {
+			continue
+		}
+		bound, err := req.Pred.Bind(node.Tab.Schema)
+		if err != nil {
+			e.unsat = append(e.unsat, DPCResult{Request: req, Mechanism: MechUnsatisfiable, Reason: err.Error()})
+			e.satisfied[i] = true
+			continue
+		}
+		if node.ClusterRange != nil {
+			// A range scan only sees pages inside the range: the sole
+			// observable DPC is that of the plan's own full predicate
+			// (rows satisfying it cannot exist outside the range).
+			if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
+				continue
+			}
+			m := &scanMonitor{req: req, kind: monExactPrefix,
+				prefixLen: len(node.Pred.Atoms), gc: core.NewGroupedCounter()}
+			op.attach(m)
+			e.scanMons = append(e.scanMons, m)
+			e.satisfied[i] = true
+			continue
+		}
+		m := &scanMonitor{req: req}
+		if req.Pred.IsPrefixOf(node.Pred) {
+			// A prefix of the scan predicate: its truth value falls out of
+			// short-circuited evaluation — exact counting at no extra cost.
+			m.kind = monExactPrefix
+			m.prefixLen = len(req.Pred.Atoms)
+			m.gc = core.NewGroupedCounter()
+		} else {
+			// Not a prefix: evaluating it needs short-circuiting turned
+			// off, so bound the cost with page sampling (Fig 4).
+			m.kind = monSampled
+			m.pred = bound
+			m.dps = core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed())
+		}
+		op.attach(m)
+		e.scanMons = append(e.scanMons, m)
+		e.satisfied[i] = true
+	}
+	return op, nil
+}
+
+func (e *Execution) newSeekMonitor(req DPCRequest, tab *catalog.Table, mech string) *seekMonitor {
+	bits := e.cfg.LinearBits
+	if bits == 0 {
+		bits = core.DefaultLinearCounterBits(tab.NumPages())
+	}
+	m := &seekMonitor{req: req, mech: mech, lc: core.NewLinearCounter(bits)}
+	if e.cfg.CompareSamplingEstimator {
+		size := e.cfg.ReservoirSize
+		if size <= 0 {
+			size = 1024
+		}
+		m.sd = core.NewSampleDistinct(size, e.nextSeed())
+	}
+	e.seekMons = append(e.seekMons, m)
+	return m
+}
+
+func (e *Execution) buildSeek(node *plan.Seek) (Operator, error) {
+	op := NewIndexSeek(e.Ctx, node.Tab, node.Index, node.Ranges, node.Pred)
+	e.setEst(op, node)
+	if e.cfg == nil {
+		return op, nil
+	}
+	for i, req := range e.cfg.Requests {
+		if e.satisfied[i] || req.Join || !sameTable(req.Table, node.Tab.Name) {
+			continue
+		}
+		// An index plan only reveals the DPC of its own full predicate
+		// (§II-B): other predicates are never evaluated on all candidate
+		// pages here.
+		if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
+			continue
+		}
+		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
+		e.satisfied[i] = true
+	}
+	return op, nil
+}
+
+func (e *Execution) buildIntersect(node *plan.Intersect) (Operator, error) {
+	op := NewIndexIntersect(e.Ctx, node.Tab, node.IndexA, node.RangesA, node.IndexB, node.RangesB, node.Pred)
+	e.setEst(op, node)
+	if e.cfg == nil {
+		return op, nil
+	}
+	for i, req := range e.cfg.Requests {
+		if e.satisfied[i] || req.Join || !sameTable(req.Table, node.Tab.Name) {
+			continue
+		}
+		if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
+			continue
+		}
+		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
+		e.satisfied[i] = true
+	}
+	return op, nil
+}
+
+func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
+	if node.Method == plan.INLJoin {
+		return e.buildINL(node)
+	}
+	outer, err := e.build(node.Outer)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := e.build(node.Inner)
+	if err != nil {
+		return nil, err
+	}
+	outerOrd, err := plan.ResolveColumn(outer.Schema(), node.OuterCol)
+	if err != nil {
+		return nil, err
+	}
+	innerOrd, err := plan.ResolveColumn(inner.Schema(), node.InnerCol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Optional explicit sorts for merge join.
+	if node.Method == plan.MergeJoin {
+		if node.SortOuter {
+			outer = NewSort(e.Ctx, outer, []int{outerOrd})
+		}
+		if node.SortInner {
+			inner = NewSort(e.Ctx, inner, []int{innerOrd})
+		}
+	}
+
+	// Join DPC monitoring: the inner side must bottom out in an SE scan of
+	// the requested table (Fig 5's probe-side Table Scan). For a merge
+	// join, the filter must also be complete — or correctly partial — by
+	// the time the inner scan streams: a blocking Sort on the inner only
+	// (with a lazily consumed outer) drains the scan before any outer
+	// value enters the filter, so that shape cannot be monitored (§IV
+	// covers the other three shapes).
+	innerScan := findSEScan(inner)
+	_, innerBlocked := inner.(*SortOp)
+	_, outerBlocking := outer.(*SortOp)
+	if node.Method == plan.MergeJoin && innerBlocked && !outerBlocking {
+		innerScan = nil
+	}
+	var filter *core.BitVectorFilter
+	if e.cfg != nil && innerScan != nil {
+		for i, req := range e.cfg.Requests {
+			if e.satisfied[i] || !req.Join || !sameTable(req.Table, innerScan.Table().Name) {
+				continue
+			}
+			joinOrd, ok := innerScan.Table().Schema.Ordinal(node.InnerCol)
+			if !ok {
+				continue
+			}
+			filter = core.NewBitVectorFilter(e.bitvectorBits(innerScan))
+			m := &scanMonitor{
+				req: req, kind: monJoinFilter,
+				filter: filter, joinColOrd: joinOrd,
+				dps: core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed()),
+			}
+			innerScan.attach(m)
+			e.scanMons = append(e.scanMons, m)
+			e.satisfied[i] = true
+			break
+		}
+	}
+
+	var op Operator
+	switch node.Method {
+	case plan.HashJoin:
+		hj := NewHashJoin(e.Ctx, outer, inner, outerOrd, innerOrd, node.Schem)
+		if filter != nil {
+			hj.SetFilter(filter) // build phase fills it (Fig 5)
+		}
+		op = hj
+	case plan.MergeJoin:
+		mj := NewMergeJoin(e.Ctx, outer, inner, outerOrd, innerOrd, node.Schem)
+		if filter != nil {
+			if so, ok := outer.(*SortOp); ok {
+				// Blocking sort: the filter is complete before the inner
+				// scan produces its first row.
+				so.SetFilter(filter, outerOrd)
+			} else {
+				// Partial bit-vector filter, filled as the merge consumes
+				// outer rows; late matches flow back to the scan.
+				mj.SetFilter(filter, innerScan)
+			}
+		}
+		op = mj
+	default:
+		return nil, fmt.Errorf("exec: unsupported join method %v", node.Method)
+	}
+	e.setEst(op, node)
+	op.Stats().Children = []*OpStats{outer.Stats(), inner.Stats()}
+	return op, nil
+}
+
+// bitvectorBits sizes a join filter: the configured width, or 2 bits per
+// inner-table row. Because integer values bucket by value mod width, a
+// width at least the join column's domain makes the filter injective on
+// dense domains (the §IV exactness condition); 2 bits/row is ~0.25% of a
+// 100-byte-row table, within the paper's "less than 1% of the table size".
+func (e *Execution) bitvectorBits(innerScan *SEScan) uint64 {
+	if e.cfg.BitVectorBits > 0 {
+		return e.cfg.BitVectorBits
+	}
+	n := uint64(innerScan.Table().NumRows()) * 2
+	if n < 4096 {
+		n = 4096
+	}
+	return n
+}
+
+func (e *Execution) buildINL(node *plan.Join) (Operator, error) {
+	outer, err := e.build(node.Outer)
+	if err != nil {
+		return nil, err
+	}
+	outerOrd, err := plan.ResolveColumn(outer.Schema(), node.OuterCol)
+	if err != nil {
+		return nil, err
+	}
+	op := NewINLJoin(e.Ctx, outer, outerOrd, node.InnerTab, node.InnerIndex, node.InnerPred, node.Schem)
+	e.setEst(op, node)
+	op.Stats().Children = []*OpStats{outer.Stats()}
+	if e.cfg != nil {
+		for i, req := range e.cfg.Requests {
+			if e.satisfied[i] || !req.Join || !sameTable(req.Table, node.InnerTab.Name) {
+				continue
+			}
+			// The INL fetch stream is exactly the pages relevant to
+			// DPC(inner, join-pred): probabilistic counting applies
+			// directly (§IV).
+			op.attach(e.newSeekMonitor(req, node.InnerTab, MechINLFetch))
+			e.satisfied[i] = true
+		}
+	}
+	return op, nil
+}
+
+// findSEScan digs through RE-side wrappers to the storage-engine scan, if
+// the subtree bottoms out in one.
+func findSEScan(op Operator) *SEScan {
+	switch o := op.(type) {
+	case *SEScan:
+		return o
+	case *SortOp:
+		return findSEScan(o.input)
+	case *FilterOp:
+		return findSEScan(o.input)
+	case *ProjectOp:
+		return findSEScan(o.input)
+	case *LimitOp:
+		return findSEScan(o.input)
+	default:
+		return nil
+	}
+}
+
+func resolveAll(s *tuple.Schema, cols []string) ([]int, error) {
+	ords := make([]int, len(cols))
+	for i, c := range cols {
+		o, err := plan.ResolveColumn(s, c)
+		if err != nil {
+			return nil, err
+		}
+		ords[i] = o
+	}
+	return ords, nil
+}
+
+func sameTable(a, b string) bool { return strings.EqualFold(a, b) }
+
+// Run opens the root, drains all rows, closes, and finalizes monitors.
+// It returns the produced rows.
+func (e *Execution) Run() ([]tuple.Row, error) {
+	if err := e.Root.Open(); err != nil {
+		return nil, err
+	}
+	var rows []tuple.Row
+	for {
+		row, ok, err := e.Root.Next()
+		if err != nil {
+			e.Root.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row.Clone())
+	}
+	if err := e.Root.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// DPCResults finalizes and returns every monitor's result plus the
+// unsatisfiable requests. Call after Run.
+func (e *Execution) DPCResults() []DPCResult {
+	var out []DPCResult
+	for _, m := range e.scanMons {
+		out = append(out, m.result())
+	}
+	for _, m := range e.seekMons {
+		out = append(out, m.result())
+	}
+	out = append(out, e.unsat...)
+	return out
+}

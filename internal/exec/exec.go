@@ -1,0 +1,66 @@
+// Package exec implements the physical operators and the monitor planner.
+//
+// The package enforces the relational-engine / storage-engine split that
+// shapes the paper's design (§II-B, §V-A): scans, seeks, and fetches run
+// "inside the SE" and see page ids; joins, sorts, and aggregates run "in the
+// RE" and see only rows. The bit-vector filter of §IV crosses the boundary
+// the same way the paper's prototype does — through an explicit callback
+// object handed to the SE-side scan.
+package exec
+
+import (
+	"time"
+
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// Context carries per-execution state shared by all operators of one query.
+type Context struct {
+	// Pool is the buffer pool all storage access goes through.
+	Pool *storage.BufferPool
+	// CPUPerRow is the simulated CPU cost charged per row touched by any
+	// operator; it is added to the disk's simulated I/O time to form the
+	// query's simulated execution time.
+	CPUPerRow time.Duration
+
+	rowsTouched int64
+}
+
+// NewContext creates an execution context with the default CPU model
+// (1 µs per row touched).
+func NewContext(pool *storage.BufferPool) *Context {
+	return &Context{Pool: pool, CPUPerRow: time.Microsecond}
+}
+
+// touch charges CPU for n rows.
+func (c *Context) touch(n int64) { c.rowsTouched += n }
+
+// RowsTouched returns the total rows processed by all operators so far.
+func (c *Context) RowsTouched() int64 { return c.rowsTouched }
+
+// SimCPU returns the simulated CPU time accumulated so far.
+func (c *Context) SimCPU() time.Duration {
+	return time.Duration(c.rowsTouched) * c.CPUPerRow
+}
+
+// Operator is one physical operator instance. The protocol is
+// Open → Next* → Close; Next returns ok=false at end of stream.
+type Operator interface {
+	Open() error
+	Next() (row tuple.Row, ok bool, err error)
+	Close() error
+	Schema() *tuple.Schema
+	Stats() *OpStats
+}
+
+// OpStats pairs the optimizer's estimates with execution actuals for one
+// operator — the per-operator content of the "statistics xml" output.
+type OpStats struct {
+	Label   string
+	EstRows float64
+	EstDPC  float64
+	ActRows int64
+	// Children in plan order.
+	Children []*OpStats
+}

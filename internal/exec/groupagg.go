@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"pagefeedback/internal/tuple"
+)
+
+// GroupAggOp is a hash aggregate: one (group value, aggregate) output row
+// per distinct group value, emitted in ascending group order.
+type GroupAggOp struct {
+	ctx      *Context
+	input    Operator
+	groupOrd int
+	fn       byte // 'c','s','m','M'
+	aggOrd   int  // -1 for COUNT(*)
+	schema   *tuple.Schema
+	stats    OpStats
+
+	out []tuple.Row
+	pos int
+}
+
+type groupState struct {
+	key        tuple.Value
+	count, sum int64
+	minV, maxV tuple.Value
+	seen       bool
+}
+
+// NewGroupAgg builds the operator. fn is one of "count","sum","min","max".
+func NewGroupAgg(ctx *Context, input Operator, groupOrd int, fn string, aggOrd int, schema *tuple.Schema) (*GroupAggOp, error) {
+	var code byte
+	switch fn {
+	case "count":
+		code = 'c'
+	case "sum":
+		code = 's'
+	case "min":
+		code = 'm'
+	case "max":
+		code = 'M'
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %q", fn)
+	}
+	if code != 'c' && aggOrd < 0 {
+		return nil, fmt.Errorf("exec: %s requires a column", fn)
+	}
+	if aggOrd >= 0 && code != 'c' && input.Schema().Column(aggOrd).Kind == tuple.KindString {
+		return nil, fmt.Errorf("exec: %s over a string column is not supported", fn)
+	}
+	return &GroupAggOp{
+		ctx: ctx, input: input, groupOrd: groupOrd, fn: code, aggOrd: aggOrd,
+		schema: schema, stats: OpStats{Label: "GroupAggregate(" + fn + ")"},
+	}, nil
+}
+
+// Open implements Operator: drains the input and aggregates per group.
+func (g *GroupAggOp) Open() error {
+	if err := g.input.Open(); err != nil {
+		return err
+	}
+	groups := map[string]*groupState{}
+	for {
+		row, ok, err := g.input.Next()
+		if err != nil {
+			g.input.Close() // release pins even on a failed drain
+			return err
+		}
+		if !ok {
+			break
+		}
+		g.ctx.touch(1)
+		gv := row[g.groupOrd]
+		key := string(tuple.EncodeKey(gv))
+		st := groups[key]
+		if st == nil {
+			st = &groupState{key: gv}
+			groups[key] = st
+		}
+		st.count++
+		if g.aggOrd >= 0 {
+			v := row[g.aggOrd]
+			if v.Kind != tuple.KindString {
+				st.sum += v.Int
+			}
+			if !st.seen || v.Compare(st.minV) < 0 {
+				st.minV = v
+			}
+			if !st.seen || v.Compare(st.maxV) > 0 {
+				st.maxV = v
+			}
+			st.seen = true
+		}
+	}
+	if err := g.input.Close(); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // encoded keys are order-preserving
+	g.out = g.out[:0]
+	for _, k := range keys {
+		st := groups[k]
+		var agg int64
+		switch g.fn {
+		case 'c':
+			agg = st.count
+		case 's':
+			agg = st.sum
+		case 'm':
+			agg = st.minV.Int
+		case 'M':
+			agg = st.maxV.Int
+		}
+		g.out = append(g.out, tuple.Row{st.key, tuple.Int64(agg)})
+	}
+	g.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (g *GroupAggOp) Next() (tuple.Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return nil, false, nil
+	}
+	row := g.out[g.pos]
+	g.pos++
+	g.stats.ActRows++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (g *GroupAggOp) Close() error {
+	g.out = nil
+	return nil
+}
+
+// Schema implements Operator.
+func (g *GroupAggOp) Schema() *tuple.Schema { return g.schema }
+
+// Stats implements Operator.
+func (g *GroupAggOp) Stats() *OpStats { return &g.stats }

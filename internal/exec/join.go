@@ -1,0 +1,395 @@
+package exec
+
+import (
+	"fmt"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// HashJoinOp joins build (outer) and probe (inner) on equality of one column
+// each. It runs in the relational engine: it never sees page ids. When a
+// bit-vector filter is wired in, the build phase fills it (Fig 5), so that
+// by the time the probe side's SE scan streams rows, the filter acts as the
+// derived semi-join predicate for DPC monitoring.
+type HashJoinOp struct {
+	ctx      *Context
+	build    Operator
+	probe    Operator
+	buildOrd int
+	probeOrd int
+	schema   *tuple.Schema
+	filter   *core.BitVectorFilter // optional; filled during build
+	stats    OpStats
+
+	table   map[string][]tuple.Row
+	matches []tuple.Row // pending build matches for current probe row
+	curRow  tuple.Row   // current probe row
+	built   bool
+}
+
+// NewHashJoin constructs the operator. buildOrd/probeOrd are the join column
+// ordinals in the respective input schemas.
+func NewHashJoin(ctx *Context, build, probe Operator, buildOrd, probeOrd int, schema *tuple.Schema) *HashJoinOp {
+	return &HashJoinOp{
+		ctx: ctx, build: build, probe: probe,
+		buildOrd: buildOrd, probeOrd: probeOrd, schema: schema,
+		stats: OpStats{Label: "HashJoin"},
+	}
+}
+
+// SetFilter wires a bit-vector filter to fill during the build phase.
+func (j *HashJoinOp) SetFilter(f *core.BitVectorFilter) { j.filter = f }
+
+// Open implements Operator: drains the build input into the hash table.
+// The build input is always closed before Open returns — even on error —
+// so no page pins outlive the operator.
+func (j *HashJoinOp) Open() error {
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]tuple.Row)
+	for {
+		row, ok, err := j.build.Next()
+		if err != nil {
+			j.build.Close() // release any pins held mid-row (e.g. decode errors)
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.ctx.touch(1)
+		v := row[j.buildOrd]
+		key := string(tuple.EncodeKey(v))
+		j.table[key] = append(j.table[key], row.Clone())
+		if j.filter != nil {
+			j.filter.Add(v)
+		}
+	}
+	if err := j.build.Close(); err != nil {
+		return err
+	}
+	j.built = true
+	return j.probe.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next() (tuple.Row, bool, error) {
+	for {
+		if len(j.matches) > 0 {
+			b := j.matches[0]
+			j.matches = j.matches[1:]
+			out := joinRows(b, j.curRow)
+			j.stats.ActRows++
+			return out, true, nil
+		}
+		row, ok, err := j.probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.ctx.touch(1)
+		key := string(tuple.EncodeKey(row[j.probeOrd]))
+		if ms := j.table[key]; len(ms) > 0 {
+			j.curRow = row.Clone()
+			j.matches = ms
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error { return j.probe.Close() }
+
+// Schema implements Operator.
+func (j *HashJoinOp) Schema() *tuple.Schema { return j.schema }
+
+// Stats implements Operator.
+func (j *HashJoinOp) Stats() *OpStats { return &j.stats }
+
+// joinRows concatenates an outer and inner row (outer columns first,
+// matching plan.JoinSchema).
+func joinRows(outer, inner tuple.Row) tuple.Row {
+	out := make(tuple.Row, 0, len(outer)+len(inner))
+	out = append(out, outer...)
+	out = append(out, inner...)
+	return out
+}
+
+// MergeJoinOp joins two inputs already ordered by their join columns. If a
+// bit-vector filter is wired in, every consumed outer value is added to it
+// as the merge advances — the partial bit-vector filter of §IV — and each
+// match is reported to the inner scan through the RE→SE late-match callback
+// so the boundary lookahead row is counted correctly.
+type MergeJoinOp struct {
+	ctx      *Context
+	outer    Operator
+	inner    Operator
+	outerOrd int
+	innerOrd int
+	schema   *tuple.Schema
+	filter   *core.BitVectorFilter
+	innerSE  *SEScan // non-nil when the inner input is directly an SE scan
+	stats    OpStats
+
+	outerRow  tuple.Row
+	innerRow  tuple.Row
+	innerRID  storage.RID
+	outerDone bool
+	innerDone bool
+
+	// Cross-product state for duplicate join values.
+	outGroup []tuple.Row
+	inGroup  []tuple.Row
+	gi, gj   int
+	emitting bool
+}
+
+// NewMergeJoin constructs the operator; inputs must be sorted ascending on
+// their join columns.
+func NewMergeJoin(ctx *Context, outer, inner Operator, outerOrd, innerOrd int, schema *tuple.Schema) *MergeJoinOp {
+	return &MergeJoinOp{
+		ctx: ctx, outer: outer, inner: inner,
+		outerOrd: outerOrd, innerOrd: innerOrd, schema: schema,
+		stats: OpStats{Label: "MergeJoin"},
+	}
+}
+
+// SetFilter wires a partial bit-vector filter filled as outer rows are
+// consumed. innerSE (may be nil) receives late-match callbacks.
+func (j *MergeJoinOp) SetFilter(f *core.BitVectorFilter, innerSE *SEScan) {
+	j.filter = f
+	j.innerSE = innerSE
+}
+
+// Open implements Operator.
+func (j *MergeJoinOp) Open() error {
+	if err := j.outer.Open(); err != nil {
+		return err
+	}
+	if err := j.inner.Open(); err != nil {
+		return err
+	}
+	if err := j.advanceOuter(); err != nil {
+		return err
+	}
+	return j.advanceInner()
+}
+
+func (j *MergeJoinOp) advanceOuter() error {
+	row, ok, err := j.outer.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.outerDone = true
+		return nil
+	}
+	j.ctx.touch(1)
+	j.outerRow = row.Clone()
+	if j.filter != nil {
+		j.filter.Add(row[j.outerOrd])
+	}
+	return nil
+}
+
+func (j *MergeJoinOp) advanceInner() error {
+	row, ok, err := j.inner.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.innerDone = true
+		return nil
+	}
+	j.ctx.touch(1)
+	j.innerRow = row.Clone()
+	if j.innerSE != nil {
+		j.innerRID = j.innerSE.LastRID()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *MergeJoinOp) Next() (tuple.Row, bool, error) {
+	for {
+		if j.emitting {
+			if j.gi < len(j.outGroup) {
+				out := joinRows(j.outGroup[j.gi], j.inGroup[j.gj])
+				j.gj++
+				if j.gj == len(j.inGroup) {
+					j.gj = 0
+					j.gi++
+				}
+				j.stats.ActRows++
+				return out, true, nil
+			}
+			j.emitting = false
+		}
+		if j.outerDone || j.innerDone {
+			return nil, false, nil
+		}
+		cmp := j.outerRow[j.outerOrd].Compare(j.innerRow[j.innerOrd])
+		switch {
+		case cmp < 0:
+			if err := j.advanceOuter(); err != nil {
+				return nil, false, err
+			}
+		case cmp > 0:
+			if err := j.advanceInner(); err != nil {
+				return nil, false, err
+			}
+		default:
+			if err := j.collectGroups(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+}
+
+// collectGroups gathers all outer and inner rows sharing the current join
+// value and arms the cross-product emitter.
+func (j *MergeJoinOp) collectGroups() error {
+	v := j.outerRow[j.outerOrd]
+	// The inner lookahead row matched: report it late (it streamed through
+	// the scan before v necessarily entered the partial filter).
+	j.notifyMatch()
+	j.outGroup = j.outGroup[:0]
+	j.inGroup = j.inGroup[:0]
+	for !j.outerDone && j.outerRow[j.outerOrd].Compare(v) == 0 {
+		j.outGroup = append(j.outGroup, j.outerRow)
+		if err := j.advanceOuter(); err != nil {
+			return err
+		}
+	}
+	for !j.innerDone && j.innerRow[j.innerOrd].Compare(v) == 0 {
+		j.inGroup = append(j.inGroup, j.innerRow)
+		if err := j.advanceInner(); err != nil {
+			return err
+		}
+	}
+	j.gi, j.gj = 0, 0
+	j.emitting = len(j.outGroup) > 0 && len(j.inGroup) > 0
+	return nil
+}
+
+func (j *MergeJoinOp) notifyMatch() {
+	if j.innerSE != nil {
+		j.innerSE.lateMatch(j.innerRID)
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoinOp) Close() error {
+	err1 := j.outer.Close()
+	err2 := j.inner.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Operator.
+func (j *MergeJoinOp) Schema() *tuple.Schema { return j.schema }
+
+// Stats implements Operator.
+func (j *MergeJoinOp) Stats() *OpStats { return &j.stats }
+
+// INLJoinOp is the Index Nested Loops join: for each outer row it seeks the
+// inner table's index on the join column and fetches the matching rows. The
+// residual selection on the inner table is applied after the join, per §IV.
+// Each fetched page is a logical I/O; on a cold cache, a physical random
+// read — which is why DPC(inner, join-pred) dominates this operator's cost.
+type INLJoinOp struct {
+	ctx       *Context
+	outer     Operator
+	outerOrd  int
+	innerTab  *catalog.Table
+	innerIx   *catalog.Index
+	innerPred expr.Conjunction // residual, bound to inner schema
+	schema    *tuple.Schema
+	monitors  []*seekMonitor
+	stats     OpStats
+
+	outerRow tuple.Row
+	it       *catalog.EntryIter
+}
+
+// NewINLJoin constructs the operator.
+func NewINLJoin(ctx *Context, outer Operator, outerOrd int, innerTab *catalog.Table,
+	innerIx *catalog.Index, innerPred expr.Conjunction, schema *tuple.Schema) *INLJoinOp {
+	return &INLJoinOp{
+		ctx: ctx, outer: outer, outerOrd: outerOrd,
+		innerTab: innerTab, innerIx: innerIx, innerPred: innerPred, schema: schema,
+		stats: OpStats{Label: "INLJoin(" + innerTab.Name + "." + innerIx.Name + ")"},
+	}
+}
+
+// attach adds a monitor (builder only).
+func (j *INLJoinOp) attach(m *seekMonitor) { j.monitors = append(j.monitors, m) }
+
+// Open implements Operator.
+func (j *INLJoinOp) Open() error { return j.outer.Open() }
+
+// Next implements Operator.
+func (j *INLJoinOp) Next() (tuple.Row, bool, error) {
+	for {
+		if j.it != nil {
+			for j.it.Next() {
+				j.ctx.touch(1)
+				rid := j.it.RID()
+				row, err := j.innerTab.FetchRow(rid)
+				if err != nil {
+					return nil, false, err
+				}
+				// Every fetched row satisfies the join predicate: monitors
+				// count its page toward DPC(inner, join-pred) (§IV).
+				for _, m := range j.monitors {
+					m.observe(rid.Page)
+				}
+				if j.innerPred.Eval(row) {
+					j.stats.ActRows++
+					return joinRows(j.outerRow, row), true, nil
+				}
+			}
+			if err := j.it.Err(); err != nil {
+				return nil, false, err
+			}
+			j.it.Close()
+			j.it = nil
+		}
+		row, ok, err := j.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.ctx.touch(1)
+		j.outerRow = row.Clone()
+		v := row[j.outerOrd]
+		s, sok := expr.SuccValue(v)
+		if !sok {
+			return nil, false, fmt.Errorf("exec: INL join value %v has no successor", v)
+		}
+		r := expr.KeyRange{Lo: tuple.EncodeKey(v), Hi: tuple.EncodeKey(s)}
+		it, err := j.innerIx.SeekRange(r)
+		if err != nil {
+			return nil, false, err
+		}
+		j.it = it
+	}
+}
+
+// Close implements Operator.
+func (j *INLJoinOp) Close() error {
+	if j.it != nil {
+		j.it.Close()
+		j.it = nil
+	}
+	return j.outer.Close()
+}
+
+// Schema implements Operator.
+func (j *INLJoinOp) Schema() *tuple.Schema { return j.schema }
+
+// Stats implements Operator.
+func (j *INLJoinOp) Stats() *OpStats { return &j.stats }

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"testing"
+
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/plan"
+	"pagefeedback/internal/tuple"
+)
+
+// TestMergeJoinSortInnerOnlyUnmonitorable covers the one merge-join shape
+// §IV cannot monitor: a blocking Sort on the inner only. The inner scan
+// drains before the (lazily consumed) outer fills the partial filter, so
+// attaching the monitor would silently undercount; the builder must report
+// the request unsatisfiable instead.
+func TestMergeJoinSortInnerOnlyUnmonitorable(t *testing.T) {
+	e := newEnv(t)
+	// Outer: dim, clustered on id (no sort needed). Inner: sales sorted on
+	// c5 (not its clustering order) -> SortInner only.
+	outerNode := &plan.Scan{Tab: e.dim, Pred: expr.Conjunction{}}
+	innerNode := &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}}
+	node := &plan.Join{
+		Method: plan.MergeJoin, Outer: outerNode, Inner: innerNode,
+		OuterCol: "id", InnerCol: "c5", SortInner: true,
+		Schem: plan.JoinSchema("dim", e.dim.Schema, "sales", e.sales.Schema),
+	}
+	cfg := &MonitorConfig{
+		Requests:       []DPCRequest{{Table: "sales", Join: true}},
+		SampleFraction: 1.0,
+	}
+	rows, ex := runPlan(t, e, node, cfg)
+	// Join correctness: dim ids 0,3,...,1497 each match the sales row
+	// whose c5 equals them (c5 is a permutation of 0..envRows-1).
+	want := 0
+	for i := 0; i < 500; i++ {
+		if i*3 < envRows {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("merge join returned %d rows, want %d", len(rows), want)
+	}
+	res := ex.DPCResults()
+	if len(res) != 1 || res[0].Mechanism != MechUnsatisfiable {
+		t.Fatalf("results = %+v, want unsatisfiable", res)
+	}
+}
+
+// TestMergeJoinBothSortedMonitorable: with sorts on both inputs, the outer
+// sort is blocking, so the filter is complete before the inner sort drains
+// its scan — monitoring is sound.
+func TestMergeJoinBothSortedMonitorable(t *testing.T) {
+	e := newEnv(t)
+	outerPred := mustBind(t, expr.And(expr.NewAtom("val", expr.Lt, tuple.Int64(100))), e.dim.Schema)
+	outerNode := &plan.Scan{Tab: e.dim, Pred: outerPred, Estm: plan.Estimates{Rows: 100}}
+	innerNode := &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}}
+	node := &plan.Join{
+		Method: plan.MergeJoin, Outer: outerNode, Inner: innerNode,
+		OuterCol: "id", InnerCol: "c5", SortOuter: true, SortInner: true,
+		Schem: plan.JoinSchema("dim", e.dim.Schema, "sales", e.sales.Schema),
+	}
+	cfg := &MonitorConfig{
+		Requests:       []DPCRequest{{Table: "sales", Join: true}},
+		SampleFraction: 1.0,
+		Seed:           11,
+	}
+	rows, ex := runPlan(t, e, node, cfg)
+	if len(rows) != 100 {
+		t.Errorf("join returned %d rows, want 100", len(rows))
+	}
+	res := ex.DPCResults()
+	if res[0].Mechanism != MechBitVector {
+		t.Fatalf("mechanism = %s", res[0].Mechanism)
+	}
+	// Ground truth: pages of sales holding rows whose c5 is a dim id < 300
+	// (ids 0,3,...,297).
+	dimIDs := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		dimIDs[int64(i*3)] = true
+	}
+	it, _ := e.sales.ScanAll()
+	pages := map[interface{}]bool{}
+	for it.Next() {
+		if dimIDs[it.Row()[2].Int] { // c5 ordinal 2
+			pages[it.RID().Page] = true
+		}
+	}
+	it.Close()
+	want := int64(len(pages))
+	if res[0].DPC < want || res[0].DPC > want+int64(float64(want)/5)+2 {
+		t.Errorf("DPC = %d, true %d", res[0].DPC, want)
+	}
+}

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// MonitorConfig controls the DPC monitoring machinery for one execution.
+type MonitorConfig struct {
+	// Requests lists the distinct page counts to obtain.
+	Requests []DPCRequest
+	// SampleFraction is the DPSample page-sampling fraction f (Fig 4);
+	// 0 defaults to 0.01 (the paper's 1% operating point).
+	SampleFraction float64
+	// LinearBits sizes LinearCounter bitmaps; 0 derives it from the
+	// monitored table's page count (about one bit per page).
+	LinearBits uint64
+	// BitVectorBits sizes join bit-vector filters; 0 derives it from the
+	// inner table's row count.
+	BitVectorBits uint64
+	// Seed makes sampling reproducible.
+	Seed int64
+	// CompareSamplingEstimator additionally runs the reservoir-sampling
+	// GEE estimator next to each linear counter (§III-A comparison).
+	CompareSamplingEstimator bool
+	// ReservoirSize for the comparison estimator; 0 defaults to 1024.
+	ReservoirSize int
+}
+
+func (mc *MonitorConfig) sampleFraction() float64 {
+	if mc.SampleFraction <= 0 || mc.SampleFraction > 1 {
+		return 0.01
+	}
+	return mc.SampleFraction
+}
+
+// DPCRequest asks for one distinct page count.
+type DPCRequest struct {
+	// Table is the table whose pages are being counted.
+	Table string
+	// Pred is the predicate expression p of DPC(T, p). Ignored when Join
+	// is true.
+	Pred expr.Conjunction
+	// Join requests DPC(Table, join-predicate) — the quantity needed to
+	// cost an INL join with Table as the inner relation (§IV).
+	Join bool
+}
+
+// String renders the request.
+func (r DPCRequest) String() string {
+	if r.Join {
+		return fmt.Sprintf("DPC(%s, <join predicate>)", r.Table)
+	}
+	return fmt.Sprintf("DPC(%s, %s)", r.Table, r.Pred)
+}
+
+// Mechanism names reported in DPCResult, matching the paper's sections.
+const (
+	MechExactScan     = "exact-scan"          // grouped counting, prefix predicate (§III-B)
+	MechDPSample      = "dpsample"            // page sampling, short-circuiting off on sample (§III-B)
+	MechLinearCount   = "linear-counting"     // probabilistic counting on Fetch (§III-A)
+	MechBitVector     = "bitvector+dpsample"  // derived semi-join predicate (§IV)
+	MechINLFetch      = "linear-counting-inl" // probabilistic counting on INL inner fetch (§IV)
+	MechUnsatisfiable = "unsatisfiable"       // current plan cannot observe this DPC (§II-B)
+)
+
+// DPCResult is one obtained distinct page count.
+type DPCResult struct {
+	Request   DPCRequest
+	Mechanism string
+	// DPC is the observed/estimated distinct page count (0 when
+	// unsatisfiable).
+	DPC int64
+	// Exact is true when the mechanism guarantees the exact value.
+	Exact bool
+	// Cardinality is the number of qualifying rows observed alongside,
+	// when the mechanism sees them (exact-scan and dpsample do).
+	Cardinality int64
+	// SamplingEstimate is the GEE comparison estimate, when enabled.
+	SamplingEstimate int64
+	// Reason explains an unsatisfiable request.
+	Reason string
+}
+
+// scanMonitorKind selects how a scan-side monitor counts.
+type scanMonitorKind uint8
+
+const (
+	monExactPrefix scanMonitorKind = iota // predicate is a prefix of the scan predicate
+	monSampled                            // DPSample; full evaluation on sampled pages
+	monJoinFilter                         // bit-vector semi-join predicate
+)
+
+// scanMonitor is one DPC monitor attached to an SE-side scan.
+type scanMonitor struct {
+	req  DPCRequest
+	kind scanMonitorKind
+
+	// monExactPrefix: the scan predicate's first prefixLen atoms form the
+	// monitored predicate.
+	prefixLen int
+	gc        *core.GroupedCounter
+	rows      int64 // qualifying rows (cardinality feedback)
+
+	// monSampled: independent evaluation of pred on sampled pages.
+	pred expr.Conjunction // bound
+	dps  *core.DPSample
+
+	// monJoinFilter: bitvector membership of the join column.
+	filter     *core.BitVectorFilter
+	joinColOrd int
+}
+
+// observe processes one scanned row. failIdx is the index of the first scan-
+// predicate atom that evaluated false under short-circuiting, or -1 if the
+// row passed; prefix monitors derive their result from it for free.
+func (m *scanMonitor) observe(rid storage.RID, row tuple.Row, failIdx int) {
+	switch m.kind {
+	case monExactPrefix:
+		sat := failIdx == -1 || failIdx >= m.prefixLen
+		m.gc.Observe(rid.Page, sat)
+		if sat {
+			m.rows++
+		}
+	case monSampled:
+		if m.dps.StartRow(rid.Page) {
+			sat := m.pred.Eval(row)
+			m.dps.Observe(sat)
+			if sat {
+				m.rows++
+			}
+		}
+	case monJoinFilter:
+		if m.dps.StartRow(rid.Page) {
+			hit := m.filter.MayContain(row[m.joinColOrd])
+			if hit {
+				m.rows++
+			}
+			m.dps.Observe(hit)
+		}
+	}
+}
+
+// lateMatch marks the page of rid as satisfying after the fact — the
+// RE-side merge join calls this through the boundary callback when an inner
+// row matches an outer value that entered the partial bit vector after the
+// row was scanned (§IV, partial bit-vector filters). Only the scan's
+// current page can be amended; the merge join's lookahead discipline
+// guarantees that is always the page in question.
+func (m *scanMonitor) lateMatch(rid storage.RID) {
+	if m.kind != monJoinFilter {
+		return
+	}
+	m.dps.ObserveAtPage(rid.Page)
+}
+
+// result finalizes the monitor into a DPCResult.
+func (m *scanMonitor) result() DPCResult {
+	switch m.kind {
+	case monExactPrefix:
+		return DPCResult{
+			Request: m.req, Mechanism: MechExactScan,
+			DPC: m.gc.Count(), Exact: true, Cardinality: m.rows,
+		}
+	case monSampled:
+		exact := m.dps.Fraction() >= 1
+		card := m.rows
+		if !exact {
+			card = int64(math.Round(float64(m.rows) / m.dps.Fraction()))
+		}
+		return DPCResult{
+			Request: m.req, Mechanism: MechDPSample,
+			DPC: m.dps.EstimateInt(), Exact: exact, Cardinality: card,
+		}
+	default:
+		card := int64(math.Round(float64(m.rows) / m.dps.Fraction()))
+		return DPCResult{
+			Request: m.req, Mechanism: MechBitVector,
+			DPC: m.dps.EstimateInt(), Exact: false, Cardinality: card,
+		}
+	}
+}

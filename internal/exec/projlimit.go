@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"fmt"
+
+	"pagefeedback/internal/tuple"
+)
+
+// ProjectOp narrows rows to a column subset.
+type ProjectOp struct {
+	ctx    *Context
+	input  Operator
+	ords   []int
+	schema *tuple.Schema
+	stats  OpStats
+}
+
+// NewProject builds the operator; ords index the input schema.
+func NewProject(ctx *Context, input Operator, ords []int, schema *tuple.Schema) *ProjectOp {
+	return &ProjectOp{ctx: ctx, input: input, ords: ords, schema: schema,
+		stats: OpStats{Label: "Project"}}
+}
+
+// Open implements Operator.
+func (p *ProjectOp) Open() error { return p.input.Open() }
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (tuple.Row, bool, error) {
+	row, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.ctx.touch(1)
+	out := make(tuple.Row, len(p.ords))
+	for i, o := range p.ords {
+		out[i] = row[o]
+	}
+	p.stats.ActRows++
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.input.Close() }
+
+// Schema implements Operator.
+func (p *ProjectOp) Schema() *tuple.Schema { return p.schema }
+
+// Stats implements Operator.
+func (p *ProjectOp) Stats() *OpStats { return &p.stats }
+
+// LimitOp passes through at most n rows, then stops pulling from its input
+// (so a LIMIT over a scan does not read the rest of the table).
+type LimitOp struct {
+	input Operator
+	n     int
+	seen  int
+	stats OpStats
+}
+
+// NewLimit builds the operator.
+func NewLimit(input Operator, n int) (*LimitOp, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: negative limit %d", n)
+	}
+	return &LimitOp{input: input, n: n, stats: OpStats{Label: fmt.Sprintf("Limit(%d)", n)}}, nil
+}
+
+// Open implements Operator.
+func (l *LimitOp) Open() error {
+	l.seen = 0
+	return l.input.Open()
+}
+
+// Next implements Operator.
+func (l *LimitOp) Next() (tuple.Row, bool, error) {
+	if l.seen >= l.n {
+		return nil, false, nil
+	}
+	row, ok, err := l.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	l.stats.ActRows++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.input.Close() }
+
+// Schema implements Operator.
+func (l *LimitOp) Schema() *tuple.Schema { return l.input.Schema() }
+
+// Stats implements Operator.
+func (l *LimitOp) Stats() *OpStats { return &l.stats }

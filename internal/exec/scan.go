@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// SEScan scans a table's data pages in physical order, evaluating the scan
+// predicate inside the storage engine with short-circuiting — the Heap Scan
+// / Clustered Index Scan of §III-B. It owns the grouped page access
+// property, so attached monitors can count distinct pages exactly (prefix
+// predicates) or via DPSample (everything else).
+type SEScan struct {
+	ctx      *Context
+	tab      *catalog.Table
+	pred     expr.Conjunction // bound
+	krange   *expr.KeyRange   // clustered range seek, nil = full scan
+	monitors []*scanMonitor
+	stats    OpStats
+
+	it      *catalog.RowIter
+	lastRID storage.RID
+	open    bool
+}
+
+// NewSEScan builds a scan of tab filtered by pred (already bound to the
+// table's schema).
+func NewSEScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction) *SEScan {
+	return &SEScan{ctx: ctx, tab: tab, pred: pred, stats: OpStats{Label: "Scan(" + tab.Name + ")"}}
+}
+
+// NewSEClusterRangeScan builds a clustered index range seek over krange,
+// still applying the full pred to each scanned row.
+func NewSEClusterRangeScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction, krange *expr.KeyRange) *SEScan {
+	return &SEScan{ctx: ctx, tab: tab, pred: pred, krange: krange,
+		stats: OpStats{Label: "RangeScan(" + tab.Name + ")"}}
+}
+
+// attach adds a monitor (called by the builder).
+func (s *SEScan) attach(m *scanMonitor) { s.monitors = append(s.monitors, m) }
+
+// Table returns the scanned table.
+func (s *SEScan) Table() *catalog.Table { return s.tab }
+
+// Open implements Operator.
+func (s *SEScan) Open() error {
+	var it *catalog.RowIter
+	var err error
+	if s.krange != nil {
+		it, err = s.tab.ScanRange(*s.krange)
+	} else {
+		it, err = s.tab.ScanAll()
+	}
+	if err != nil {
+		return err
+	}
+	s.it = it
+	s.open = true
+	return nil
+}
+
+// Next implements Operator. Monitors observe every scanned row (before
+// filtering), exactly as the SE-side instrumentation of the paper does; the
+// scan predicate then decides whether the row flows to the parent.
+func (s *SEScan) Next() (tuple.Row, bool, error) {
+	for s.it.Next() {
+		s.ctx.touch(1)
+		row := s.it.Row()
+		rid := s.it.RID()
+		s.lastRID = rid
+
+		// Evaluate the scan predicate atom by atom so prefix monitors can
+		// reuse the short-circuited result (§III-B: prefixes are free).
+		failIdx := -1
+		for i := range s.pred.Atoms {
+			if !s.pred.Atoms[i].Eval(row) {
+				failIdx = i
+				break
+			}
+		}
+		for _, m := range s.monitors {
+			m.observe(rid, row, failIdx)
+		}
+		if failIdx == -1 {
+			s.stats.ActRows++
+			return row, true, nil
+		}
+	}
+	if err := s.it.Err(); err != nil {
+		return nil, false, err
+	}
+	// End of scan: close the monitors' last page.
+	for _, m := range s.monitors {
+		switch m.kind {
+		case monExactPrefix:
+			m.gc.Finish()
+		default:
+			m.dps.Finish()
+		}
+	}
+	return nil, false, nil
+}
+
+// LastRID returns the RID of the most recently scanned row (used by the
+// RE→SE callback for partial bit-vector filters).
+func (s *SEScan) LastRID() storage.RID { return s.lastRID }
+
+// lateMatch forwards a late join-match notification to join-filter monitors.
+func (s *SEScan) lateMatch(rid storage.RID) {
+	for _, m := range s.monitors {
+		m.lateMatch(rid)
+	}
+}
+
+// Close implements Operator.
+func (s *SEScan) Close() error {
+	if s.it != nil {
+		s.it.Close()
+	}
+	s.open = false
+	return nil
+}
+
+// Schema implements Operator.
+func (s *SEScan) Schema() *tuple.Schema { return s.tab.Schema }
+
+// Stats implements Operator.
+func (s *SEScan) Stats() *OpStats { return &s.stats }
+
+// CoveringScan scans every leaf of a secondary index whose columns cover the
+// query; no table pages are touched, so table-page DPC monitors cannot be
+// attached here (the monitor planner reports them unsatisfiable).
+type CoveringScan struct {
+	ctx    *Context
+	ix     *catalog.Index
+	pred   expr.Conjunction // bound to the index schema
+	schema *tuple.Schema
+	stats  OpStats
+
+	it *catalog.EntryIter
+}
+
+// NewCoveringScan builds a covering scan of ix. pred must be bound to the
+// index-column schema.
+func NewCoveringScan(ctx *Context, ix *catalog.Index, pred expr.Conjunction, schema *tuple.Schema) *CoveringScan {
+	return &CoveringScan{
+		ctx: ctx, ix: ix, pred: pred, schema: schema,
+		stats: OpStats{Label: "CoveringScan(" + ix.Table.Name + "." + ix.Name + ")"},
+	}
+}
+
+// Open implements Operator.
+func (s *CoveringScan) Open() error {
+	it, err := s.ix.SeekRange(expr.KeyRange{}) // full index scan
+	if err != nil {
+		return err
+	}
+	s.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (s *CoveringScan) Next() (tuple.Row, bool, error) {
+	for s.it.Next() {
+		s.ctx.touch(1)
+		row := tuple.Row(append([]tuple.Value(nil), s.it.Values()...))
+		if s.pred.Eval(row) {
+			s.stats.ActRows++
+			return row, true, nil
+		}
+	}
+	return nil, false, s.it.Err()
+}
+
+// Close implements Operator.
+func (s *CoveringScan) Close() error {
+	if s.it != nil {
+		s.it.Close()
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (s *CoveringScan) Schema() *tuple.Schema { return s.schema }
+
+// Stats implements Operator.
+func (s *CoveringScan) Stats() *OpStats { return &s.stats }

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"sort"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// seekMonitor counts distinct fetched pages with probabilistic counting
+// (§III-A): in an index plan rows arrive in key order, so the same page can
+// recur arbitrarily and exact counting would need duplicate elimination.
+type seekMonitor struct {
+	req  DPCRequest
+	lc   *core.LinearCounter
+	sd   *core.SampleDistinct // optional comparison estimator
+	rows int64
+	mech string
+}
+
+func (m *seekMonitor) observe(pid storage.PageID) {
+	m.rows++
+	m.lc.AddPID(pid)
+	if m.sd != nil {
+		m.sd.AddPID(pid)
+	}
+}
+
+func (m *seekMonitor) result() DPCResult {
+	r := DPCResult{
+		Request: m.req, Mechanism: m.mech,
+		DPC: m.lc.EstimateInt(), Cardinality: m.rows,
+	}
+	if m.sd != nil {
+		r.SamplingEstimate = m.sd.EstimateInt()
+	}
+	return r
+}
+
+// IndexSeek is the Index Seek + Fetch access method: look up the index over
+// the plan's key ranges, fetch each qualifying row from the table, apply the
+// full predicate, and emit survivors. Fetches are where table PIDs surface.
+type IndexSeek struct {
+	ctx      *Context
+	tab      *catalog.Table
+	ix       *catalog.Index
+	ranges   []expr.KeyRange
+	pred     expr.Conjunction // full predicate, bound
+	monitors []*seekMonitor
+	stats    OpStats
+
+	rangeIdx int
+	it       *catalog.EntryIter
+}
+
+// NewIndexSeek builds the operator. pred must be bound to tab.Schema.
+func NewIndexSeek(ctx *Context, tab *catalog.Table, ix *catalog.Index, ranges []expr.KeyRange, pred expr.Conjunction) *IndexSeek {
+	return &IndexSeek{
+		ctx: ctx, tab: tab, ix: ix, ranges: ranges, pred: pred,
+		stats: OpStats{Label: "IndexSeek(" + tab.Name + "." + ix.Name + ")"},
+	}
+}
+
+// attach adds a monitor (builder only).
+func (s *IndexSeek) attach(m *seekMonitor) { s.monitors = append(s.monitors, m) }
+
+// Open implements Operator.
+func (s *IndexSeek) Open() error {
+	s.rangeIdx = 0
+	return s.openRange()
+}
+
+func (s *IndexSeek) openRange() error {
+	if s.rangeIdx >= len(s.ranges) {
+		s.it = nil
+		return nil
+	}
+	it, err := s.ix.SeekRange(s.ranges[s.rangeIdx])
+	if err != nil {
+		return err
+	}
+	s.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexSeek) Next() (tuple.Row, bool, error) {
+	for s.it != nil {
+		for s.it.Next() {
+			s.ctx.touch(1)
+			rid := s.it.RID()
+			row, err := s.tab.FetchRow(rid) // the random-I/O Fetch
+			if err != nil {
+				return nil, false, err
+			}
+			sat := s.pred.Eval(row)
+			for _, m := range s.monitors {
+				if sat {
+					m.observe(rid.Page)
+				}
+			}
+			if sat {
+				s.stats.ActRows++
+				return row, true, nil
+			}
+		}
+		if err := s.it.Err(); err != nil {
+			return nil, false, err
+		}
+		s.it.Close()
+		s.rangeIdx++
+		if err := s.openRange(); err != nil {
+			return nil, false, err
+		}
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (s *IndexSeek) Close() error {
+	if s.it != nil {
+		s.it.Close()
+		s.it = nil
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (s *IndexSeek) Schema() *tuple.Schema { return s.tab.Schema }
+
+// Stats implements Operator.
+func (s *IndexSeek) Stats() *OpStats { return &s.stats }
+
+// IndexIntersect is the Index Intersection access method: collect the RID
+// sets from two index lookups, intersect them, fetch the surviving rows in
+// RID order, and apply the full predicate.
+type IndexIntersect struct {
+	ctx      *Context
+	tab      *catalog.Table
+	ixA, ixB *catalog.Index
+	rngA     []expr.KeyRange
+	rngB     []expr.KeyRange
+	pred     expr.Conjunction
+	monitors []*seekMonitor
+	stats    OpStats
+
+	rids []storage.RID
+	pos  int
+}
+
+// NewIndexIntersect builds the operator.
+func NewIndexIntersect(ctx *Context, tab *catalog.Table, ixA *catalog.Index, rngA []expr.KeyRange,
+	ixB *catalog.Index, rngB []expr.KeyRange, pred expr.Conjunction) *IndexIntersect {
+	return &IndexIntersect{
+		ctx: ctx, tab: tab, ixA: ixA, ixB: ixB, rngA: rngA, rngB: rngB, pred: pred,
+		stats: OpStats{Label: "IndexIntersect(" + tab.Name + ")"},
+	}
+}
+
+// attach adds a monitor (builder only).
+func (s *IndexIntersect) attach(m *seekMonitor) { s.monitors = append(s.monitors, m) }
+
+func (s *IndexIntersect) collect(ix *catalog.Index, ranges []expr.KeyRange) (map[int64]struct{}, error) {
+	set := make(map[int64]struct{})
+	for _, r := range ranges {
+		it, err := ix.SeekRange(r)
+		if err != nil {
+			return nil, err
+		}
+		for it.Next() {
+			s.ctx.touch(1)
+			set[it.RID().AsInt64()] = struct{}{}
+		}
+		err = it.Err()
+		it.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Open implements Operator: performs both index lookups and intersects.
+func (s *IndexIntersect) Open() error {
+	setA, err := s.collect(s.ixA, s.rngA)
+	if err != nil {
+		return err
+	}
+	setB, err := s.collect(s.ixB, s.rngB)
+	if err != nil {
+		return err
+	}
+	s.rids = s.rids[:0]
+	for rid := range setA {
+		if _, ok := setB[rid]; ok {
+			s.rids = append(s.rids, storage.RIDFromInt64(rid))
+		}
+	}
+	// Fetch in RID order: real engines sort the intersected RID list to
+	// turn the fetch into a forward pass over the table.
+	sort.Slice(s.rids, func(i, j int) bool {
+		a, b := s.rids[i], s.rids[j]
+		if a.Page != b.Page {
+			return a.Page < b.Page
+		}
+		return a.Slot < b.Slot
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexIntersect) Next() (tuple.Row, bool, error) {
+	for s.pos < len(s.rids) {
+		rid := s.rids[s.pos]
+		s.pos++
+		s.ctx.touch(1)
+		row, err := s.tab.FetchRow(rid)
+		if err != nil {
+			return nil, false, err
+		}
+		sat := s.pred.Eval(row)
+		for _, m := range s.monitors {
+			if sat {
+				m.observe(rid.Page)
+			}
+		}
+		if sat {
+			s.stats.ActRows++
+			return row, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (s *IndexIntersect) Close() error { return nil }
+
+// Schema implements Operator.
+func (s *IndexIntersect) Schema() *tuple.Schema { return s.tab.Schema }
+
+// Stats implements Operator.
+func (s *IndexIntersect) Stats() *OpStats { return &s.stats }

@@ -1,0 +1,255 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// SortOp materializes and orders its input ascending by the given columns.
+// When a bit-vector filter is wired in, each drained row's join value is
+// added — since the first Next of a Sort blocks until the child is fully
+// consumed, the filter is complete before anything downstream (in
+// particular a Merge Join's inner scan) runs, the property §IV relies on.
+type SortOp struct {
+	ctx    *Context
+	input  Operator
+	ords   []int
+	desc   bool
+	schema *tuple.Schema
+	stats  OpStats
+
+	filter    *core.BitVectorFilter
+	filterOrd int
+
+	rows []tuple.Row
+	pos  int
+}
+
+// NewSort constructs the operator; ords are the sort-column ordinals.
+func NewSort(ctx *Context, input Operator, ords []int) *SortOp {
+	return &SortOp{ctx: ctx, input: input, ords: ords, schema: input.Schema(),
+		stats: OpStats{Label: "Sort"}}
+}
+
+// SetFilter wires a bit-vector filter to fill with column ord while draining.
+func (s *SortOp) SetFilter(f *core.BitVectorFilter, ord int) {
+	s.filter = f
+	s.filterOrd = ord
+}
+
+// SetDesc switches the sort to descending order.
+func (s *SortOp) SetDesc(desc bool) { s.desc = desc }
+
+// Open implements Operator: drains and sorts the input. The input is
+// always closed before Open returns — even on error — so no page pins
+// outlive the operator.
+func (s *SortOp) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	for {
+		row, ok, err := s.input.Next()
+		if err != nil {
+			s.input.Close() // release pins held mid-row (e.g. decode errors)
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.ctx.touch(1)
+		if s.filter != nil {
+			s.filter.Add(row[s.filterOrd])
+		}
+		s.rows = append(s.rows, row.Clone())
+	}
+	if err := s.input.Close(); err != nil {
+		return err
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, o := range s.ords {
+			if c := s.rows[i][o].Compare(s.rows[j][o]); c != 0 {
+				if s.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (tuple.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	s.stats.ActRows++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Schema implements Operator.
+func (s *SortOp) Schema() *tuple.Schema { return s.schema }
+
+// Stats implements Operator.
+func (s *SortOp) Stats() *OpStats { return &s.stats }
+
+// FilterOp applies a residual predicate in the relational engine.
+type FilterOp struct {
+	ctx   *Context
+	input Operator
+	pred  expr.Conjunction // bound to input schema
+	stats OpStats
+}
+
+// NewFilter constructs the operator.
+func NewFilter(ctx *Context, input Operator, pred expr.Conjunction) *FilterOp {
+	return &FilterOp{ctx: ctx, input: input, pred: pred, stats: OpStats{Label: "Filter(" + pred.String() + ")"}}
+}
+
+// Open implements Operator.
+func (f *FilterOp) Open() error { return f.input.Open() }
+
+// Next implements Operator.
+func (f *FilterOp) Next() (tuple.Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.ctx.touch(1)
+		if f.pred.Eval(row) {
+			f.stats.ActRows++
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.input.Close() }
+
+// Schema implements Operator.
+func (f *FilterOp) Schema() *tuple.Schema { return f.input.Schema() }
+
+// Stats implements Operator.
+func (f *FilterOp) Stats() *OpStats { return &f.stats }
+
+// AggOp computes one ungrouped aggregate (COUNT/SUM/MIN/MAX) over its input
+// and emits a single row.
+type AggOp struct {
+	ctx    *Context
+	input  Operator
+	fn     byte // 'c','s','m','M'
+	ord    int  // column ordinal; -1 for COUNT(*)
+	schema *tuple.Schema
+	stats  OpStats
+
+	done bool
+}
+
+// NewAgg constructs the operator. fn is one of "count", "sum", "min", "max";
+// ord is the input column ordinal (-1 for COUNT(*)).
+func NewAgg(ctx *Context, input Operator, fn string, ord int, schema *tuple.Schema) (*AggOp, error) {
+	var code byte
+	switch fn {
+	case "count":
+		code = 'c'
+	case "sum":
+		code = 's'
+	case "min":
+		code = 'm'
+	case "max":
+		code = 'M'
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %q", fn)
+	}
+	if code != 'c' && ord < 0 {
+		return nil, fmt.Errorf("exec: %s requires a column", fn)
+	}
+	if ord >= 0 && code != 'c' && input.Schema().Column(ord).Kind == tuple.KindString {
+		return nil, fmt.Errorf("exec: %s over a string column is not supported", fn)
+	}
+	return &AggOp{ctx: ctx, input: input, fn: code, ord: ord, schema: schema,
+		stats: OpStats{Label: "Aggregate(" + fn + ")"}}, nil
+}
+
+// Open implements Operator.
+func (a *AggOp) Open() error {
+	a.done = false
+	return a.input.Open()
+}
+
+// Next implements Operator.
+func (a *AggOp) Next() (tuple.Row, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	var count, sum int64
+	var minV, maxV tuple.Value
+	first := true
+	for {
+		row, ok, err := a.input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		a.ctx.touch(1)
+		count++
+		if a.ord >= 0 {
+			v := row[a.ord]
+			if v.Kind != tuple.KindString {
+				sum += v.Int
+			}
+			if first || v.Compare(minV) < 0 {
+				minV = v
+			}
+			if first || v.Compare(maxV) > 0 {
+				maxV = v
+			}
+			first = false
+		}
+	}
+	a.done = true
+	a.stats.ActRows = 1
+	switch a.fn {
+	case 'c':
+		return tuple.Row{tuple.Int64(count)}, true, nil
+	case 's':
+		return tuple.Row{tuple.Int64(sum)}, true, nil
+	case 'm':
+		if first {
+			return tuple.Row{tuple.Int64(0)}, true, nil
+		}
+		return tuple.Row{tuple.Int64(minV.Int)}, true, nil
+	default:
+		if first {
+			return tuple.Row{tuple.Int64(0)}, true, nil
+		}
+		return tuple.Row{tuple.Int64(maxV.Int)}, true, nil
+	}
+}
+
+// Close implements Operator.
+func (a *AggOp) Close() error { return a.input.Close() }
+
+// Schema implements Operator.
+func (a *AggOp) Schema() *tuple.Schema { return a.schema }
+
+// Stats implements Operator.
+func (a *AggOp) Stats() *OpStats { return &a.stats }

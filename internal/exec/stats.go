@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"encoding/xml"
+	"time"
+)
+
+// ExecutionStats is the engine's analog of SQL Server's "statistics xml"
+// mode (§II-C, §V-A): the executed plan with estimated and actual
+// cardinalities per operator, augmented with the estimated and actual
+// distinct page count for each requested expression.
+type ExecutionStats struct {
+	XMLName xml.Name       `xml:"ExecutionStats"`
+	Plan    OperatorStats  `xml:"Plan>Operator"`
+	DPC     []PageCountXML `xml:"DistinctPageCounts>PageCount,omitempty"`
+	Runtime RuntimeStats   `xml:"Runtime"`
+}
+
+// OperatorStats is one operator node in the XML plan.
+type OperatorStats struct {
+	Label    string          `xml:"label,attr"`
+	EstRows  float64         `xml:"estimatedRows,attr"`
+	ActRows  int64           `xml:"actualRows,attr"`
+	EstDPC   float64         `xml:"estimatedPageCount,attr,omitempty"`
+	Children []OperatorStats `xml:"Operator,omitempty"`
+}
+
+// PageCountXML is one monitored distinct page count.
+type PageCountXML struct {
+	Table      string `xml:"table,attr"`
+	Expression string `xml:"expression,attr"`
+	Mechanism  string `xml:"mechanism,attr"`
+	Estimated  int64  `xml:"estimated,attr"` // the optimizer's analytical estimate
+	Actual     int64  `xml:"actual,attr"`    // the fed-back observation
+	Exact      bool   `xml:"exact,attr"`
+	Reason     string `xml:"reason,attr,omitempty"`
+}
+
+// RuntimeStats aggregates the run's resource usage.
+type RuntimeStats struct {
+	SimulatedIO    time.Duration `xml:"simulatedIO,attr"`
+	SimulatedCPU   time.Duration `xml:"simulatedCPU,attr"`
+	SimulatedTotal time.Duration `xml:"simulatedTotal,attr"`
+	PhysicalReads  int64         `xml:"physicalReads,attr"`
+	RandomReads    int64         `xml:"randomReads,attr"`
+	LogicalReads   int64         `xml:"logicalReads,attr"`
+	RowsTouched    int64         `xml:"rowsTouched,attr"`
+}
+
+// snapshotOpStats converts the live OpStats tree into the XML form.
+func snapshotOpStats(s *OpStats) OperatorStats {
+	out := OperatorStats{
+		Label:   s.Label,
+		EstRows: s.EstRows,
+		ActRows: s.ActRows,
+		EstDPC:  s.EstDPC,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, snapshotOpStats(c))
+	}
+	return out
+}
+
+// StatsSnapshot builds the XML-ready plan statistics for the execution.
+func (e *Execution) StatsSnapshot() OperatorStats {
+	return snapshotOpStats(e.Root.Stats())
+}
+
+// MarshalStats renders the full ExecutionStats document as indented XML.
+func MarshalStats(s ExecutionStats) (string, error) {
+	b, err := xml.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

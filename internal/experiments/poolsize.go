@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pagefeedback"
+	"pagefeedback/internal/datagen"
+)
+
+// PoolPoint is one buffer-pool-size measurement.
+type PoolPoint struct {
+	PoolPages int
+	TBefore   time.Duration
+	TAfter    time.Duration
+	Speedup   float64
+}
+
+// PoolSizeAblation verifies the DESIGN.md claim that feedback-driven plan
+// improvements persist across buffer pool sizes: the experiments run cold-
+// cache (like the paper's), so the distinct-page-count effect is about
+// which pages are touched at all, not about residency. Each point builds a
+// fresh engine with the given pool size and measures one Fig 6-style query.
+func PoolSizeAblation(cfg Config) ([]PoolPoint, error) {
+	cfg.normalize()
+	sizes := []int{2048, 8192, 32768}
+	var out []PoolPoint
+	cfg.printf("BUFFER POOL SIZE ABLATION (cold cache, correlated column, 1%% selectivity)\n")
+	cfg.printf("%10s %12s %12s %9s\n", "pool pages", "T", "T'", "speedup")
+	for _, size := range sizes {
+		ecfg := pagefeedback.DefaultConfig()
+		ecfg.PoolPages = size
+		eng := pagefeedback.New(ecfg)
+		ds, err := datagen.BuildSynthetic(eng, cfg.SyntheticRows, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sql := fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE c2 < %d", ds.Rows/100)
+		r, err := measureSpeedup(eng, sql, cfg.SampleFraction)
+		if err != nil {
+			return nil, err
+		}
+		p := PoolPoint{PoolPages: size, TBefore: r.TBefore, TAfter: r.TAfter, Speedup: r.Speedup}
+		out = append(out, p)
+		cfg.printf("%10d %12s %12s %8.0f%%\n", size,
+			p.TBefore.Round(time.Millisecond), p.TAfter.Round(time.Millisecond), p.Speedup*100)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pagefeedback"
+	"pagefeedback/internal/datagen"
+)
+
+// TransferPoint is one column's self-tuning transfer measurement.
+type TransferPoint struct {
+	Col          string
+	TrainQueries int
+	EvalQueries  int
+	// MeanSpeedup is (T_untrained − T_trained)/T_untrained averaged over
+	// evaluation queries none of which were ever monitored.
+	MeanSpeedup float64
+}
+
+// SelfTuningTransfer quantifies the §VI extension: an engine trained by
+// monitoring a handful of queries per column is compared against an
+// untrained twin on FRESH queries (different constants, never monitored,
+// no exact injections). Correlated columns should transfer nearly the full
+// Fig 6 gain; the uncorrelated column should transfer nothing — and,
+// crucially, lose nothing.
+func SelfTuningTransfer(cfg Config) ([]TransferPoint, error) {
+	cfg.normalize()
+	trained := newEngine()
+	untrained := newEngine()
+	dsA, err := datagen.BuildSynthetic(trained, cfg.SyntheticRows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := datagen.BuildSynthetic(untrained, cfg.SyntheticRows, cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	const trainPerCol, evalPerCol = 5, 10
+	trainQs := datagen.SingleTableQueries(dsA, trainPerCol, 0.01, 0.10, cfg.Seed+100)
+	for _, q := range trainQs {
+		res, err := trained.Query(q.SQL, &pagefeedback.RunOptions{
+			MonitorAll: true, SampleFraction: cfg.SampleFraction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trained.ApplyFeedback(res)
+	}
+	// Drop the per-predicate exact injections: only the learned
+	// histograms may help the evaluation queries.
+	trained.Optimizer().ClearInjections()
+
+	evalQs := datagen.SingleTableQueries(dsA, evalPerCol, 0.01, 0.10, cfg.Seed+200)
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	var order []string
+	for _, q := range evalQs {
+		resT, err := trained.Query(q.SQL, nil)
+		if err != nil {
+			return nil, err
+		}
+		resU, err := untrained.Query(q.SQL, nil)
+		if err != nil {
+			return nil, err
+		}
+		if resT.Rows[0][0].Int != resU.Rows[0][0].Int {
+			return nil, fmt.Errorf("experiments: trained/untrained answers differ on %s", q.SQL)
+		}
+		sp := float64(resU.SimulatedTime-resT.SimulatedTime) / float64(resU.SimulatedTime)
+		if _, ok := sums[q.Col]; !ok {
+			order = append(order, q.Col)
+		}
+		sums[q.Col] += sp
+		counts[q.Col]++
+	}
+
+	cfg.printf("SELF-TUNING TRANSFER (train %d queries/column with monitoring,\n", trainPerCol)
+	cfg.printf("evaluate %d FRESH queries/column with no monitoring or injections)\n", evalPerCol)
+	cfg.printf("%6s %14s\n", "col", "mean speedup")
+	var out []TransferPoint
+	for _, col := range order {
+		p := TransferPoint{
+			Col: col, TrainQueries: trainPerCol, EvalQueries: counts[col],
+			MeanSpeedup: sums[col] / float64(counts[col]),
+		}
+		out = append(out, p)
+		cfg.printf("%6s %13.0f%%\n", col, p.MeanSpeedup*100)
+	}
+	return out, nil
+}

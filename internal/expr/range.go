@@ -1,0 +1,186 @@
+package expr
+
+import (
+	"math"
+	"strings"
+
+	"pagefeedback/internal/tuple"
+)
+
+// KeyRange is a half-open range [Lo, Hi) over encoded index keys. A nil
+// bound is unbounded. Ranges are sound supersets: the executor re-applies
+// the full predicate to every row, so a range only has to contain all
+// qualifying entries.
+type KeyRange struct {
+	Lo, Hi []byte
+}
+
+// SuccValue returns the smallest value strictly greater than v, used to turn
+// inclusive upper bounds into exclusive encoded bounds. ok is false when no
+// successor exists (math.MaxInt64), in which case an unbounded high end is
+// exact.
+func SuccValue(v tuple.Value) (tuple.Value, bool) {
+	switch v.Kind {
+	case tuple.KindInt, tuple.KindDate:
+		if v.Int == math.MaxInt64 {
+			return tuple.Value{}, false
+		}
+		return tuple.Value{Kind: v.Kind, Int: v.Int + 1}, true
+	case tuple.KindString:
+		return tuple.Str(v.Str + "\x00"), true
+	default:
+		return tuple.Value{}, false
+	}
+}
+
+// IndexRanges derives the seek ranges an index with the given column order
+// can use for conjunction c. It absorbs equality atoms on a prefix of the
+// index columns, then at most one range (or IN) atom on the next column.
+//
+// The returned matched slice holds the indexes (into c.Atoms) of the atoms
+// the ranges fully enforce. ok is false when the index cannot narrow the
+// scan at all (no atom on the leading column).
+func IndexRanges(c Conjunction, indexCols []string) (ranges []KeyRange, matched []int, ok bool) {
+	// prefix holds the encoded equality values absorbed so far.
+	var prefix []byte
+	atomOn := func(col string) []int {
+		var idx []int
+		for i, a := range c.Atoms {
+			if strings.EqualFold(a.Col, col) {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+
+	for ci, col := range indexCols {
+		idxs := atomOn(col)
+		if len(idxs) == 0 {
+			break
+		}
+		// Prefer a single equality atom: it extends the prefix and lets the
+		// next index column participate.
+		eqIdx := -1
+		for _, i := range idxs {
+			if c.Atoms[i].Op == Eq {
+				eqIdx = i
+				break
+			}
+		}
+		if eqIdx >= 0 {
+			prefix = tuple.AppendKey(prefix, c.Atoms[eqIdx].Val)
+			matched = append(matched, eqIdx)
+			if ci == len(indexCols)-1 {
+				// Exhausted the index columns: equality prefix range.
+				return []KeyRange{prefixRange(prefix)}, matched, true
+			}
+			continue
+		}
+		// No equality: try to intersect the range atoms on this column.
+		lo, hi, rangeMatched, usable := columnRange(c, idxs)
+		if !usable {
+			break
+		}
+		matched = append(matched, rangeMatched...)
+		return []KeyRange{composeRange(prefix, lo, hi)}, matched, true
+	}
+	if len(prefix) == 0 {
+		// Check for IN on the leading column: expands to multiple ranges.
+		if len(indexCols) > 0 {
+			for i, a := range c.Atoms {
+				if strings.EqualFold(a.Col, indexCols[0]) && a.Op == In {
+					for _, v := range a.List {
+						ranges = append(ranges, prefixRange(tuple.EncodeKey(v)))
+					}
+					return ranges, []int{i}, true
+				}
+			}
+		}
+		return nil, nil, false
+	}
+	return []KeyRange{prefixRange(prefix)}, matched, true
+}
+
+// prefixRange is the range of all keys beginning with the encoded prefix.
+// Because the key encoding is order preserving and entries only extend the
+// prefix with more encoded values, [prefix, succ(prefix)) captures exactly
+// the entries whose leading values equal the prefix. succ(prefix) is the
+// prefix with 0xFF appended — every extension byte of a valid encoding is a
+// tag (0x01/0x02) or belongs to an already-started value, and no valid
+// continuation exceeds 0xFF at that position while remaining a prefix match.
+func prefixRange(prefix []byte) KeyRange {
+	hi := make([]byte, len(prefix)+1)
+	copy(hi, prefix)
+	hi[len(prefix)] = 0xFF
+	return KeyRange{Lo: prefix, Hi: hi}
+}
+
+// columnRange intersects the non-equality atoms on one column into value
+// bounds [lo, hi) (nil = unbounded). It returns the matched atom indexes and
+// whether any range information was extracted.
+func columnRange(c Conjunction, idxs []int) (lo, hi []byte, matched []int, usable bool) {
+	var loVal, hiVal *tuple.Value // hi is exclusive
+	setLo := func(v tuple.Value) {
+		if loVal == nil || v.Compare(*loVal) > 0 {
+			loVal = &v
+		}
+	}
+	setHiExcl := func(v tuple.Value) {
+		if hiVal == nil || v.Compare(*hiVal) < 0 {
+			hiVal = &v
+		}
+	}
+	for _, i := range idxs {
+		a := c.Atoms[i]
+		switch a.Op {
+		case Lt:
+			setHiExcl(a.Val)
+		case Le:
+			if s, ok := SuccValue(a.Val); ok {
+				setHiExcl(s)
+			} // no successor: unbounded hi is exact
+		case Gt:
+			if s, ok := SuccValue(a.Val); ok {
+				setLo(s)
+			} else {
+				continue // col > MaxInt64 is empty; leave to residual
+			}
+		case Ge:
+			setLo(a.Val)
+		case Between:
+			setLo(a.Val)
+			if s, ok := SuccValue(a.Val2); ok {
+				setHiExcl(s)
+			}
+		default:
+			continue // Ne, In, Eq handled elsewhere
+		}
+		matched = append(matched, i)
+	}
+	if loVal == nil && hiVal == nil {
+		return nil, nil, nil, false
+	}
+	if loVal != nil {
+		lo = tuple.EncodeKey(*loVal)
+	}
+	if hiVal != nil {
+		hi = tuple.EncodeKey(*hiVal)
+	}
+	return lo, hi, matched, true
+}
+
+// composeRange prepends the encoded equality prefix to value-level bounds.
+func composeRange(prefix, lo, hi []byte) KeyRange {
+	var r KeyRange
+	if lo != nil {
+		r.Lo = append(append([]byte(nil), prefix...), lo...)
+	} else {
+		r.Lo = append([]byte(nil), prefix...)
+	}
+	if hi != nil {
+		r.Hi = append(append([]byte(nil), prefix...), hi...)
+	} else if len(prefix) > 0 {
+		r.Hi = prefixRange(prefix).Hi
+	}
+	return r
+}

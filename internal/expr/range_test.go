@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pagefeedback/internal/tuple"
+)
+
+// inRange reports whether encoded key k falls in r.
+func inRange(r KeyRange, k []byte) bool {
+	if r.Lo != nil && bytes.Compare(k, r.Lo) < 0 {
+		return false
+	}
+	if r.Hi != nil && bytes.Compare(k, r.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+func TestSuccValue(t *testing.T) {
+	s, ok := SuccValue(tuple.Int64(5))
+	if !ok || s.Int != 6 {
+		t.Errorf("succ(5) = %v,%v", s, ok)
+	}
+	if _, ok := SuccValue(tuple.Int64(math.MaxInt64)); ok {
+		t.Error("succ(MaxInt64) exists")
+	}
+	s, ok = SuccValue(tuple.Str("ab"))
+	if !ok || s.Str != "ab\x00" {
+		t.Errorf("succ(ab) = %v,%v", s, ok)
+	}
+	s, ok = SuccValue(tuple.Date(10))
+	if !ok || s.Int != 11 || s.Kind != tuple.KindDate {
+		t.Errorf("succ(date 10) = %v,%v", s, ok)
+	}
+}
+
+func TestIndexRangesEquality(t *testing.T) {
+	c := And(NewAtom("state", Eq, tuple.Str("CA")))
+	ranges, matched, ok := IndexRanges(c, []string{"state"})
+	if !ok || len(ranges) != 1 || len(matched) != 1 {
+		t.Fatalf("ranges=%v matched=%v ok=%v", ranges, matched, ok)
+	}
+	r := ranges[0]
+	// Secondary index entries carry an RID suffix after the key values.
+	entryCA := append(tuple.EncodeKey(tuple.Str("CA")), tuple.EncodeKey(tuple.Int64(12345))...)
+	entryWA := append(tuple.EncodeKey(tuple.Str("WA")), tuple.EncodeKey(tuple.Int64(0))...)
+	entryC := append(tuple.EncodeKey(tuple.Str("C")), tuple.EncodeKey(tuple.Int64(0))...)
+	if !inRange(r, entryCA) {
+		t.Error("CA entry excluded")
+	}
+	if inRange(r, entryWA) || inRange(r, entryC) {
+		t.Error("non-CA entry included")
+	}
+}
+
+func TestIndexRangesLessThan(t *testing.T) {
+	c := And(NewAtom("id", Lt, tuple.Int64(100)))
+	ranges, _, ok := IndexRanges(c, []string{"id"})
+	if !ok || len(ranges) != 1 {
+		t.Fatal("no range")
+	}
+	r := ranges[0]
+	for _, tc := range []struct {
+		v    int64
+		want bool
+	}{{-5, true}, {0, true}, {99, true}, {100, false}, {101, false}} {
+		entry := append(tuple.EncodeKey(tuple.Int64(tc.v)), tuple.EncodeKey(tuple.Int64(1))...)
+		if got := inRange(r, entry); got != tc.want {
+			t.Errorf("id=%d in range = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestIndexRangesInclusiveUpper(t *testing.T) {
+	c := And(NewAtom("id", Le, tuple.Int64(100)))
+	ranges, _, _ := IndexRanges(c, []string{"id"})
+	entry100 := append(tuple.EncodeKey(tuple.Int64(100)), tuple.EncodeKey(tuple.Int64(7))...)
+	entry101 := append(tuple.EncodeKey(tuple.Int64(101)), tuple.EncodeKey(tuple.Int64(7))...)
+	if !inRange(ranges[0], entry100) {
+		t.Error("<=100 excluded 100")
+	}
+	if inRange(ranges[0], entry101) {
+		t.Error("<=100 included 101")
+	}
+}
+
+func TestIndexRangesBetweenAndIntersect(t *testing.T) {
+	c := And(
+		NewBetween("id", tuple.Int64(10), tuple.Int64(50)),
+		NewAtom("id", Ge, tuple.Int64(20)), // tightens the low bound
+	)
+	ranges, matched, ok := IndexRanges(c, []string{"id"})
+	if !ok || len(matched) != 2 {
+		t.Fatalf("matched=%v ok=%v", matched, ok)
+	}
+	r := ranges[0]
+	for _, tc := range []struct {
+		v    int64
+		want bool
+	}{{9, false}, {10, false}, {19, false}, {20, true}, {50, true}, {51, false}} {
+		entry := tuple.EncodeKey(tuple.Int64(tc.v), tuple.Int64(0))
+		if got := inRange(r, entry); got != tc.want {
+			t.Errorf("id=%d in range = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestIndexRangesCompositeIndex(t *testing.T) {
+	// Index on (shipdate, state); predicate fixes shipdate and ranges state.
+	c := And(
+		NewAtom("shipdate", Eq, tuple.Date(13665)),
+		NewAtom("state", Ge, tuple.Str("CA")),
+	)
+	ranges, matched, ok := IndexRanges(c, []string{"shipdate", "state"})
+	if !ok || len(matched) != 2 {
+		t.Fatalf("matched=%v ok=%v", matched, ok)
+	}
+	r := ranges[0]
+	mk := func(d int64, s string) []byte {
+		return tuple.EncodeKey(tuple.Date(d), tuple.Str(s), tuple.Int64(0))
+	}
+	if !inRange(r, mk(13665, "CA")) || !inRange(r, mk(13665, "WA")) {
+		t.Error("qualifying composite entries excluded")
+	}
+	if inRange(r, mk(13665, "AZ")) {
+		t.Error("state below low bound included")
+	}
+	if inRange(r, mk(13664, "CA")) || inRange(r, mk(13666, "CA")) {
+		t.Error("other shipdate included")
+	}
+}
+
+func TestIndexRangesEqualityPrefixOnly(t *testing.T) {
+	// Only the leading column is constrained; the index is still usable.
+	c := And(NewAtom("shipdate", Eq, tuple.Date(13665)))
+	ranges, _, ok := IndexRanges(c, []string{"shipdate", "state"})
+	if !ok || len(ranges) != 1 {
+		t.Fatal("prefix-only equality unusable")
+	}
+	r := ranges[0]
+	mk := func(d int64, s string) []byte {
+		return tuple.EncodeKey(tuple.Date(d), tuple.Str(s), tuple.Int64(0))
+	}
+	if !inRange(r, mk(13665, "AA")) || !inRange(r, mk(13665, "zz")) {
+		t.Error("same-date entries excluded")
+	}
+	if inRange(r, mk(13666, "AA")) {
+		t.Error("next-date entry included")
+	}
+}
+
+func TestIndexRangesInExpansion(t *testing.T) {
+	c := And(NewIn("state", tuple.Str("CA"), tuple.Str("WA")))
+	ranges, _, ok := IndexRanges(c, []string{"state"})
+	if !ok || len(ranges) != 2 {
+		t.Fatalf("IN produced %d ranges, ok=%v", len(ranges), ok)
+	}
+	ca := tuple.EncodeKey(tuple.Str("CA"), tuple.Int64(0))
+	or := tuple.EncodeKey(tuple.Str("OR"), tuple.Int64(0))
+	hit := 0
+	for _, r := range ranges {
+		if inRange(r, ca) {
+			hit++
+		}
+		if inRange(r, or) {
+			t.Error("OR entry included")
+		}
+	}
+	if hit != 1 {
+		t.Errorf("CA matched %d ranges", hit)
+	}
+}
+
+func TestIndexRangesUnusable(t *testing.T) {
+	c := And(NewAtom("state", Eq, tuple.Str("CA")))
+	if _, _, ok := IndexRanges(c, []string{"shipdate", "state"}); ok {
+		t.Error("index with unconstrained leading column reported usable")
+	}
+	if _, _, ok := IndexRanges(Conjunction{}, []string{"id"}); ok {
+		t.Error("empty conjunction reported usable")
+	}
+	// Ne cannot seed a range.
+	c2 := And(NewAtom("id", Ne, tuple.Int64(5)))
+	if _, _, ok := IndexRanges(c2, []string{"id"}); ok {
+		t.Error("Ne-only predicate reported usable")
+	}
+}
+
+func TestIndexRangesMaxIntUpper(t *testing.T) {
+	// col <= MaxInt64 admits every key: no narrowing, so the index is
+	// correctly reported unusable for this predicate alone.
+	c := And(NewAtom("id", Le, tuple.Int64(math.MaxInt64)))
+	if _, _, ok := IndexRanges(c, []string{"id"}); ok {
+		t.Error("Le MaxInt64 (no narrowing) reported usable")
+	}
+	// Combined with a real low bound the index is usable and the high end
+	// is exactly unbounded.
+	c2 := And(NewAtom("id", Ge, tuple.Int64(5)), NewAtom("id", Le, tuple.Int64(math.MaxInt64)))
+	ranges, _, ok := IndexRanges(c2, []string{"id"})
+	if !ok || ranges[0].Hi != nil {
+		t.Fatalf("ranges=%v ok=%v, want usable with unbounded hi", ranges, ok)
+	}
+	entry := tuple.EncodeKey(tuple.Int64(math.MaxInt64), tuple.Int64(3))
+	if !inRange(ranges[0], entry) {
+		t.Error("MaxInt64 entry excluded")
+	}
+}

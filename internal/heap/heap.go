@@ -1,0 +1,197 @@
+// Package heap implements heap files: unordered collections of rows in
+// slotted pages, appended in arrival order. A heap scan reads pages in PID
+// order, so it has the grouped page access property the paper's §III-B
+// exploits: once a scan leaves a page it never returns to it.
+package heap
+
+import (
+	"fmt"
+
+	"pagefeedback/internal/storage"
+)
+
+// File is one heap file. It is not safe for concurrent use.
+type File struct {
+	pool     *storage.BufferPool
+	file     storage.FileID
+	lastPage storage.PageID // page currently receiving inserts
+	rowCount int64
+}
+
+// Create allocates a new empty heap file in pool.
+func Create(pool *storage.BufferPool) (*File, error) {
+	file := pool.Disk().CreateFile()
+	pp, err := pool.NewPage(file, storage.PageTypeHeap)
+	if err != nil {
+		return nil, err
+	}
+	pp.Unpin(true)
+	return &File{pool: pool, file: file, lastPage: pp.ID}, nil
+}
+
+// Open attaches to an existing heap file, scanning it once to recover the
+// row count and append position.
+func Open(pool *storage.BufferPool, file storage.FileID) (*File, error) {
+	n := pool.Disk().NumPages(file)
+	if n == 0 {
+		return nil, fmt.Errorf("heap: file %d is empty", file)
+	}
+	f := &File{pool: pool, file: file, lastPage: storage.PageID(n - 1)}
+	for pid := storage.PageID(0); int(pid) < n; pid++ {
+		pp, err := pool.FetchPage(file, pid)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < pp.Page.NumSlots(); s++ {
+			if pp.Page.Cell(storage.SlotID(s)) != nil {
+				f.rowCount++
+			}
+		}
+		pp.Unpin(false)
+	}
+	return f, nil
+}
+
+// FileID returns the backing file.
+func (f *File) FileID() storage.FileID { return f.file }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int { return f.pool.Disk().NumPages(f.file) }
+
+// NumRows returns the number of live rows.
+func (f *File) NumRows() int64 { return f.rowCount }
+
+// Insert appends the encoded row, allocating a new page when the current one
+// is full, and returns its RID.
+func (f *File) Insert(rowBytes []byte) (storage.RID, error) {
+	if len(rowBytes) > storage.PageSize/4 {
+		return storage.RID{}, fmt.Errorf("heap: row of %d bytes too large", len(rowBytes))
+	}
+	pp, err := f.pool.FetchPage(f.file, f.lastPage)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	slot, ok := pp.Page.InsertCell(rowBytes)
+	if !ok {
+		pp.Unpin(false)
+		np, err := f.pool.NewPage(f.file, storage.PageTypeHeap)
+		if err != nil {
+			return storage.RID{}, err
+		}
+		f.lastPage = np.ID
+		slot, ok = np.Page.InsertCell(rowBytes)
+		if !ok {
+			np.Unpin(true)
+			return storage.RID{}, fmt.Errorf("heap: row does not fit in empty page")
+		}
+		rid := storage.RID{Page: np.ID, Slot: slot}
+		np.Unpin(true)
+		f.rowCount++
+		return rid, nil
+	}
+	rid := storage.RID{Page: pp.ID, Slot: slot}
+	pp.Unpin(true)
+	f.rowCount++
+	return rid, nil
+}
+
+// Get returns a copy of the row at rid, or an error if the slot is deleted
+// or out of range.
+func (f *File) Get(rid storage.RID) ([]byte, error) {
+	pp, err := f.pool.FetchPage(f.file, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer pp.Unpin(false)
+	if int(rid.Slot) >= pp.Page.NumSlots() {
+		return nil, fmt.Errorf("heap: no slot %v", rid)
+	}
+	cell := pp.Page.Cell(rid.Slot)
+	if cell == nil {
+		return nil, fmt.Errorf("heap: slot %v deleted", rid)
+	}
+	return append([]byte(nil), cell...), nil
+}
+
+// Delete removes the row at rid.
+func (f *File) Delete(rid storage.RID) error {
+	pp, err := f.pool.FetchPage(f.file, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer pp.Unpin(true)
+	if !pp.Page.DeleteCell(rid.Slot) {
+		return fmt.Errorf("heap: no live slot %v", rid)
+	}
+	f.rowCount--
+	return nil
+}
+
+// Iterator walks all live rows in PID/slot order (grouped page access).
+// RowBytes aliases the pinned page; copy before the next Next.
+type Iterator struct {
+	f    *File
+	pp   *storage.PinnedPage
+	pid  storage.PageID
+	slot int
+	err  error
+}
+
+// Scan returns an iterator positioned before the first row.
+func (f *File) Scan() *Iterator {
+	return &Iterator{f: f, pid: 0, slot: -1}
+}
+
+// Next advances to the next live row, returning false at the end or on
+// error (check Err).
+func (it *Iterator) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for {
+		if it.pp == nil {
+			if int(it.pid) >= it.f.NumPages() {
+				return false
+			}
+			pp, err := it.f.pool.FetchPage(it.f.file, it.pid)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.pp = pp
+			it.slot = -1
+		}
+		it.slot++
+		for it.slot < it.pp.Page.NumSlots() {
+			if it.pp.Page.Cell(storage.SlotID(it.slot)) != nil {
+				return true
+			}
+			it.slot++
+		}
+		it.pp.Unpin(false)
+		it.pp = nil
+		it.pid++
+	}
+}
+
+// RID returns the current row's identifier.
+func (it *Iterator) RID() storage.RID {
+	return storage.RID{Page: it.pp.ID, Slot: storage.SlotID(it.slot)}
+}
+
+// RowBytes returns the current row (aliases the page buffer).
+func (it *Iterator) RowBytes() []byte {
+	return it.pp.Page.Cell(storage.SlotID(it.slot))
+}
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's page pin; safe to call multiple times.
+func (it *Iterator) Close() {
+	if it.pp != nil {
+		it.pp.Unpin(false)
+		it.pp = nil
+	}
+	it.pid = storage.PageID(it.f.NumPages()) // exhaust
+}

@@ -1,0 +1,218 @@
+// Package opt implements the cost-based query optimizer: equi-depth
+// histograms for cardinality estimation, the analytical distinct-page-count
+// model (Cardenas / Mackert–Lohman) whose blindness to on-disk clustering is
+// the error the paper diagnoses, an I/O+CPU cost model driven by the same
+// constants as the simulated disk, plan enumeration for single-table and
+// join queries, and the injection interfaces (§V-A) through which accurate
+// cardinalities and fed-back page counts re-enter optimization.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// Histogram is an equi-depth histogram over one column's values. Numeric
+// (int/date) columns get range buckets; string columns keep an exact
+// value→count table when the domain is small and fall back to a distinct
+// count otherwise.
+type Histogram struct {
+	Kind tuple.Kind
+
+	// Numeric buckets, ascending. Each covers [Lo, Hi] inclusive.
+	Buckets []Bucket
+
+	// String statistics.
+	StrCounts map[string]int64 // nil when the domain was too large
+	Distinct  int64
+	Total     int64
+	Min, Max  tuple.Value
+}
+
+// Bucket is one equi-depth bucket.
+type Bucket struct {
+	Lo, Hi   int64
+	Count    int64
+	Distinct int64
+}
+
+// maxStrDomain bounds the exact string table.
+const maxStrDomain = 4096
+
+// defaultBuckets is the number of equi-depth buckets for numeric columns.
+const defaultBuckets = 100
+
+// BuildHistogram constructs a histogram from column values.
+func BuildHistogram(kind tuple.Kind, vals []tuple.Value) *Histogram {
+	h := &Histogram{Kind: kind, Total: int64(len(vals))}
+	if len(vals) == 0 {
+		return h
+	}
+	switch kind {
+	case tuple.KindString:
+		counts := make(map[string]int64)
+		for _, v := range vals {
+			counts[v.Str]++
+		}
+		h.Distinct = int64(len(counts))
+		if len(counts) <= maxStrDomain {
+			h.StrCounts = counts
+		}
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		h.Min, h.Max = tuple.Str(keys[0]), tuple.Str(keys[len(keys)-1])
+	default:
+		ints := make([]int64, len(vals))
+		for i, v := range vals {
+			ints[i] = v.Int
+		}
+		sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+		h.Min = tuple.Value{Kind: kind, Int: ints[0]}
+		h.Max = tuple.Value{Kind: kind, Int: ints[len(ints)-1]}
+		nb := defaultBuckets
+		if len(ints) < nb {
+			nb = len(ints)
+		}
+		per := (len(ints) + nb - 1) / nb
+		for start := 0; start < len(ints); start += per {
+			end := start + per
+			if end > len(ints) {
+				end = len(ints)
+			}
+			b := Bucket{Lo: ints[start], Hi: ints[end-1], Count: int64(end - start)}
+			d := int64(1)
+			for i := start + 1; i < end; i++ {
+				if ints[i] != ints[i-1] {
+					d++
+				}
+			}
+			b.Distinct = d
+			h.Buckets = append(h.Buckets, b)
+		}
+		var distinct int64
+		for i := 1; i < len(ints); i++ {
+			if ints[i] != ints[i-1] {
+				distinct++
+			}
+		}
+		h.Distinct = distinct + 1
+	}
+	return h
+}
+
+// EstimateAtom returns the estimated selectivity of one atomic predicate in
+// [0, 1].
+func (h *Histogram) EstimateAtom(a expr.Atom) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	switch a.Op {
+	case expr.Eq:
+		return h.eqSelectivity(a.Val)
+	case expr.Ne:
+		return clamp01(1 - h.eqSelectivity(a.Val))
+	case expr.In:
+		s := 0.0
+		for _, v := range a.List {
+			s += h.eqSelectivity(v)
+		}
+		return clamp01(s)
+	case expr.Lt:
+		return h.rangeSelectivity(nil, &a.Val, false)
+	case expr.Le:
+		return h.rangeSelectivity(nil, &a.Val, true)
+	case expr.Gt:
+		return clamp01(1 - h.rangeSelectivity(nil, &a.Val, true))
+	case expr.Ge:
+		return clamp01(1 - h.rangeSelectivity(nil, &a.Val, false))
+	case expr.Between:
+		lo := h.rangeSelectivity(nil, &a.Val, false) // < lo bound
+		hi := h.rangeSelectivity(nil, &a.Val2, true) // <= hi bound
+		return clamp01(hi - lo)
+	default:
+		return 0.1
+	}
+}
+
+func (h *Histogram) eqSelectivity(v tuple.Value) float64 {
+	if h.Kind == tuple.KindString {
+		if h.StrCounts != nil {
+			return float64(h.StrCounts[v.Str]) / float64(h.Total)
+		}
+		if h.Distinct > 0 {
+			return 1 / float64(h.Distinct)
+		}
+		return 0
+	}
+	// A heavy value can span several equi-depth buckets; sum the expected
+	// per-value frequency of every bucket covering it.
+	var acc float64
+	for _, b := range h.Buckets {
+		if v.Int >= b.Lo && v.Int <= b.Hi {
+			d := b.Distinct
+			if d == 0 {
+				d = 1
+			}
+			acc += float64(b.Count) / float64(d)
+		}
+	}
+	return acc / float64(h.Total)
+}
+
+// rangeSelectivity estimates P(col < v) (or <= when inclusive) for numeric
+// columns; strings use the exact table when available.
+func (h *Histogram) rangeSelectivity(_ *tuple.Value, v *tuple.Value, inclusive bool) float64 {
+	if h.Kind == tuple.KindString {
+		if h.StrCounts == nil {
+			return 0.3 // no ordering statistics: guess
+		}
+		var n int64
+		for s, c := range h.StrCounts {
+			if s < v.Str || (inclusive && s == v.Str) {
+				n += c
+			}
+		}
+		return float64(n) / float64(h.Total)
+	}
+	var acc float64
+	for _, b := range h.Buckets {
+		switch {
+		case b.Hi < v.Int, inclusive && b.Hi == v.Int:
+			acc += float64(b.Count)
+		case b.Lo > v.Int, !inclusive && b.Lo == v.Int:
+			// nothing
+		default:
+			// Partial bucket: linear interpolation.
+			width := float64(b.Hi-b.Lo) + 1
+			var frac float64
+			if inclusive {
+				frac = (float64(v.Int-b.Lo) + 1) / width
+			} else {
+				frac = float64(v.Int-b.Lo) / width
+			}
+			acc += float64(b.Count) * clamp01(frac)
+		}
+	}
+	return clamp01(acc / float64(h.Total))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram{%s total=%d distinct=%d buckets=%d}", h.Kind, h.Total, h.Distinct, len(h.Buckets))
+}

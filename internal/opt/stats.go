@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// ColumnStats holds the optimizer's statistics for one column.
+type ColumnStats struct {
+	Hist *Histogram
+}
+
+// TableStats holds the optimizer's statistics for one table.
+type TableStats struct {
+	Rows        int64
+	Pages       int64
+	RowsPerPage float64
+	Columns     map[string]*ColumnStats // lower-cased column name
+}
+
+// Analyze scans a table once and builds statistics for every column (the
+// equivalent of UPDATE STATISTICS WITH FULLSCAN).
+func Analyze(tab *catalog.Table) (*TableStats, error) {
+	ts := &TableStats{
+		Rows:    tab.NumRows(),
+		Pages:   tab.NumPages(),
+		Columns: make(map[string]*ColumnStats),
+	}
+	if ts.Pages > 0 {
+		ts.RowsPerPage = float64(ts.Rows) / float64(ts.Pages)
+	}
+	// Collect values per column in one pass.
+	n := tab.Schema.NumColumns()
+	cols := make([][]tuple.Value, n)
+	it, err := tab.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for it.Next() {
+		row := it.Row()
+		for i := 0; i < n; i++ {
+			cols[i] = append(cols[i], row[i])
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		c := tab.Schema.Column(i)
+		ts.Columns[strings.ToLower(c.Name)] = &ColumnStats{
+			Hist: BuildHistogram(c.Kind, cols[i]),
+		}
+	}
+	return ts, nil
+}
+
+// Column returns the statistics for a column, or an error.
+func (ts *TableStats) Column(name string) (*ColumnStats, error) {
+	cs, ok := ts.Columns[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("opt: no statistics for column %q", name)
+	}
+	return cs, nil
+}
+
+// Selectivity estimates the fraction of rows satisfying the conjunction,
+// multiplying per-atom selectivities (attribute-value independence — the
+// standard assumption, with its standard failure modes).
+func (ts *TableStats) Selectivity(pred expr.Conjunction) float64 {
+	sel := 1.0
+	for _, a := range pred.Atoms {
+		cs, err := ts.Column(a.Col)
+		if err != nil {
+			sel *= 0.1 // unknown column: guess
+			continue
+		}
+		sel *= cs.Hist.EstimateAtom(a)
+	}
+	return clamp01(sel)
+}
+
+// DistinctValues returns the NDV of a column (for join cardinality).
+func (ts *TableStats) DistinctValues(col string) int64 {
+	cs, err := ts.Column(col)
+	if err != nil || cs.Hist == nil {
+		return 1
+	}
+	if cs.Hist.Distinct < 1 {
+		return 1
+	}
+	return cs.Hist.Distinct
+}

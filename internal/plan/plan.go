@@ -1,0 +1,501 @@
+// Package plan defines physical plan trees. The optimizer (internal/opt)
+// produces them; the executor (internal/exec) instantiates them as operator
+// trees. Keeping the representation in its own package lets both sides — and
+// the monitor planner in internal/exec — share it without import cycles.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// Estimates carries the optimizer's predictions for one node; the executor
+// echoes them next to the actuals in the statistics output, which is how a
+// DBA spots estimation errors (§II-C).
+type Estimates struct {
+	Rows float64       // output cardinality
+	DPC  float64       // distinct data pages fetched (seek/intersect/INL only)
+	Cost time.Duration // cumulative simulated cost of the subtree
+}
+
+// Node is one physical operator in a plan tree.
+type Node interface {
+	// Label is a one-line description, e.g. "IndexSeek(sales.ix_state)".
+	Label() string
+	// Inputs returns the child nodes (empty for leaves).
+	Inputs() []Node
+	// OutSchema is the schema of the rows the node produces.
+	OutSchema() *tuple.Schema
+	// Est returns the optimizer's estimates for this node.
+	Est() *Estimates
+}
+
+// JoinMethod selects the physical join algorithm.
+type JoinMethod uint8
+
+// Supported join methods.
+const (
+	HashJoin JoinMethod = iota
+	MergeJoin
+	INLJoin
+)
+
+// String returns the display name of the method.
+func (m JoinMethod) String() string {
+	switch m {
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case INLJoin:
+		return "IndexNestedLoopsJoin"
+	default:
+		return fmt.Sprintf("JoinMethod(%d)", uint8(m))
+	}
+}
+
+// Scan reads a table's data pages in physical order (heap scan or clustered
+// index scan) and applies Pred inside the storage engine with
+// short-circuiting. When ClusterRange is set, only the clustered-key range
+// is read (a clustered index range seek) — still a scan plan with the
+// grouped page access property.
+type Scan struct {
+	Tab          *catalog.Table
+	Pred         expr.Conjunction // bound to Tab.Schema
+	ClusterRange *expr.KeyRange   // nil = full scan
+	Estm         Estimates
+}
+
+// Label implements Node.
+func (s *Scan) Label() string {
+	kind := "TableScan"
+	if s.Tab.Kind == catalog.KindClustered {
+		kind = "ClusteredIndexScan"
+		if s.ClusterRange != nil {
+			kind = "ClusteredIndexRangeScan"
+		}
+	}
+	if s.Pred.Empty() {
+		return fmt.Sprintf("%s(%s)", kind, s.Tab.Name)
+	}
+	return fmt.Sprintf("%s(%s: %s)", kind, s.Tab.Name, s.Pred)
+}
+
+// Inputs implements Node.
+func (s *Scan) Inputs() []Node { return nil }
+
+// OutSchema implements Node.
+func (s *Scan) OutSchema() *tuple.Schema { return s.Tab.Schema }
+
+// Est implements Node.
+func (s *Scan) Est() *Estimates { return &s.Estm }
+
+// CoveringScan reads every leaf of a secondary index whose key columns cover
+// the query, applying Pred to the index columns. No table pages are touched.
+type CoveringScan struct {
+	Tab   *catalog.Table
+	Index *catalog.Index
+	Pred  expr.Conjunction // bound to the index schema
+	Schem *tuple.Schema    // index columns as a schema
+	Estm  Estimates
+}
+
+// Label implements Node.
+func (s *CoveringScan) Label() string {
+	return fmt.Sprintf("CoveringIndexScan(%s.%s: %s)", s.Tab.Name, s.Index.Name, s.Pred)
+}
+
+// Inputs implements Node.
+func (s *CoveringScan) Inputs() []Node { return nil }
+
+// OutSchema implements Node.
+func (s *CoveringScan) OutSchema() *tuple.Schema { return s.Schem }
+
+// Est implements Node.
+func (s *CoveringScan) Est() *Estimates { return &s.Estm }
+
+// Seek looks up Index over Ranges, then fetches qualifying rows from the
+// table and applies the full predicate. The fetch is the random-I/O step
+// whose cost is DPC × random-read time.
+type Seek struct {
+	Tab    *catalog.Table
+	Index  *catalog.Index
+	Ranges []expr.KeyRange
+	Pred   expr.Conjunction // full predicate, bound to Tab.Schema
+	Estm   Estimates
+}
+
+// Label implements Node.
+func (s *Seek) Label() string {
+	return fmt.Sprintf("IndexSeek(%s.%s: %s)", s.Tab.Name, s.Index.Name, s.Pred)
+}
+
+// Inputs implements Node.
+func (s *Seek) Inputs() []Node { return nil }
+
+// OutSchema implements Node.
+func (s *Seek) OutSchema() *tuple.Schema { return s.Tab.Schema }
+
+// Est implements Node.
+func (s *Seek) Est() *Estimates { return &s.Estm }
+
+// Intersect looks up two indexes, intersects the RID sets, then fetches the
+// surviving rows and applies the full predicate.
+type Intersect struct {
+	Tab     *catalog.Table
+	IndexA  *catalog.Index
+	RangesA []expr.KeyRange
+	IndexB  *catalog.Index
+	RangesB []expr.KeyRange
+	Pred    expr.Conjunction
+	Estm    Estimates
+}
+
+// Label implements Node.
+func (s *Intersect) Label() string {
+	return fmt.Sprintf("IndexIntersection(%s: %s ∩ %s)", s.Tab.Name, s.IndexA.Name, s.IndexB.Name)
+}
+
+// Inputs implements Node.
+func (s *Intersect) Inputs() []Node { return nil }
+
+// OutSchema implements Node.
+func (s *Intersect) OutSchema() *tuple.Schema { return s.Tab.Schema }
+
+// Est implements Node.
+func (s *Intersect) Est() *Estimates { return &s.Estm }
+
+// Join combines two inputs on OuterCol = InnerCol.
+//
+// For HashJoin and MergeJoin, Outer and Inner are both plan subtrees; the
+// join runs in the relational engine. For INLJoin, Inner must be a *Seek-
+// shaped access: the join seeks InnerIndex once per outer row, so the node
+// stores the inner table/index directly and InnerPred is the residual
+// selection applied after the join (per §IV, selection predicates on the
+// inner of an INL join are evaluated after the fetch).
+type Join struct {
+	Method   JoinMethod
+	Outer    Node
+	Inner    Node // nil for INLJoin
+	OuterCol string
+
+	// INLJoin only:
+	InnerTab   *catalog.Table
+	InnerIndex *catalog.Index
+	InnerPred  expr.Conjunction // residual predicate on the inner table
+	InnerCol   string
+
+	// SortOuter/SortInner request an explicit Sort on the corresponding
+	// input of a MergeJoin (when the input is not already in join-column
+	// order).
+	SortOuter, SortInner bool
+
+	Schem *tuple.Schema
+	Estm  Estimates
+}
+
+// Label implements Node.
+func (j *Join) Label() string {
+	if j.Method == INLJoin {
+		return fmt.Sprintf("%s(outer.%s = %s.%s via %s)", j.Method, j.OuterCol,
+			j.InnerTab.Name, j.InnerCol, j.InnerIndex.Name)
+	}
+	return fmt.Sprintf("%s(outer.%s = inner.%s)", j.Method, j.OuterCol, j.InnerCol)
+}
+
+// Inputs implements Node.
+func (j *Join) Inputs() []Node {
+	if j.Method == INLJoin {
+		return []Node{j.Outer}
+	}
+	return []Node{j.Outer, j.Inner}
+}
+
+// OutSchema implements Node.
+func (j *Join) OutSchema() *tuple.Schema { return j.Schem }
+
+// Est implements Node.
+func (j *Join) Est() *Estimates { return &j.Estm }
+
+// JoinSchema builds the output schema of a join: outer columns then inner
+// columns, each qualified as "table.column" to keep names unique. When the
+// same table appears on both sides (a self-join shape), the colliding
+// names gain a "#2", "#3", ... suffix rather than panicking the schema
+// constructor.
+func JoinSchema(outerName string, outer *tuple.Schema, innerName string, inner *tuple.Schema) *tuple.Schema {
+	var cols []tuple.Column
+	seen := map[string]int{}
+	add := func(table string, c tuple.Column) {
+		name := qualify(table, c.Name)
+		key := strings.ToLower(name)
+		seen[key]++
+		if n := seen[key]; n > 1 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		cols = append(cols, tuple.Column{Name: name, Kind: c.Kind})
+	}
+	for i := 0; i < outer.NumColumns(); i++ {
+		add(outerName, outer.Column(i))
+	}
+	for i := 0; i < inner.NumColumns(); i++ {
+		add(innerName, inner.Column(i))
+	}
+	return tuple.NewSchema(cols...)
+}
+
+func qualify(table, col string) string {
+	if strings.Contains(col, ".") {
+		return col // already qualified by a lower join
+	}
+	return table + "." + col
+}
+
+// ResolveColumn finds a column in a (possibly join-qualified) schema: an
+// exact match first, then a unique ".col" suffix match.
+func ResolveColumn(s *tuple.Schema, name string) (int, error) {
+	if i, ok := s.Ordinal(name); ok {
+		return i, nil
+	}
+	suffix := "." + strings.ToLower(name)
+	found := -1
+	for i := 0; i < s.NumColumns(); i++ {
+		if strings.HasSuffix(strings.ToLower(s.Column(i).Name), suffix) {
+			if found >= 0 {
+				return 0, fmt.Errorf("plan: column %q is ambiguous", name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		// A qualified name against an unqualified schema (single-table
+		// plan): strip the qualifier and retry the exact match.
+		if dot := strings.LastIndex(name, "."); dot >= 0 {
+			if i, ok := s.Ordinal(name[dot+1:]); ok {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("plan: no column %q", name)
+	}
+	return found, nil
+}
+
+// Sort orders its input by the given columns (all ascending, or all
+// descending when Desc is set).
+type Sort struct {
+	Input Node
+	Cols  []string
+	Desc  bool
+	Estm  Estimates
+}
+
+// Label implements Node.
+func (s *Sort) Label() string {
+	dir := ""
+	if s.Desc {
+		dir = " DESC"
+	}
+	return "Sort(" + strings.Join(s.Cols, ", ") + dir + ")"
+}
+
+// Inputs implements Node.
+func (s *Sort) Inputs() []Node { return []Node{s.Input} }
+
+// OutSchema implements Node.
+func (s *Sort) OutSchema() *tuple.Schema { return s.Input.OutSchema() }
+
+// Est implements Node.
+func (s *Sort) Est() *Estimates { return &s.Estm }
+
+// Project narrows its input to the named columns, in order.
+type Project struct {
+	Input Node
+	Cols  []string
+	Schem *tuple.Schema
+	Estm  Estimates
+}
+
+// NewProject builds a projection node, resolving the columns (which may be
+// join-qualified) against the input schema.
+func NewProject(input Node, cols []string) (*Project, error) {
+	in := input.OutSchema()
+	out := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		ord, err := ResolveColumn(in, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = in.Column(ord)
+	}
+	return &Project{Input: input, Cols: cols, Schem: tuple.NewSchema(out...)}, nil
+}
+
+// Label implements Node.
+func (p *Project) Label() string { return "Project(" + strings.Join(p.Cols, ", ") + ")" }
+
+// Inputs implements Node.
+func (p *Project) Inputs() []Node { return []Node{p.Input} }
+
+// OutSchema implements Node.
+func (p *Project) OutSchema() *tuple.Schema { return p.Schem }
+
+// Est implements Node.
+func (p *Project) Est() *Estimates { return &p.Estm }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Input Node
+	N     int
+	Estm  Estimates
+}
+
+// Label implements Node.
+func (l *Limit) Label() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Inputs implements Node.
+func (l *Limit) Inputs() []Node { return []Node{l.Input} }
+
+// OutSchema implements Node.
+func (l *Limit) OutSchema() *tuple.Schema { return l.Input.OutSchema() }
+
+// Est implements Node.
+func (l *Limit) Est() *Estimates { return &l.Estm }
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	CountAgg AggFunc = iota // COUNT(col) / COUNT(*)
+	SumAgg
+	MinAgg
+	MaxAgg
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case CountAgg:
+		return "COUNT"
+	case SumAgg:
+		return "SUM"
+	case MinAgg:
+		return "MIN"
+	case MaxAgg:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Agg computes one ungrouped aggregate over its input (the shape of every
+// query in the paper's workloads).
+type Agg struct {
+	Input Node
+	Func  AggFunc
+	Col   string // "" means COUNT(*)
+	Schem *tuple.Schema
+	Estm  Estimates
+}
+
+// NewAgg builds an aggregate node with its single-column output schema.
+func NewAgg(input Node, f AggFunc, col string) *Agg {
+	name := strings.ToLower(f.String())
+	return &Agg{
+		Input: input, Func: f, Col: col,
+		Schem: tuple.NewSchema(tuple.Column{Name: name, Kind: tuple.KindInt}),
+	}
+}
+
+// Label implements Node.
+func (a *Agg) Label() string {
+	col := a.Col
+	if col == "" {
+		col = "*"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, col)
+}
+
+// Inputs implements Node.
+func (a *Agg) Inputs() []Node { return []Node{a.Input} }
+
+// OutSchema implements Node.
+func (a *Agg) OutSchema() *tuple.Schema { return a.Schem }
+
+// Est implements Node.
+func (a *Agg) Est() *Estimates { return &a.Estm }
+
+// GroupAgg computes one aggregate per distinct value of a group column,
+// emitting (group value, aggregate) rows in group-value order.
+type GroupAgg struct {
+	Input    Node
+	GroupCol string
+	Func     AggFunc
+	AggCol   string // "" = COUNT(*)
+	Schem    *tuple.Schema
+	Estm     Estimates
+}
+
+// NewGroupAgg builds the node, resolving the group column against the input
+// schema to type the output.
+func NewGroupAgg(input Node, groupCol string, f AggFunc, aggCol string) (*GroupAgg, error) {
+	in := input.OutSchema()
+	ord, err := ResolveColumn(in, groupCol)
+	if err != nil {
+		return nil, err
+	}
+	gcol := in.Column(ord)
+	return &GroupAgg{
+		Input: input, GroupCol: groupCol, Func: f, AggCol: aggCol,
+		Schem: tuple.NewSchema(
+			tuple.Column{Name: gcol.Name, Kind: gcol.Kind},
+			tuple.Column{Name: strings.ToLower(f.String()), Kind: tuple.KindInt},
+		),
+	}, nil
+}
+
+// Label implements Node.
+func (g *GroupAgg) Label() string {
+	col := g.AggCol
+	if col == "" {
+		col = "*"
+	}
+	return fmt.Sprintf("GroupAgg(%s, %s(%s))", g.GroupCol, g.Func, col)
+}
+
+// Inputs implements Node.
+func (g *GroupAgg) Inputs() []Node { return []Node{g.Input} }
+
+// OutSchema implements Node.
+func (g *GroupAgg) OutSchema() *tuple.Schema { return g.Schem }
+
+// Est implements Node.
+func (g *GroupAgg) Est() *Estimates { return &g.Estm }
+
+// Format renders the plan tree indented, one node per line, with estimates.
+func Format(n Node) string {
+	var b strings.Builder
+	format(&b, n, 0)
+	return b.String()
+}
+
+func format(b *strings.Builder, n Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Label())
+	e := n.Est()
+	if e.Rows > 0 || e.Cost > 0 {
+		fmt.Fprintf(b, "  [rows=%.0f", e.Rows)
+		if e.DPC > 0 {
+			fmt.Fprintf(b, " dpc=%.0f", e.DPC)
+		}
+		fmt.Fprintf(b, " cost=%v]", e.Cost.Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Inputs() {
+		format(b, c, depth+1)
+	}
+}

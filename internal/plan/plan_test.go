@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+func testTables(t *testing.T) (*catalog.Table, *catalog.Table) {
+	t.Helper()
+	d := storage.NewDiskManager(storage.DefaultIOModel())
+	cat := catalog.New(storage.NewBufferPool(d, 64))
+	s1 := tuple.NewSchema(
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+		tuple.Column{Name: "pad", Kind: tuple.KindString},
+	)
+	s2 := tuple.NewSchema(
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+		tuple.Column{Name: "v", Kind: tuple.KindInt},
+	)
+	t1, err := cat.CreateClusteredTable("orders", s1, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cat.CreateHeapTable("items", s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return t1, t2
+}
+
+func TestScanLabels(t *testing.T) {
+	clustered, heapTab := testTables(t)
+	s := &Scan{Tab: clustered, Pred: expr.Conjunction{}}
+	if got := s.Label(); got != "ClusteredIndexScan(orders)" {
+		t.Errorf("label = %q", got)
+	}
+	pred := expr.And(expr.NewAtom("id", expr.Lt, tuple.Int64(5)))
+	s2 := &Scan{Tab: heapTab, Pred: pred}
+	if got := s2.Label(); got != "TableScan(items: id < 5)" {
+		t.Errorf("label = %q", got)
+	}
+	r := expr.KeyRange{}
+	s3 := &Scan{Tab: clustered, Pred: pred, ClusterRange: &r}
+	if !strings.HasPrefix(s3.Label(), "ClusteredIndexRangeScan(") {
+		t.Errorf("label = %q", s3.Label())
+	}
+	if s.Inputs() != nil || s.OutSchema() != clustered.Schema {
+		t.Error("Scan Inputs/OutSchema wrong")
+	}
+}
+
+func TestJoinLabelsAndInputs(t *testing.T) {
+	clustered, heapTab := testTables(t)
+	outer := &Scan{Tab: clustered, Pred: expr.Conjunction{}}
+	inner := &Scan{Tab: heapTab, Pred: expr.Conjunction{}}
+	hj := &Join{Method: HashJoin, Outer: outer, Inner: inner, OuterCol: "id", InnerCol: "id",
+		Schem: JoinSchema("orders", clustered.Schema, "items", heapTab.Schema)}
+	if !strings.HasPrefix(hj.Label(), "HashJoin(") {
+		t.Errorf("label = %q", hj.Label())
+	}
+	if len(hj.Inputs()) != 2 {
+		t.Errorf("hash join inputs = %d", len(hj.Inputs()))
+	}
+	inl := &Join{Method: INLJoin, Outer: outer, OuterCol: "id",
+		InnerTab: heapTab, InnerCol: "id",
+		InnerIndex: &catalog.Index{Name: "ix", Table: heapTab, Cols: []string{"id"}}}
+	if len(inl.Inputs()) != 1 {
+		t.Errorf("INL join inputs = %d", len(inl.Inputs()))
+	}
+	if !strings.Contains(inl.Label(), "IndexNestedLoopsJoin") {
+		t.Errorf("label = %q", inl.Label())
+	}
+}
+
+func TestJoinSchemaQualification(t *testing.T) {
+	clustered, heapTab := testTables(t)
+	js := JoinSchema("orders", clustered.Schema, "items", heapTab.Schema)
+	if js.NumColumns() != 4 {
+		t.Fatalf("joined columns = %d", js.NumColumns())
+	}
+	if _, ok := js.Ordinal("orders.id"); !ok {
+		t.Error("orders.id missing")
+	}
+	if _, ok := js.Ordinal("items.v"); !ok {
+		t.Error("items.v missing")
+	}
+	// A second-level join must not double-qualify.
+	js2 := JoinSchema("outer2", js, "items", heapTab.Schema)
+	if _, ok := js2.Ordinal("orders.id"); !ok {
+		t.Error("nested join re-qualified an already qualified column")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	clustered, heapTab := testTables(t)
+	js := JoinSchema("orders", clustered.Schema, "items", heapTab.Schema)
+	// Exact qualified match.
+	if i, err := ResolveColumn(js, "orders.id"); err != nil || js.Column(i).Name != "orders.id" {
+		t.Errorf("qualified resolve: %v %v", i, err)
+	}
+	// Unique suffix match.
+	if i, err := ResolveColumn(js, "pad"); err != nil || js.Column(i).Name != "orders.pad" {
+		t.Errorf("suffix resolve: %v %v", i, err)
+	}
+	// Ambiguous suffix.
+	if _, err := ResolveColumn(js, "id"); err == nil {
+		t.Error("ambiguous column resolved")
+	}
+	// Missing.
+	if _, err := ResolveColumn(js, "ghost"); err == nil {
+		t.Error("missing column resolved")
+	}
+	// Qualified name against unqualified schema: strip fallback.
+	if i, err := ResolveColumn(clustered.Schema, "orders.pad"); err != nil || i != 1 {
+		t.Errorf("strip-qualifier resolve: %v %v", i, err)
+	}
+}
+
+func TestSortAggNodes(t *testing.T) {
+	clustered, _ := testTables(t)
+	scan := &Scan{Tab: clustered, Pred: expr.Conjunction{}}
+	srt := &Sort{Input: scan, Cols: []string{"id"}}
+	if srt.Label() != "Sort(id)" || len(srt.Inputs()) != 1 || srt.OutSchema() != scan.OutSchema() {
+		t.Errorf("sort node: %q", srt.Label())
+	}
+	agg := NewAgg(scan, CountAgg, "")
+	if agg.Label() != "COUNT(*)" {
+		t.Errorf("agg label = %q", agg.Label())
+	}
+	if agg.OutSchema().NumColumns() != 1 || agg.OutSchema().Column(0).Name != "count" {
+		t.Errorf("agg schema = %v", agg.OutSchema())
+	}
+	agg2 := NewAgg(scan, SumAgg, "id")
+	if agg2.Label() != "SUM(id)" {
+		t.Errorf("agg2 label = %q", agg2.Label())
+	}
+	for _, f := range []AggFunc{CountAgg, SumAgg, MinAgg, MaxAgg} {
+		if f.String() == "" || strings.HasPrefix(f.String(), "AggFunc") {
+			t.Errorf("AggFunc %d has no name", f)
+		}
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	clustered, heapTab := testTables(t)
+	outer := &Scan{Tab: clustered, Pred: expr.Conjunction{},
+		Estm: Estimates{Rows: 100, Cost: 5 * time.Millisecond}}
+	inner := &Scan{Tab: heapTab, Pred: expr.Conjunction{}}
+	hj := &Join{Method: MergeJoin, Outer: outer, Inner: inner, OuterCol: "id", InnerCol: "id",
+		Schem: JoinSchema("orders", clustered.Schema, "items", heapTab.Schema),
+		Estm:  Estimates{Rows: 42, DPC: 7, Cost: 9 * time.Millisecond}}
+	agg := NewAgg(hj, CountAgg, "pad")
+	out := Format(agg)
+	for _, want := range []string{"COUNT(pad)", "MergeJoin", "ClusteredIndexScan(orders)", "dpc=7", "rows=100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation reflects depth.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("formatted %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Error("indentation wrong")
+	}
+}
+
+func TestJoinMethodString(t *testing.T) {
+	if HashJoin.String() != "HashJoin" || MergeJoin.String() != "MergeJoin" ||
+		INLJoin.String() != "IndexNestedLoopsJoin" {
+		t.Error("join method names wrong")
+	}
+}

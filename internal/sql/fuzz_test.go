@@ -1,0 +1,60 @@
+package sql
+
+import (
+	"testing"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// FuzzParse asserts the parser never panics, whatever the input: it either
+// returns a query or an error. Run the seed corpus with `go test`, or
+// explore with `go test -fuzz FuzzParse ./internal/sql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(pad) FROM sales WHERE id < 10",
+		"SELECT * FROM sales ORDER BY id DESC LIMIT 3",
+		"SELECT state, COUNT(*) FROM sales GROUP BY state",
+		"SELECT COUNT(pad) FROM sales, vendors WHERE vendors.id = sales.id AND vid IN (1,2,3)",
+		"SELECT SUM(id) FROM sales WHERE shipdate BETWEEN '2007-01-01' AND '2007-02-01'",
+		"select min(id) from sales where state = 'O''Brien'",
+		"SELECT",
+		"SELECT ( FROM",
+		"'",
+		"SELECT COUNT(pad) FROM sales WHERE id < -",
+		"SELECT a.b.c FROM sales",
+		"SELECT * FROM sales WHERE id BETWEEN 1 AND",
+		"\x00\x01\x02",
+		"SELECT * FROM sales LIMIT 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	d := storage.NewDiskManager(storage.DefaultIOModel())
+	cat := catalog.New(storage.NewBufferPool(d, 64))
+	sales := tuple.NewSchema(
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+		tuple.Column{Name: "shipdate", Kind: tuple.KindDate},
+		tuple.Column{Name: "state", Kind: tuple.KindString},
+		tuple.Column{Name: "pad", Kind: tuple.KindString},
+	)
+	if _, err := cat.CreateHeapTable("sales", sales); err != nil {
+		f.Fatal(err)
+	}
+	vendors := tuple.NewSchema(
+		tuple.Column{Name: "vid", Kind: tuple.KindInt},
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+	)
+	if _, err := cat.CreateHeapTable("vendors", vendors); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(cat, src)
+		if err == nil && q == nil {
+			t.Fatal("nil query with nil error")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package sql implements a lexer and parser for the SELECT subset the
+// paper's workloads use:
+//
+//	SELECT COUNT(col) FROM t WHERE c1 < 10 AND state = 'CA'
+//	SELECT COUNT(t.pad) FROM t, t1 WHERE t1.c1 < 500 AND t1.c2 = t.c2
+//
+// Supported: COUNT/SUM/MIN/MAX aggregates (or COUNT(*)), one or two tables,
+// WHERE conjunctions of comparisons, BETWEEN, IN, and one equality join
+// predicate. Literals are integers, 'strings', and dates written as
+// 'YYYY-MM-DD' (coerced against the column type from the catalog).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * .
+	tokOp     // = <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '.':
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
+			l.pos++
+		case c == '=' || c == '<' || c == '>':
+			l.op()
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{tokString, b.String(), start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) op() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) {
+		two := string(c) + string(l.src[l.pos])
+		if two == "<=" || two == ">=" || two == "<>" {
+			l.pos++
+			l.toks = append(l.toks, token{tokOp, two, start})
+			return
+		}
+	}
+	l.toks = append(l.toks, token{tokOp, string(c), start})
+}

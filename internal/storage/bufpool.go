@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// PoolStats accumulates buffer-pool counters. LogicalReads counts every page
+// request; Hits counts those served from memory.
+type PoolStats struct {
+	LogicalReads int64
+	Hits         int64
+	Evictions    int64
+}
+
+// Sub returns s - o.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{
+		LogicalReads: s.LogicalReads - o.LogicalReads,
+		Hits:         s.Hits - o.Hits,
+		Evictions:    s.Evictions - o.Evictions,
+	}
+}
+
+type frameKey struct {
+	file FileID
+	page PageID
+}
+
+type frame struct {
+	key   frameKey
+	buf   []byte
+	dirty bool
+	pins  int
+	lru   *list.Element // nil while pinned
+}
+
+// BufferPool caches pages above the DiskManager with LRU replacement.
+// Unpinned pages are eviction candidates; dirty pages are written back on
+// eviction or Flush. All methods are safe for concurrent use, though the
+// experiments run single-threaded like the paper's.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *DiskManager
+	capacity int
+	frames   map[frameKey]*frame
+	lruList  *list.List // front = most recently used
+	stats    PoolStats
+}
+
+// NewBufferPool creates a pool holding up to capacity pages. A capacity of at
+// least a few dozen pages is needed for B+tree traversals; NewBufferPool
+// panics below 8 to catch misconfiguration early.
+func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
+	if capacity < 8 {
+		panic(fmt.Sprintf("storage: buffer pool capacity %d too small", capacity))
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[frameKey]*frame, capacity),
+		lruList:  list.New(),
+	}
+}
+
+// Disk returns the underlying disk manager.
+func (bp *BufferPool) Disk() *DiskManager { return bp.disk }
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// PinnedPage is a pinned page handle. Callers must Unpin exactly once.
+type PinnedPage struct {
+	pool *BufferPool
+	fr   *frame
+	Page *Page
+	File FileID
+	ID   PageID
+}
+
+// Unpin releases the pin. If dirty is true the page will be written back
+// before eviction.
+func (pp *PinnedPage) Unpin(dirty bool) {
+	pp.pool.unpin(pp.fr, dirty)
+}
+
+// FetchPage pins page pid of the file, reading it from disk on a miss.
+func (bp *BufferPool) FetchPage(file FileID, pid PageID) (*PinnedPage, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.LogicalReads++
+	key := frameKey{file, pid}
+	if fr, ok := bp.frames[key]; ok {
+		bp.stats.Hits++
+		bp.pinLocked(fr)
+		return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+	}
+	fr, err := bp.allocFrameLocked(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.disk.ReadPage(file, pid, fr.buf); err != nil {
+		delete(bp.frames, key)
+		return nil, err
+	}
+	bp.pinLocked(fr)
+	return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+}
+
+// NewPage allocates a fresh page in the file, formats it with the given type,
+// and returns it pinned and dirty.
+func (bp *BufferPool) NewPage(file FileID, typ byte) (*PinnedPage, error) {
+	pid, err := bp.disk.AllocPage(file)
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	key := frameKey{file, pid}
+	fr, err := bp.allocFrameLocked(key)
+	if err != nil {
+		return nil, err
+	}
+	InitPage(fr.buf, typ)
+	fr.dirty = true
+	bp.pinLocked(fr)
+	return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+}
+
+// allocFrameLocked finds or evicts a frame for key. Caller holds bp.mu.
+func (bp *BufferPool) allocFrameLocked(key frameKey) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{key: key, buf: make([]byte, PageSize)}
+	bp.frames[key] = fr
+	return fr, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	el := bp.lruList.Back()
+	if el == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
+	}
+	fr := el.Value.(*frame)
+	if fr.dirty {
+		if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+			return err
+		}
+	}
+	bp.lruList.Remove(el)
+	delete(bp.frames, fr.key)
+	bp.stats.Evictions++
+	return nil
+}
+
+func (bp *BufferPool) pinLocked(fr *frame) {
+	if fr.lru != nil {
+		bp.lruList.Remove(fr.lru)
+		fr.lru = nil
+	}
+	fr.pins++
+}
+
+func (bp *BufferPool) unpin(fr *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: unpin of unpinned page")
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	if fr.pins == 0 {
+		fr.lru = bp.lruList.PushFront(fr)
+	}
+}
+
+// Flush writes back all dirty pages (pinned or not) without evicting them.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Reset flushes dirty pages and drops every cached page, simulating a cold
+// cache (the paper measures all executions cold). It returns an error if any
+// page is still pinned.
+func (bp *BufferPool) Reset() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: Reset with pinned page %v", fr.key)
+		}
+		if fr.dirty {
+			if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+				return err
+			}
+		}
+	}
+	bp.frames = make(map[frameKey]*frame, bp.capacity)
+	bp.lruList.Init()
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}

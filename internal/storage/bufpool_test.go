@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newPoolForTest(capacity int) (*BufferPool, FileID) {
+	d := NewDiskManager(testModel())
+	bp := NewBufferPool(d, capacity)
+	return bp, d.CreateFile()
+}
+
+func TestBufferPoolNewPageAndFetch(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	pp, err := bp.NewPage(f, PageTypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Page.InsertCell([]byte("payload"))
+	pid := pp.ID
+	pp.Unpin(true)
+
+	got, err := bp.FetchPage(f, pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Page.Cell(0)) != "payload" {
+		t.Errorf("cell = %q", got.Page.Cell(0))
+	}
+	got.Unpin(false)
+	st := bp.Stats()
+	if st.Hits != 1 {
+		t.Errorf("Hits = %d, want 1 (page was cached)", st.Hits)
+	}
+}
+
+func TestBufferPoolTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBufferPool(1) did not panic")
+		}
+	}()
+	d := NewDiskManager(testModel())
+	NewBufferPool(d, 1)
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	// Create 20 pages through an 8-page pool; early pages must be evicted
+	// and written back, then read back intact.
+	for i := 0; i < 20; i++ {
+		pp, err := bp.NewPage(f, PageTypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp.Page.InsertCell([]byte(fmt.Sprintf("page-%d", i)))
+		pp.Unpin(true)
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("no evictions happened")
+	}
+	for i := 0; i < 20; i++ {
+		pp, err := bp.FetchPage(f, PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("page-%d", i); string(pp.Page.Cell(0)) != want {
+			t.Errorf("page %d cell = %q, want %q", i, pp.Page.Cell(0), want)
+		}
+		pp.Unpin(false)
+	}
+}
+
+func TestBufferPoolLRUOrder(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	var pids []PageID
+	for i := 0; i < 8; i++ {
+		pp, _ := bp.NewPage(f, PageTypeHeap)
+		pids = append(pids, pp.ID)
+		pp.Unpin(true)
+	}
+	// Touch page 0 so it is MRU; allocating one more should evict page 1.
+	pp, _ := bp.FetchPage(f, pids[0])
+	pp.Unpin(false)
+	npp, _ := bp.NewPage(f, PageTypeHeap)
+	npp.Unpin(true)
+
+	bp.Disk().ResetStats()
+	pp, _ = bp.FetchPage(f, pids[0]) // should still be cached
+	pp.Unpin(false)
+	if bp.Disk().Stats().PhysicalReads != 0 {
+		t.Error("recently used page was evicted")
+	}
+	pp, _ = bp.FetchPage(f, pids[1]) // should have been evicted
+	pp.Unpin(false)
+	if bp.Disk().Stats().PhysicalReads != 1 {
+		t.Error("LRU page was not evicted")
+	}
+}
+
+func TestBufferPoolAllPinnedError(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	var pins []*PinnedPage
+	for i := 0; i < 8; i++ {
+		pp, err := bp.NewPage(f, PageTypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, pp)
+	}
+	if _, err := bp.NewPage(f, PageTypeHeap); err == nil {
+		t.Error("NewPage with all frames pinned succeeded")
+	}
+	for _, pp := range pins {
+		pp.Unpin(false)
+	}
+	if _, err := bp.NewPage(f, PageTypeHeap); err != nil {
+		t.Errorf("NewPage after unpin failed: %v", err)
+	}
+}
+
+func TestBufferPoolDoubleUnpinPanics(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	pp, _ := bp.NewPage(f, PageTypeHeap)
+	pp.Unpin(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("double unpin did not panic")
+		}
+	}()
+	pp.Unpin(false)
+}
+
+func TestBufferPoolResetColdCache(t *testing.T) {
+	bp, f := newPoolForTest(16)
+	pp, _ := bp.NewPage(f, PageTypeHeap)
+	pp.Page.InsertCell([]byte("durable"))
+	pid := pp.ID
+	pp.Unpin(true)
+
+	if err := bp.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	bp.Disk().ResetStats()
+	got, err := bp.FetchPage(f, pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Unpin(false)
+	if bp.Disk().Stats().PhysicalReads != 1 {
+		t.Error("Reset did not cold the cache")
+	}
+	if string(got.Page.Cell(0)) != "durable" {
+		t.Error("dirty page lost across Reset")
+	}
+}
+
+func TestBufferPoolResetWithPinnedFails(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	pp, _ := bp.NewPage(f, PageTypeHeap)
+	defer pp.Unpin(false)
+	if err := bp.Reset(); err == nil {
+		t.Error("Reset with pinned page succeeded")
+	}
+}
+
+func TestBufferPoolFlush(t *testing.T) {
+	bp, f := newPoolForTest(8)
+	pp, _ := bp.NewPage(f, PageTypeHeap)
+	pp.Page.InsertCell([]byte("flushed"))
+	pid := pp.ID
+	pp.Unpin(true)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Read straight from disk, bypassing the pool.
+	raw := make([]byte, PageSize)
+	if err := bp.Disk().ReadPage(f, pid, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(pageFromBuf(raw).Cell(0)) != "flushed" {
+		t.Error("Flush did not write page to disk")
+	}
+}
+
+func TestPoolStatsSub(t *testing.T) {
+	a := PoolStats{LogicalReads: 10, Hits: 5, Evictions: 2}
+	b := PoolStats{LogicalReads: 4, Hits: 1, Evictions: 1}
+	got := a.Sub(b)
+	if got.LogicalReads != 6 || got.Hits != 4 || got.Evictions != 1 {
+		t.Errorf("Sub = %+v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is returned by reads after FailReadsAfter triggers.
+var ErrInjectedFault = errors.New("storage: injected read fault")
+
+// IOModel holds the simulated device timing constants. The same constants
+// drive the optimizer's cost model (internal/opt), so that a corrected
+// distinct page count changes the plan choice and the simulated execution
+// time coherently — mirroring the paper's methodology of measuring real
+// executions on a cold cache.
+type IOModel struct {
+	// RandomRead is the simulated latency of a random 8 KB page read.
+	RandomRead time.Duration
+	// SeqRead is the simulated latency of a sequential 8 KB page read
+	// (the next page of the same file after the previous read).
+	SeqRead time.Duration
+}
+
+// DefaultIOModel approximates a 2007-era enterprise disk: ~4 ms random seek
+// and ~80 MB/s sequential bandwidth (0.1 ms per 8 KB page).
+func DefaultIOModel() IOModel {
+	return IOModel{RandomRead: 4 * time.Millisecond, SeqRead: 100 * time.Microsecond}
+}
+
+// IOStats accumulates device-level counters.
+type IOStats struct {
+	PhysicalReads   int64         // total pages read from "disk"
+	SequentialReads int64         // reads that continued the previous page
+	RandomReads     int64         // reads that required a seek
+	PagesWritten    int64         // pages written
+	SimulatedIO     time.Duration // total simulated device time
+}
+
+// Sub returns s - o, for measuring a window between two snapshots.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		PhysicalReads:   s.PhysicalReads - o.PhysicalReads,
+		SequentialReads: s.SequentialReads - o.SequentialReads,
+		RandomReads:     s.RandomReads - o.RandomReads,
+		PagesWritten:    s.PagesWritten - o.PagesWritten,
+		SimulatedIO:     s.SimulatedIO - o.SimulatedIO,
+	}
+}
+
+// FileID identifies one file (heap or index) managed by a DiskManager.
+type FileID uint32
+
+// DiskManager is an in-memory page store standing in for the I/O subsystem.
+// It hands out files, serves page reads/writes, and charges simulated time
+// per the IOModel, classifying each read as sequential or random based on
+// the previously read page of the same file (a simple prefetch model).
+//
+// All methods are safe for concurrent use.
+type DiskManager struct {
+	mu     sync.Mutex
+	model  IOModel
+	files  map[FileID]*fileData
+	nextID FileID
+	stats  IOStats
+	// failAfter injects read faults for tests: when > 0, it counts down
+	// per read and every read after it reaches zero fails.
+	failAfter int64
+	failArmed bool
+}
+
+// FailReadsAfter arms fault injection: the next n reads succeed, every
+// read after that returns ErrInjectedFault. Pass a negative n to disarm.
+// Intended for tests exercising error propagation.
+func (d *DiskManager) FailReadsAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAfter = n
+	d.failArmed = n >= 0
+}
+
+type fileData struct {
+	pages [][]byte
+	// lastRead tracks the most recently read page for the sequential-vs-
+	// random classification. Tracking per file (rather than one global
+	// head) models the read-ahead real devices and engines provide: a scan
+	// stays sequential even when another operator's reads interleave with
+	// it, as happens under an index nested loops join.
+	lastRead PageID
+	hasLast  bool
+}
+
+// NewDiskManager creates an empty disk with the given timing model.
+func NewDiskManager(model IOModel) *DiskManager {
+	return &DiskManager{model: model, files: make(map[FileID]*fileData)}
+}
+
+// Model returns the timing model.
+func (d *DiskManager) Model() IOModel { return d.model }
+
+// CreateFile allocates a new empty file and returns its ID.
+func (d *DiskManager) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	d.files[id] = &fileData{}
+	return id
+}
+
+// DropFile removes a file and all its pages.
+func (d *DiskManager) DropFile(id FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, id)
+}
+
+// NumPages returns the number of allocated pages in the file.
+func (d *DiskManager) NumPages(id FileID) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[id]
+	if f == nil {
+		return 0
+	}
+	return len(f.pages)
+}
+
+// AllocPage appends a zeroed page to the file and returns its PageID.
+// Allocation itself is not charged I/O time; the subsequent write is.
+func (d *DiskManager) AllocPage(id FileID) (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[id]
+	if f == nil {
+		return InvalidPageID, fmt.Errorf("storage: no file %d", id)
+	}
+	pid := PageID(len(f.pages))
+	f.pages = append(f.pages, make([]byte, PageSize))
+	return pid, nil
+}
+
+// ReadPage copies page pid of the file into dst (PageSize bytes) and charges
+// simulated time.
+func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[id]
+	if f == nil {
+		return fmt.Errorf("storage: no file %d", id)
+	}
+	if int(pid) >= len(f.pages) {
+		return fmt.Errorf("storage: file %d has no page %d", id, pid)
+	}
+	if d.failArmed {
+		if d.failAfter <= 0 {
+			return ErrInjectedFault
+		}
+		d.failAfter--
+	}
+	copy(dst, f.pages[pid])
+	d.stats.PhysicalReads++
+	if f.hasLast && pid == f.lastRead+1 {
+		d.stats.SequentialReads++
+		d.stats.SimulatedIO += d.model.SeqRead
+	} else {
+		d.stats.RandomReads++
+		d.stats.SimulatedIO += d.model.RandomRead
+	}
+	f.lastRead, f.hasLast = pid, true
+	return nil
+}
+
+// WritePage copies src (PageSize bytes) into page pid of the file. Writes are
+// charged sequential time; the experiments in this repo are read-dominated,
+// matching the paper's read-only query workloads.
+func (d *DiskManager) WritePage(id FileID, pid PageID, src []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[id]
+	if f == nil {
+		return fmt.Errorf("storage: no file %d", id)
+	}
+	if int(pid) >= len(f.pages) {
+		return fmt.Errorf("storage: file %d has no page %d", id, pid)
+	}
+	copy(f.pages[pid], src)
+	d.stats.PagesWritten++
+	d.stats.SimulatedIO += d.model.SeqRead
+	return nil
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (d *DiskManager) Stats() IOStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters (the head position is kept).
+func (d *DiskManager) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = IOStats{}
+}

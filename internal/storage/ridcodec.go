@@ -1,0 +1,13 @@
+package storage
+
+// AsInt64 packs the RID into one int64 (page in the high 48 bits, slot in
+// the low 16), so an RID can ride along inside an order-preserving encoded
+// key — secondary index entries append it to make duplicate keys unique.
+func (r RID) AsInt64() int64 {
+	return int64(r.Page)<<16 | int64(r.Slot)
+}
+
+// RIDFromInt64 unpacks a RID packed by AsInt64.
+func RIDFromInt64(v int64) RID {
+	return RID{Page: PageID(v >> 16), Slot: SlotID(v & 0xFFFF)}
+}

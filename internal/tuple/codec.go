@@ -1,0 +1,95 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode appends the binary representation of row (under schema s) to dst and
+// returns the extended slice. Integers and dates are 8-byte little-endian;
+// strings are a 4-byte little-endian length followed by the bytes.
+func Encode(dst []byte, s *Schema, row Row) ([]byte, error) {
+	if len(row) != s.NumColumns() {
+		return nil, fmt.Errorf("tuple: row has %d values, schema has %d columns", len(row), s.NumColumns())
+	}
+	for i, v := range row {
+		col := s.Column(i)
+		if v.Kind != col.Kind {
+			return nil, fmt.Errorf("tuple: column %s is %s, value is %s", col.Name, col.Kind, v.Kind)
+		}
+		switch col.Kind {
+		case KindInt, KindDate:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.Int))
+		case KindString:
+			if len(v.Str) > 1<<30 {
+				return nil, fmt.Errorf("tuple: string in column %s too long (%d bytes)", col.Name, len(v.Str))
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.Str)))
+			dst = append(dst, v.Str...)
+		default:
+			return nil, fmt.Errorf("tuple: cannot encode kind %s", col.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// MustEncode is Encode but panics on error; for generators and tests where
+// schema/value mismatches are programming errors.
+func MustEncode(s *Schema, row Row) []byte {
+	b, err := Encode(nil, s, row)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode parses one row (under schema s) from data. The entire slice must be
+// consumed; trailing bytes indicate corruption.
+func Decode(s *Schema, data []byte) (Row, error) {
+	row := make(Row, 0, s.NumColumns())
+	rest := data
+	for i := 0; i < s.NumColumns(); i++ {
+		col := s.Column(i)
+		switch col.Kind {
+		case KindInt, KindDate:
+			if len(rest) < 8 {
+				return nil, fmt.Errorf("tuple: truncated %s column %s", col.Kind, col.Name)
+			}
+			u := binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			v := Value{Kind: col.Kind, Int: int64(u)}
+			row = append(row, v)
+		case KindString:
+			if len(rest) < 4 {
+				return nil, fmt.Errorf("tuple: truncated length of column %s", col.Name)
+			}
+			n := int(binary.LittleEndian.Uint32(rest))
+			rest = rest[4:]
+			if len(rest) < n {
+				return nil, fmt.Errorf("tuple: truncated string column %s: want %d bytes, have %d", col.Name, n, len(rest))
+			}
+			row = append(row, Str(string(rest[:n])))
+			rest = rest[n:]
+		default:
+			return nil, fmt.Errorf("tuple: cannot decode kind %s", col.Kind)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("tuple: %d trailing bytes after row", len(rest))
+	}
+	return row, nil
+}
+
+// EncodedSize returns the number of bytes Encode would produce for row.
+func EncodedSize(s *Schema, row Row) int {
+	n := 0
+	for i := 0; i < s.NumColumns() && i < len(row); i++ {
+		switch s.Column(i).Kind {
+		case KindInt, KindDate:
+			n += 8
+		case KindString:
+			n += 4 + len(row[i].Str)
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+// Package tuple defines table schemas, typed column values, and the binary
+// row format used by the storage engine.
+//
+// Rows are stored in slotted pages (see internal/storage) as variable-length
+// byte strings. The encoding is self-describing given the schema: fixed-width
+// integers are encoded little-endian, strings are length-prefixed.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the type of a column.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindInt    Kind = iota // 64-bit signed integer
+	KindString             // variable-length UTF-8 string
+	KindDate               // days since epoch, stored as int64
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. The zero value is an empty schema.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Column names must be
+// unique (case-insensitive); NewSchema panics otherwise, since schemas are
+// always constructed from static catalogs or tests.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{
+		cols:   append([]Column(nil), cols...),
+		byName: make(map[string]int, len(cols)),
+	}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			panic("tuple: duplicate column name " + c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s
+}
+
+// NumColumns reports the number of columns.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns the i-th column.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Ordinal returns the position of the named column (case-insensitive) and
+// whether it exists.
+func (s *Schema) Ordinal(name string) (int, bool) {
+	i, ok := s.byName[strings.ToLower(name)]
+	return i, ok
+}
+
+// MustOrdinal is Ordinal but panics if the column does not exist. It is for
+// tests and static wiring where absence is a programming error.
+func (s *Schema) MustOrdinal(name string) int {
+	i, ok := s.Ordinal(name)
+	if !ok {
+		panic("tuple: no column " + name)
+	}
+	return i
+}
+
+// Project returns a new schema consisting of the named columns, in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i, ok := s.Ordinal(n)
+		if !ok {
+			return nil, fmt.Errorf("tuple: no column %q", n)
+		}
+		cols = append(cols, s.cols[i])
+	}
+	return NewSchema(cols...), nil
+}
+
+// String renders the schema as "(name KIND, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

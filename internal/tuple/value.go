@@ -1,0 +1,101 @@
+package tuple
+
+import (
+	"fmt"
+	"time"
+)
+
+// Value is a single typed column value. Exactly one of the payload fields is
+// meaningful, selected by Kind. Dates are carried in Int as days since the
+// Unix epoch.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Str  string
+}
+
+// Int64 constructs an integer value.
+func Int64(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Str constructs a string value.
+func Str(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// Date constructs a date value from days since the Unix epoch.
+func Date(days int64) Value { return Value{Kind: KindDate, Int: days} }
+
+// DateFromTime constructs a date value from a time.Time (UTC date part).
+func DateFromTime(t time.Time) Value {
+	return Date(t.UTC().Unix() / 86400)
+}
+
+// Compare orders v against other. It returns a negative number, zero, or a
+// positive number as v is less than, equal to, or greater than other.
+// Integer and date values compare numerically; strings lexicographically.
+// Comparing values of incompatible kinds panics: the planner type-checks
+// expressions before execution, so a mismatch here is a bug.
+func (v Value) Compare(other Value) int {
+	switch v.Kind {
+	case KindInt, KindDate:
+		if other.Kind != KindInt && other.Kind != KindDate {
+			panic(fmt.Sprintf("tuple: comparing %s with %s", v.Kind, other.Kind))
+		}
+		switch {
+		case v.Int < other.Int:
+			return -1
+		case v.Int > other.Int:
+			return 1
+		default:
+			return 0
+		}
+	case KindString:
+		if other.Kind != KindString {
+			panic(fmt.Sprintf("tuple: comparing %s with %s", v.Kind, other.Kind))
+		}
+		switch {
+		case v.Str < other.Str:
+			return -1
+		case v.Str > other.Str:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		panic(fmt.Sprintf("tuple: comparing invalid kind %s", v.Kind))
+	}
+}
+
+// Equal reports whether v and other are the same value.
+func (v Value) Equal(other Value) bool { return v.Compare(other) == 0 }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindDate:
+		t := time.Unix(v.Int*86400, 0).UTC()
+		return t.Format("2006-01-02")
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	default:
+		return fmt.Sprintf("Value{kind=%d}", v.Kind)
+	}
+}
+
+// Row is one tuple: a slice of values matching some schema.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (values are immutable).
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// String renders the row for diagnostics.
+func (r Row) String() string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,121 @@
+package pagefeedback
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pagefeedback/internal/plan"
+)
+
+// joinEnv builds two clustered tables where the join column c2 of the inner
+// correlates with its clustering key, so INL joins are cheap but the
+// Mackert-Lohman estimate says otherwise.
+func joinTestEnv(t *testing.T, n int) *Engine {
+	t.Helper()
+	eng := buildTestDB(t, n) // table t: c1(=id), c2 correlated, c5 random
+	schema := NewSchema(
+		Column{Name: "c1", Kind: KindInt},
+		Column{Name: "c2", Kind: KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("u", schema, []string{"c1"}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Int64(int64(i)), Int64(int64(i))}
+	}
+	if err := eng.Load("u", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("u"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func joinMethodOf(t *testing.T, eng *Engine, sql string) plan.JoinMethod {
+	t.Helper()
+	q, err := eng.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := eng.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := node.(*plan.Agg).Input.(*plan.Join)
+	if !ok {
+		t.Fatalf("plan input is %T", node.(*plan.Agg).Input)
+	}
+	return j.Method
+}
+
+// TestJoinCurveGeneralizesAcrossSelectivities: feedback from ONE join run
+// teaches the curve, and a join at a different selectivity on the same
+// column flips to INL without being re-monitored — the §VI join-statistics
+// extension working end to end.
+func TestJoinCurveGeneralizesAcrossSelectivities(t *testing.T) {
+	const n = 20000
+	eng := joinTestEnv(t, n)
+	mkSQL := func(sel int) string {
+		return fmt.Sprintf(
+			"SELECT COUNT(padding) FROM t, u WHERE u.c1 < %d AND u.c2 = t.c2", sel)
+	}
+
+	// Both selectivities start as Hash (the analytical join DPC is huge).
+	if m := joinMethodOf(t, eng, mkSQL(200)); m == plan.INLJoin {
+		t.Fatalf("pre-feedback method = %v", m)
+	}
+	if m := joinMethodOf(t, eng, mkSQL(600)); m == plan.INLJoin {
+		t.Fatalf("pre-feedback method = %v", m)
+	}
+
+	// Monitor only the 200-row join.
+	res, err := eng.Query(mkSQL(200), &RunOptions{MonitorAll: true, SampleFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyFeedback(res)
+	if c, ok := eng.Optimizer().JoinDPCCurve("t", "c2"); !ok || c.Len() == 0 {
+		t.Fatal("join curve not learned")
+	}
+
+	// The same query flips...
+	if m := joinMethodOf(t, eng, mkSQL(200)); m != plan.INLJoin {
+		t.Errorf("same-selectivity method = %v, want INL", m)
+	}
+	// ...and so does the 3x-selectivity variant, via curve extrapolation.
+	if m := joinMethodOf(t, eng, mkSQL(600)); m != plan.INLJoin {
+		t.Errorf("generalized method = %v, want INL", m)
+	}
+	// Execution at the generalized selectivity is correct and faster than
+	// the hash plan.
+	resINL, err := eng.Query(mkSQL(600), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resINL.Rows[0][0].Int != 600 {
+		t.Errorf("count = %d", resINL.Rows[0][0].Int)
+	}
+}
+
+// TestJoinCurveUncorrelatedStaysHash: learning on the scattered column must
+// confirm, not flip, the hash plan.
+func TestJoinCurveUncorrelatedStaysHash(t *testing.T) {
+	const n = 20000
+	eng := joinTestEnv(t, n)
+	sql := "SELECT COUNT(padding) FROM t, u WHERE u.c1 < 300 AND u.c2 = t.c5"
+	res, err := eng.Query(sql, &RunOptions{MonitorAll: true, SampleFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyFeedback(res)
+	if m := joinMethodOf(t, eng, sql); m == plan.INLJoin {
+		t.Errorf("scattered join flipped to INL after feedback")
+	}
+	sql2 := strings.Replace(sql, "< 300", "< 900", 1)
+	if m := joinMethodOf(t, eng, sql2); m == plan.INLJoin {
+		t.Errorf("scattered join (other selectivity) flipped to INL")
+	}
+}

@@ -1,0 +1,219 @@
+package pagefeedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pagefeedback/internal/core"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// Feedback persistence: the observations gathered in one session — the
+// (expression, cardinality, DPC) cache and the self-tuning page-count
+// histograms — can be exported as JSON and imported into a later session,
+// the "learn about errors ... and correct execution plans" loop of §II-C
+// made durable.
+
+// feedbackDump is the serialized form.
+type feedbackDump struct {
+	Version    int                 `json:"version"`
+	Entries    []feedbackEntryJSON `json:"entries"`
+	Histograms []histogramDumpJSON `json:"histograms"`
+	JoinCurves []joinCurveDumpJSON `json:"joinCurves,omitempty"`
+}
+
+type joinCurveDumpJSON struct {
+	Table   string              `json:"table"`
+	JoinCol string              `json:"joinCol"`
+	Points  []core.JoinDPCPoint `json:"points"`
+}
+
+type feedbackEntryJSON struct {
+	Table       string     `json:"table"`
+	Atoms       []atomJSON `json:"atoms"`
+	Cardinality int64      `json:"cardinality"`
+	DPC         int64      `json:"dpc"`
+	Mechanism   string     `json:"mechanism"`
+	Exact       bool       `json:"exact"`
+}
+
+type atomJSON struct {
+	Col  string    `json:"col"`
+	Op   string    `json:"op"`
+	Val  valJSON   `json:"val"`
+	Val2 *valJSON  `json:"val2,omitempty"`
+	List []valJSON `json:"list,omitempty"`
+}
+
+type valJSON struct {
+	Kind string `json:"kind"` // "int", "str", "date"
+	Int  int64  `json:"int,omitempty"`
+	Str  string `json:"str,omitempty"`
+}
+
+type histogramDumpJSON struct {
+	Table        string                `json:"table"`
+	Column       string                `json:"column"`
+	Observations []core.DPCObservation `json:"observations"`
+}
+
+func valueToJSON(v tuple.Value) valJSON {
+	switch v.Kind {
+	case tuple.KindString:
+		return valJSON{Kind: "str", Str: v.Str}
+	case tuple.KindDate:
+		return valJSON{Kind: "date", Int: v.Int}
+	default:
+		return valJSON{Kind: "int", Int: v.Int}
+	}
+}
+
+func valueFromJSON(v valJSON) (tuple.Value, error) {
+	switch v.Kind {
+	case "str":
+		return tuple.Str(v.Str), nil
+	case "date":
+		return tuple.Date(v.Int), nil
+	case "int":
+		return tuple.Int64(v.Int), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("pagefeedback: unknown value kind %q", v.Kind)
+	}
+}
+
+func opFromString(s string) (expr.CmpOp, error) {
+	for _, op := range []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Between, expr.In} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("pagefeedback: unknown operator %q", s)
+}
+
+// trackedEntry pairs a cache entry with its reconstructed predicate; the
+// engine keeps them so ExportFeedback can serialize the atoms (the cache
+// itself stores only rendered text).
+type trackedEntry struct {
+	table string
+	pred  expr.Conjunction
+	entry core.FeedbackEntry
+}
+
+// ExportFeedback writes the current feedback state as JSON.
+func (e *Engine) ExportFeedback(w io.Writer) error {
+	dump := feedbackDump{Version: 1}
+	for _, te := range e.tracked {
+		ej := feedbackEntryJSON{
+			Table:       te.table,
+			Cardinality: te.entry.Cardinality,
+			DPC:         te.entry.DPC,
+			Mechanism:   te.entry.Mechanism,
+			Exact:       te.entry.Exact,
+		}
+		for _, a := range te.pred.Atoms {
+			aj := atomJSON{Col: a.Col, Op: a.Op.String(), Val: valueToJSON(a.Val)}
+			if a.Op == expr.Between {
+				v2 := valueToJSON(a.Val2)
+				aj.Val2 = &v2
+			}
+			for _, lv := range a.List {
+				aj.List = append(aj.List, valueToJSON(lv))
+			}
+			ej.Atoms = append(ej.Atoms, aj)
+		}
+		dump.Entries = append(dump.Entries, ej)
+	}
+	for key, h := range e.histDumpSources() {
+		dump.Histograms = append(dump.Histograms, histogramDumpJSON{
+			Table: key[0], Column: key[1], Observations: h,
+		})
+	}
+	for key := range e.joinCols {
+		if c, ok := e.opt.JoinDPCCurve(key[0], key[1]); ok {
+			dump.JoinCurves = append(dump.JoinCurves, joinCurveDumpJSON{
+				Table: key[0], JoinCol: key[1], Points: c.Points(),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
+// histDumpSources snapshots the learned histograms by walking the columns
+// the engine has recorded observations for.
+func (e *Engine) histDumpSources() map[[2]string][]core.DPCObservation {
+	out := make(map[[2]string][]core.DPCObservation)
+	for key := range e.histCols {
+		if h, ok := e.opt.DPCHistogram(key[0], key[1]); ok {
+			out[key] = h.Observations()
+		}
+	}
+	return out
+}
+
+// ImportFeedback loads a JSON dump produced by ExportFeedback, storing the
+// entries in the cache, injecting their page counts, and replaying the
+// histogram observations. It returns the number of entries loaded.
+func (e *Engine) ImportFeedback(r io.Reader) (int, error) {
+	var dump feedbackDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return 0, err
+	}
+	if dump.Version != 1 {
+		return 0, fmt.Errorf("pagefeedback: unsupported feedback dump version %d", dump.Version)
+	}
+	n := 0
+	for _, ej := range dump.Entries {
+		var pred expr.Conjunction
+		for _, aj := range ej.Atoms {
+			op, err := opFromString(aj.Op)
+			if err != nil {
+				return n, err
+			}
+			v, err := valueFromJSON(aj.Val)
+			if err != nil {
+				return n, err
+			}
+			a := expr.Atom{Col: aj.Col, Op: op, Val: v}
+			if aj.Val2 != nil {
+				v2, err := valueFromJSON(*aj.Val2)
+				if err != nil {
+					return n, err
+				}
+				a.Val2 = v2
+			}
+			for _, lv := range aj.List {
+				v, err := valueFromJSON(lv)
+				if err != nil {
+					return n, err
+				}
+				a.List = append(a.List, v)
+			}
+			pred.Atoms = append(pred.Atoms, a)
+		}
+		entry := core.FeedbackEntry{
+			Cardinality: ej.Cardinality, DPC: ej.DPC,
+			Mechanism: ej.Mechanism, Exact: ej.Exact,
+		}
+		e.cache.Store(ej.Table, pred, entry)
+		e.opt.InjectDPC(ej.Table, pred, float64(ej.DPC))
+		e.track(ej.Table, pred, entry)
+		n++
+	}
+	for _, hd := range dump.Histograms {
+		for _, o := range hd.Observations {
+			e.opt.RecordDPCObservation(hd.Table, hd.Column, o.Lo, o.Hi, o.Rows, o.DPC)
+		}
+		e.histCols[[2]string{hd.Table, hd.Column}] = true
+	}
+	for _, cd := range dump.JoinCurves {
+		for _, p := range cd.Points {
+			e.opt.RecordJoinDPCObservation(cd.Table, cd.JoinCol, p.Rows, p.DPC)
+		}
+		e.joinCols[[2]string{cd.Table, cd.JoinCol}] = true
+	}
+	return n, nil
+}

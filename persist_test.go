@@ -1,0 +1,144 @@
+package pagefeedback
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pagefeedback/internal/plan"
+)
+
+func TestExportImportFeedbackRoundTrip(t *testing.T) {
+	eng := buildTestDB(t, 20000)
+	// Gather feedback for a few predicate shapes.
+	for _, sql := range []string{
+		"SELECT COUNT(padding) FROM t WHERE c2 < 200",
+		"SELECT COUNT(padding) FROM t WHERE c2 BETWEEN 4000 AND 4300",
+		"SELECT COUNT(padding) FROM t WHERE c5 < 777",
+	} {
+		res, err := eng.Query(sql, &RunOptions{MonitorAll: true, SampleFraction: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.ApplyFeedback(res)
+	}
+	var buf bytes.Buffer
+	if err := eng.ExportFeedback(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dump := buf.String()
+	for _, want := range []string{`"entries"`, `"histograms"`, `"dpc"`, "BETWEEN"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+
+	// A brand-new engine over the same data: import and verify the plan
+	// choice follows the imported feedback without any monitoring run.
+	eng2 := buildTestDB(t, 20000)
+	n, err := eng2.ImportFeedback(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 3 {
+		t.Fatalf("imported %d entries", n)
+	}
+	q, _ := eng2.ParseQuery("SELECT COUNT(padding) FROM t WHERE c2 < 200")
+	node, err := eng2.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isSeek := node.(*plan.Agg).Input.(*plan.Seek); !isSeek {
+		t.Errorf("imported feedback did not flip the plan: %s", node.(*plan.Agg).Input.Label())
+	}
+	// The histogram generalization also carried over.
+	if h, ok := eng2.Optimizer().DPCHistogram("t", "c2"); !ok || h.Len() == 0 {
+		t.Error("histograms not imported")
+	}
+	// Cache contents match.
+	if eng2.FeedbackCache().Len() != eng.FeedbackCache().Len() {
+		t.Errorf("cache sizes differ: %d vs %d",
+			eng2.FeedbackCache().Len(), eng.FeedbackCache().Len())
+	}
+}
+
+func TestExportImportJoinCurves(t *testing.T) {
+	eng := joinTestEnv(t, 20000)
+	sql := "SELECT COUNT(padding) FROM t, u WHERE u.c1 < 200 AND u.c2 = t.c2"
+	res, err := eng.Query(sql, &RunOptions{MonitorAll: true, SampleFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyFeedback(res)
+	var buf bytes.Buffer
+	if err := eng.ExportFeedback(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "joinCurves") {
+		t.Fatalf("dump lacks join curves:\n%s", buf.String())
+	}
+	eng2 := joinTestEnv(t, 20000)
+	if _, err := eng2.ImportFeedback(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := eng2.Optimizer().JoinDPCCurve("t", "c2")
+	if !ok || c.Len() == 0 {
+		t.Fatal("join curve not imported")
+	}
+	if m := joinMethodOf(t, eng2, sql); m.String() != "IndexNestedLoopsJoin" {
+		t.Errorf("imported curve did not flip the join: %v", m)
+	}
+}
+
+func TestImportFeedbackErrors(t *testing.T) {
+	eng := buildTestDB(t, 5000)
+	if _, err := eng.ImportFeedback(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON imported")
+	}
+	if _, err := eng.ImportFeedback(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("future version imported")
+	}
+	if _, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"??","val":{"kind":"int"}}]}]}`)); err == nil {
+		t.Error("unknown operator imported")
+	}
+	if _, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"=","val":{"kind":"blob"}}]}]}`)); err == nil {
+		t.Error("unknown value kind imported")
+	}
+}
+
+func TestExplainShowsProvenance(t *testing.T) {
+	eng := buildTestDB(t, 20000)
+	const sql = "SELECT COUNT(padding) FROM t WHERE c2 < 300"
+	out, err := eng.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "analytical (Yao)") || !strings.Contains(out, "ClusteredIndexScan") {
+		t.Errorf("pre-feedback explain:\n%s", out)
+	}
+	res, err := eng.Query(sql, &RunOptions{MonitorAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyFeedback(res)
+	out2, err := eng.Explain(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "execution feedback") || !strings.Contains(out2, "IndexSeek") {
+		t.Errorf("post-feedback explain:\n%s", out2)
+	}
+	// A similar predicate shows the histogram as its source.
+	out3, err := eng.Explain("SELECT COUNT(padding) FROM t WHERE c2 BETWEEN 9000 AND 9400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3, "self-tuning histogram") {
+		t.Errorf("histogram provenance missing:\n%s", out3)
+	}
+	if _, err := eng.Explain("SELECT COUNT(*) FROM ghost"); err == nil {
+		t.Error("explain of bad query succeeded")
+	}
+}

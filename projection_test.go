@@ -1,0 +1,122 @@
+package pagefeedback
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProjectionEndToEnd(t *testing.T) {
+	eng := buildTestDB(t, 5000)
+	res, err := eng.Query("SELECT c1, c5 FROM t WHERE c1 < 10 ORDER BY c5 DESC", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	if len(res.Rows[0]) != 2 {
+		t.Fatalf("row width %d, want 2", len(res.Rows[0]))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].Int > res.Rows[i-1][1].Int {
+			t.Fatal("not sorted descending by c5")
+		}
+	}
+}
+
+func TestProjectionLimitStopsEarly(t *testing.T) {
+	eng := buildTestDB(t, 20000)
+	res, err := eng.Query("SELECT c1 FROM t WHERE c1 >= 0 LIMIT 7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	// A LIMIT over a range scan must not read the whole table: far fewer
+	// physical reads than the ~270 data pages.
+	if res.Stats.Runtime.PhysicalReads > 50 {
+		t.Errorf("LIMIT read %d pages", res.Stats.Runtime.PhysicalReads)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	eng := buildTestDB(t, 5000)
+	res, err := eng.Query("SELECT * FROM t WHERE c1 = 42", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	if len(res.Rows[0]) != 4 { // c1, c2, c5, padding
+		t.Errorf("row width %d, want 4", len(res.Rows[0]))
+	}
+	if res.Rows[0][0].Int != 42 || res.Rows[0][1].Int != 42 {
+		t.Errorf("row = %v", res.Rows[0])
+	}
+}
+
+func TestProjectionOverJoin(t *testing.T) {
+	eng := joinTestEnv(t, 5000)
+	res, err := eng.Query(
+		"SELECT t.c1, u.c2 FROM t, u WHERE u.c1 < 5 AND u.c2 = t.c2 ORDER BY t.c1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row[0].Int != int64(i) || row[1].Int != int64(i) {
+			t.Errorf("row %d = %v", i, row)
+		}
+	}
+}
+
+func TestProjectionMonitoringStillWorks(t *testing.T) {
+	eng := buildTestDB(t, 20000)
+	res, err := eng.Query("SELECT c1 FROM t WHERE c2 < 300",
+		&RunOptions{MonitorAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 300 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	if len(res.DPC) == 0 || res.DPC[0].Mechanism == MechUnsatisfiable {
+		t.Fatalf("projection query not monitored: %+v", res.DPC)
+	}
+	if res.DPC[0].DPC <= 0 {
+		t.Error("no DPC observed")
+	}
+	// Feedback applies to projection queries identically.
+	eng.ApplyFeedback(res)
+	out, err := eng.Explain("SELECT c1 FROM t WHERE c2 < 300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution feedback") {
+		t.Errorf("explain after projection feedback:\n%s", out)
+	}
+}
+
+func TestProjectionCoveringIndex(t *testing.T) {
+	eng := buildTestDB(t, 20000)
+	// SELECT c2 ... WHERE c2 < k is fully covered by ix_c2.
+	res, err := eng.Query("SELECT c2 FROM t WHERE c2 < 100", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 100 {
+		t.Fatalf("returned %d rows", len(res.Rows))
+	}
+	label := res.Stats.Plan.Label
+	for len(res.Stats.Plan.Children) > 0 && !strings.Contains(label, "Scan") && !strings.Contains(label, "Seek") {
+		res.Stats.Plan = res.Stats.Plan.Children[0]
+		label = res.Stats.Plan.Label
+	}
+	if !strings.Contains(label, "CoveringScan") {
+		t.Logf("access = %s (covering scan not mandatory, informational)", label)
+	}
+}

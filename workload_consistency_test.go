@@ -1,0 +1,146 @@
+package pagefeedback_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pagefeedback"
+	"pagefeedback/internal/datagen"
+)
+
+// TestRandomWorkloadConsistency is the end-to-end correctness harness: a
+// stream of randomly generated queries runs three ways — as planned by the
+// optimizer, with full monitoring attached, and again after feedback
+// (which often changes the plan) — and every execution's count must equal
+// the brute-force answer computed by a raw table scan. Feedback may change
+// plans; it must never change answers.
+func TestRandomWorkloadConsistency(t *testing.T) {
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	const n = 15000
+	ds, err := datagen.BuildSynthetic(eng, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+	rng := rand.New(rand.NewSource(123))
+	cols := []string{"c2", "c3", "c4", "c5"}
+
+	// bruteCount scans the table through the catalog, independent of the
+	// planner and executor under test.
+	bruteCount := func(col string, lo, hi int64) int64 {
+		tab, _ := eng.Catalog().Table("t")
+		it, err := tab.ScanAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		ord := tab.Schema.MustOrdinal(col)
+		var cnt int64
+		for it.Next() {
+			v := it.Row()[ord].Int
+			if v >= lo && v < hi {
+				cnt++
+			}
+		}
+		return cnt
+	}
+
+	for i := 0; i < 40; i++ {
+		col := cols[rng.Intn(len(cols))]
+		var sql string
+		var want int64
+		switch rng.Intn(3) {
+		case 0: // open range
+			v := rng.Int63n(n)
+			sql = fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE %s < %d", col, v)
+			want = bruteCount(col, -1<<62, v)
+		case 1: // between
+			a, b := rng.Int63n(n), rng.Int63n(n)
+			if a > b {
+				a, b = b, a
+			}
+			sql = fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE %s BETWEEN %d AND %d", col, a, b)
+			want = bruteCount(col, a, b+1)
+		default: // equality (permutation column: 0 or 1 row)
+			v := rng.Int63n(n)
+			sql = fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE %s = %d", col, v)
+			want = bruteCount(col, v, v+1)
+		}
+
+		res1, err := eng.Query(sql, &pagefeedback.RunOptions{MonitorAll: true, SampleFraction: 0.2})
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, sql, err)
+		}
+		if got := res1.Rows[0][0].Int; got != want {
+			t.Fatalf("query %d (%s): monitored count %d, brute force %d", i, sql, got, want)
+		}
+		eng.ApplyFeedback(res1)
+		res2, err := eng.Query(sql, nil)
+		if err != nil {
+			t.Fatalf("query %d after feedback: %v", i, err)
+		}
+		if got := res2.Rows[0][0].Int; got != want {
+			t.Fatalf("query %d (%s): post-feedback count %d (plan %s), brute force %d",
+				i, sql, got, res2.Plan.Inputs()[0].Label(), want)
+		}
+	}
+}
+
+// TestRandomJoinConsistency does the same for joins: counts must agree with
+// a brute-force nested loop regardless of the chosen join method.
+func TestRandomJoinConsistency(t *testing.T) {
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	const n = 10000
+	if _, err := datagen.BuildSynthetic(eng, n, 9); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(321))
+
+	bruteJoin := func(col string, outerHi int64) int64 {
+		tabT, _ := eng.Catalog().Table("t")
+		tabT1, _ := eng.Catalog().Table("t1")
+		ord := tabT.Schema.MustOrdinal(col)
+		// Collect t1's join values for rows with c1 < outerHi.
+		vals := map[int64]int64{}
+		it, _ := tabT1.ScanAll()
+		for it.Next() {
+			row := it.Row()
+			if row[0].Int < outerHi {
+				vals[row[ord].Int]++
+			}
+		}
+		it.Close()
+		var cnt int64
+		it2, _ := tabT.ScanAll()
+		for it2.Next() {
+			cnt += vals[it2.Row()[ord].Int]
+		}
+		it2.Close()
+		return cnt
+	}
+
+	for i := 0; i < 10; i++ {
+		col := []string{"c2", "c5"}[rng.Intn(2)]
+		hi := rng.Int63n(int64(n/10)) + 10
+		sql := fmt.Sprintf(
+			"SELECT COUNT(t.padding) FROM t, t1 WHERE t1.c1 < %d AND t1.%s = t.%s", hi, col, col)
+		want := bruteJoin(col, hi)
+
+		res1, err := eng.Query(sql, &pagefeedback.RunOptions{MonitorAll: true, SampleFraction: 1.0})
+		if err != nil {
+			t.Fatalf("join %d (%s): %v", i, sql, err)
+		}
+		if got := res1.Rows[0][0].Int; got != want {
+			t.Fatalf("join %d (%s): count %d, brute force %d", i, sql, got, want)
+		}
+		eng.ApplyFeedback(res1)
+		res2, err := eng.Query(sql, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res2.Rows[0][0].Int; got != want {
+			t.Fatalf("join %d post-feedback: count %d, want %d", i, got, want)
+		}
+	}
+}
