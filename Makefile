@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: all vet build test race
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

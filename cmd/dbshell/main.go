@@ -11,10 +11,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"pagefeedback"
 	"pagefeedback/internal/datagen"
@@ -37,6 +40,7 @@ func main() {
 	rows := flag.Int("rows", 100000, "demo synthetic table rows")
 	seed := flag.Int64("seed", 1, "data seed")
 	real := flag.Bool("real", false, "also build the five real-world-like databases (slower)")
+	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
 	flag.Parse()
 
 	eng := pagefeedback.New(pagefeedback.DefaultConfig())
@@ -54,7 +58,7 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, `ready — try: SELECT COUNT(padding) FROM t WHERE c2 < 2000  (\help for commands)`)
 
-	sh := &shell{eng: eng, monitor: true, out: os.Stdout}
+	sh := &shell{eng: eng, monitor: true, timeout: *timeout, out: os.Stdout}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("pagefeedback> ")
@@ -70,6 +74,7 @@ func main() {
 type shell struct {
 	eng     *pagefeedback.Engine
 	monitor bool
+	timeout time.Duration
 	last    *pagefeedback.Result
 	out     *os.File
 }
@@ -149,13 +154,7 @@ func (s *shell) feedback(args []string) {
 			fmt.Fprintln(s.out, "usage: \\feedback export FILE")
 			return
 		}
-		f, err := os.Create(args[1])
-		if err != nil {
-			fmt.Fprintln(s.out, "error:", err)
-			return
-		}
-		defer f.Close()
-		if err := s.eng.ExportFeedback(f); err != nil {
+		if err := s.eng.ExportFeedbackToFile(args[1]); err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
 		}
@@ -165,13 +164,7 @@ func (s *shell) feedback(args []string) {
 			fmt.Fprintln(s.out, "usage: \\feedback import FILE")
 			return
 		}
-		f, err := os.Open(args[1])
-		if err != nil {
-			fmt.Fprintln(s.out, "error:", err)
-			return
-		}
-		defer f.Close()
-		n, err := s.eng.ImportFeedback(f)
+		n, err := s.eng.ImportFeedbackFromFile(args[1])
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return
@@ -183,7 +176,12 @@ func (s *shell) feedback(args []string) {
 }
 
 func (s *shell) runQuery(sql string) {
-	res, err := s.eng.Query(sql, &pagefeedback.RunOptions{MonitorAll: s.monitor})
+	// Ctrl-C cancels the running query (first poll aborts it) instead of
+	// killing the shell; the scope is released as soon as the query ends.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	res, err := s.eng.QueryContext(ctx, sql,
+		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout})
+	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

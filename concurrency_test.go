@@ -1,0 +1,84 @@
+package pagefeedback
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesSeparateEngines runs full query workloads on
+// independent engines in parallel. Exercised under -race in CI: engines
+// must share no hidden mutable state (package-level caches, globals).
+func TestConcurrentQueriesSeparateEngines(t *testing.T) {
+	const engines = 3
+	envs := make([]*Engine, engines)
+	for i := range envs {
+		envs[i] = buildTestDB(t, 5000)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, engines)
+	for _, eng := range envs {
+		wg.Add(1)
+		go func(eng *Engine) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				want := int64(500 * (i + 1))
+				sql := fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE c2 < %d", want)
+				res, err := eng.Query(sql, &RunOptions{MonitorAll: i%2 == 0})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.Rows[0][0].Int; got != want {
+					errs <- fmt.Errorf("count = %d, want %d", got, want)
+					return
+				}
+			}
+		}(eng)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentReadOnlyQueriesOneEngine runs read-only queries against ONE
+// engine from many goroutines. WarmCache keeps each query from resetting
+// the shared buffer pool under its neighbors; beyond that the pool, disk
+// stats, and catalog must be safe for concurrent readers (-race verifies).
+func TestConcurrentReadOnlyQueriesOneEngine(t *testing.T) {
+	eng := buildTestDB(t, 8000)
+	// Warm the cache once so concurrent runs find their pages resident.
+	if _, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 8000", nil); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				want := int64(100 * (w + i + 1))
+				sql := fmt.Sprintf("SELECT COUNT(padding) FROM t WHERE c2 < %d", want)
+				res, err := eng.Query(sql, &RunOptions{WarmCache: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := res.Rows[0][0].Int; got != want {
+					errs <- fmt.Errorf("worker %d: count = %d, want %d", w, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	assertNoPins(t, eng)
+}

@@ -20,6 +20,7 @@
 package pagefeedback
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -185,6 +186,15 @@ type RunOptions struct {
 	// WarmCache skips the cold-cache reset before execution. The paper
 	// measures cold (§V-B); warm runs are for overhead experiments.
 	WarmCache bool
+	// Timeout bounds the query's wall-clock execution time. Zero means no
+	// limit. It composes with any deadline already on the caller's context
+	// (whichever fires first wins); on expiry the query aborts with a
+	// *QueryError of kind ErrKindTimeout.
+	Timeout time.Duration
+	// FailMonitors is a fault-injection hook for tests: monitors whose
+	// mechanism name appears here panic on first observation, exercising
+	// the quarantine path. Only meaningful with MonitorAll.
+	FailMonitors []string
 }
 
 // Result is the outcome of one execution.
@@ -208,22 +218,38 @@ type Result struct {
 	WallTime time.Duration
 }
 
-// Query parses, optimizes, and executes SQL in one call.
+// Query parses, optimizes, and executes SQL in one call. It is
+// QueryContext with a background context.
 func (e *Engine) Query(src string, opts *RunOptions) (*Result, error) {
+	return e.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext parses, optimizes, and executes SQL under ctx: cancelling
+// the context (or exceeding its deadline / opts.Timeout) aborts the query
+// with a *QueryError. Panics anywhere in the pipeline are recovered here
+// and surface the same way; the engine remains usable afterward.
+func (e *Engine) QueryContext(ctx context.Context, src string, opts *RunOptions) (res *Result, err error) {
+	defer recoverQueryPanic(&err)
 	q, err := e.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.RunQuery(q, opts)
+	return e.RunQueryContext(ctx, q, opts)
 }
 
-// RunQuery optimizes and executes a parsed query.
+// RunQuery optimizes and executes a parsed query (background context).
 func (e *Engine) RunQuery(q *opt.Query, opts *RunOptions) (*Result, error) {
+	return e.RunQueryContext(context.Background(), q, opts)
+}
+
+// RunQueryContext optimizes and executes a parsed query under ctx.
+func (e *Engine) RunQueryContext(ctx context.Context, q *opt.Query, opts *RunOptions) (res *Result, err error) {
+	defer recoverQueryPanic(&err)
 	node, err := e.PlanQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Execute(node, e.monitorConfig(q, opts), opts)
+	res, err = e.ExecuteContext(ctx, node, e.monitorConfig(q, opts), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +269,7 @@ func (e *Engine) monitorConfig(q *opt.Query, opts *RunOptions) *exec.MonitorConf
 	if !opts.MonitorAll || q == nil {
 		return nil
 	}
-	cfg := &exec.MonitorConfig{SampleFraction: opts.SampleFraction}
+	cfg := &exec.MonitorConfig{SampleFraction: opts.SampleFraction, FailMonitors: opts.FailMonitors}
 	addFor := func(table string, pred expr.Conjunction) {
 		if len(pred.Atoms) == 0 {
 			return
@@ -271,15 +297,37 @@ func (e *Engine) monitorConfig(q *opt.Query, opts *RunOptions) *exec.MonitorConf
 	return cfg
 }
 
-// Execute runs a physical plan. The cache is cold unless opts.WarmCache.
+// Execute runs a physical plan (background context). The cache is cold
+// unless opts.WarmCache.
 func (e *Engine) Execute(node plan.Node, mcfg *exec.MonitorConfig, opts *RunOptions) (*Result, error) {
+	return e.ExecuteContext(context.Background(), node, mcfg, opts)
+}
+
+// ExecuteContext runs a physical plan under goCtx. Execution errors —
+// storage faults, recovered panics, cancellation — surface as *QueryError
+// wrapping the cause; all operator Close paths run before it returns, so
+// no page pins leak and the engine stays usable.
+func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exec.MonitorConfig, opts *RunOptions) (res *Result, err error) {
+	defer recoverQueryPanic(&err)
+	if goCtx == nil {
+		goCtx = context.Background()
+	}
+	if opts != nil && opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		goCtx, cancel = context.WithTimeout(goCtx, opts.Timeout)
+		defer cancel()
+	}
+	if err := goCtx.Err(); err != nil {
+		return nil, classifyQueryError(err)
+	}
 	if opts == nil || !opts.WarmCache {
 		if err := e.pool.Reset(); err != nil {
-			return nil, fmt.Errorf("pagefeedback: cold-cache reset: %w", err)
+			return nil, classifyQueryError(fmt.Errorf("pagefeedback: cold-cache reset: %w", err))
 		}
 	}
 	ctx := exec.NewContext(e.pool)
 	ctx.CPUPerRow = e.cfg.CPUPerRow
+	ctx.BindContext(goCtx)
 	ex, err := exec.Build(ctx, node, mcfg)
 	if err != nil {
 		return nil, err
@@ -289,13 +337,13 @@ func (e *Engine) Execute(node plan.Node, mcfg *exec.MonitorConfig, opts *RunOpti
 	start := time.Now()
 	rows, err := ex.Run()
 	if err != nil {
-		return nil, err
+		return nil, classifyQueryError(err)
 	}
 	wall := time.Since(start)
 	io := e.disk.Stats().Sub(ioBefore)
 	poolStats := e.pool.Stats().Sub(poolBefore)
 
-	res := &Result{
+	res = &Result{
 		Rows:          rows,
 		Plan:          node,
 		DPC:           ex.DPCResults(),
@@ -319,12 +367,16 @@ func (e *Engine) Execute(node plan.Node, mcfg *exec.MonitorConfig, opts *RunOpti
 		if r.Request.Join {
 			expression = "<join predicate>"
 		}
+		if r.Degraded {
+			res.Stats.Runtime.QuarantinedMonitors++
+		}
 		res.Stats.DPC = append(res.Stats.DPC, exec.PageCountXML{
 			Table:      r.Request.Table,
 			Expression: expression,
 			Mechanism:  r.Mechanism,
 			Actual:     r.DPC,
 			Exact:      r.Exact,
+			Degraded:   r.Degraded,
 			Reason:     r.Reason,
 		})
 	}
@@ -388,7 +440,9 @@ func equalFold(a, b string) bool {
 // evaluation methodology.
 func (e *Engine) ApplyFeedback(res *Result) {
 	for _, r := range res.DPC {
-		if r.Mechanism == exec.MechUnsatisfiable {
+		if r.Mechanism == exec.MechUnsatisfiable || r.Degraded {
+			// A quarantined monitor produced no observation; feeding its
+			// zero DPC back would poison the optimizer.
 			continue
 		}
 		if r.Request.Join {

@@ -55,7 +55,18 @@ func (e *Execution) nextSeed() int64 {
 	return e.seedCtr
 }
 
+// build constructs the operator for n and wraps it in the panic boundary;
+// since children are built through the same path, a panic anywhere in the
+// tree is recovered at the deepest operator it escaped from.
 func (e *Execution) build(n plan.Node) (Operator, error) {
+	op, err := e.buildInner(n)
+	if err != nil {
+		return nil, err
+	}
+	return &guardOp{inner: op}, nil
+}
+
+func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
 		return e.buildScan(node)
@@ -215,6 +226,7 @@ func (e *Execution) buildScan(node *plan.Scan) (Operator, error) {
 			}
 			m := &scanMonitor{req: req, kind: monExactPrefix,
 				prefixLen: len(node.Pred.Atoms), gc: core.NewGroupedCounter()}
+			m.injectFail = e.cfg.failInjected(m.mechanism())
 			op.attach(m)
 			e.scanMons = append(e.scanMons, m)
 			e.satisfied[i] = true
@@ -234,6 +246,7 @@ func (e *Execution) buildScan(node *plan.Scan) (Operator, error) {
 			m.pred = bound
 			m.dps = core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed())
 		}
+		m.injectFail = e.cfg.failInjected(m.mechanism())
 		op.attach(m)
 		e.scanMons = append(e.scanMons, m)
 		e.satisfied[i] = true
@@ -247,6 +260,7 @@ func (e *Execution) newSeekMonitor(req DPCRequest, tab *catalog.Table, mech stri
 		bits = core.DefaultLinearCounterBits(tab.NumPages())
 	}
 	m := &seekMonitor{req: req, mech: mech, lc: core.NewLinearCounter(bits)}
+	m.injectFail = e.cfg.failInjected(mech)
 	if e.cfg.CompareSamplingEstimator {
 		size := e.cfg.ReservoirSize
 		if size <= 0 {
@@ -320,13 +334,13 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 		return nil, err
 	}
 
-	// Optional explicit sorts for merge join.
+	// Optional explicit sorts for merge join (guarded like built operators).
 	if node.Method == plan.MergeJoin {
 		if node.SortOuter {
-			outer = NewSort(e.Ctx, outer, []int{outerOrd})
+			outer = &guardOp{inner: NewSort(e.Ctx, outer, []int{outerOrd})}
 		}
 		if node.SortInner {
-			inner = NewSort(e.Ctx, inner, []int{innerOrd})
+			inner = &guardOp{inner: NewSort(e.Ctx, inner, []int{innerOrd})}
 		}
 	}
 
@@ -338,12 +352,12 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 	// value enters the filter, so that shape cannot be monitored (§IV
 	// covers the other three shapes).
 	innerScan := findSEScan(inner)
-	_, innerBlocked := inner.(*SortOp)
-	_, outerBlocking := outer.(*SortOp)
+	_, innerBlocked := unwrapOp(inner).(*SortOp)
+	_, outerBlocking := unwrapOp(outer).(*SortOp)
 	if node.Method == plan.MergeJoin && innerBlocked && !outerBlocking {
 		innerScan = nil
 	}
-	var filter *core.BitVectorFilter
+	var sink *filterSink
 	if e.cfg != nil && innerScan != nil {
 		for i, req := range e.cfg.Requests {
 			if e.satisfied[i] || !req.Join || !sameTable(req.Table, innerScan.Table().Name) {
@@ -353,12 +367,14 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 			if !ok {
 				continue
 			}
-			filter = core.NewBitVectorFilter(e.bitvectorBits(innerScan))
+			filter := core.NewBitVectorFilter(e.bitvectorBits(innerScan))
 			m := &scanMonitor{
 				req: req, kind: monJoinFilter,
 				filter: filter, joinColOrd: joinOrd,
 				dps: core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed()),
 			}
+			m.injectFail = e.cfg.failInjected(m.mechanism())
+			sink = &filterSink{m: m, f: filter}
 			innerScan.attach(m)
 			e.scanMons = append(e.scanMons, m)
 			e.satisfied[i] = true
@@ -370,21 +386,21 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 	switch node.Method {
 	case plan.HashJoin:
 		hj := NewHashJoin(e.Ctx, outer, inner, outerOrd, innerOrd, node.Schem)
-		if filter != nil {
-			hj.SetFilter(filter) // build phase fills it (Fig 5)
+		if sink != nil {
+			hj.SetFilter(sink) // build phase fills it (Fig 5)
 		}
 		op = hj
 	case plan.MergeJoin:
 		mj := NewMergeJoin(e.Ctx, outer, inner, outerOrd, innerOrd, node.Schem)
-		if filter != nil {
-			if so, ok := outer.(*SortOp); ok {
+		if sink != nil {
+			if so, ok := unwrapOp(outer).(*SortOp); ok {
 				// Blocking sort: the filter is complete before the inner
 				// scan produces its first row.
-				so.SetFilter(filter, outerOrd)
+				so.SetFilter(sink, outerOrd)
 			} else {
 				// Partial bit-vector filter, filled as the merge consumes
 				// outer rows; late matches flow back to the scan.
-				mj.SetFilter(filter, innerScan)
+				mj.SetFilter(sink, innerScan)
 			}
 		}
 		op = mj
@@ -439,10 +455,10 @@ func (e *Execution) buildINL(node *plan.Join) (Operator, error) {
 	return op, nil
 }
 
-// findSEScan digs through RE-side wrappers to the storage-engine scan, if
-// the subtree bottoms out in one.
+// findSEScan digs through RE-side wrappers (and panic guards) to the
+// storage-engine scan, if the subtree bottoms out in one.
 func findSEScan(op Operator) *SEScan {
-	switch o := op.(type) {
+	switch o := unwrapOp(op).(type) {
 	case *SEScan:
 		return o
 	case *SortOp:
@@ -480,6 +496,10 @@ func (e *Execution) Run() ([]tuple.Row, error) {
 	}
 	var rows []tuple.Row
 	for {
+		if err := e.Ctx.interrupted(); err != nil {
+			e.Root.Close()
+			return nil, err
+		}
 		row, ok, err := e.Root.Next()
 		if err != nil {
 			e.Root.Close()

@@ -6,9 +6,20 @@
 // RE" and see only rows. The bit-vector filter of §IV crosses the boundary
 // the same way the paper's prototype does — through an explicit callback
 // object handed to the SE-side scan.
+//
+// Two robustness mechanisms live at this layer. Every operator is wrapped in
+// a panic boundary that converts internal panics (decode failures on corrupt
+// cells, comparator kind mismatches) into *OperatorPanic errors carrying the
+// failing operator's label, so one bad page fails one query, not the
+// process. And the shared execution Context carries a context.Context whose
+// cancellation the row loops of all storage-side operators observe, giving
+// queries deadline and Ctrl-C semantics.
 package exec
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"pagefeedback/internal/storage"
@@ -25,12 +36,61 @@ type Context struct {
 	CPUPerRow time.Duration
 
 	rowsTouched int64
+
+	// goCtx is the query's cancellation scope; nil means uncancellable.
+	goCtx context.Context
+	done  <-chan struct{}
+	// checkCtr rate-limits cancellation polling to every cancelEvery rows,
+	// keeping the per-row overhead to one increment and one mask.
+	checkCtr  uint64
+	cancelErr error
 }
+
+// cancelEvery is how many interrupted() calls elapse between actual polls of
+// the context's done channel. Power of two; the row loops of every
+// storage-side operator call interrupted() once per row.
+const cancelEvery = 64
 
 // NewContext creates an execution context with the default CPU model
 // (1 µs per row touched).
 func NewContext(pool *storage.BufferPool) *Context {
 	return &Context{Pool: pool, CPUPerRow: time.Microsecond}
+}
+
+// BindContext attaches a cancellation scope. Operators poll it (cheaply,
+// every cancelEvery rows) and abort with ctx.Err() once it fires.
+func (c *Context) BindContext(ctx context.Context) {
+	if ctx == nil {
+		c.goCtx, c.done = nil, nil
+		return
+	}
+	c.goCtx = ctx
+	c.done = ctx.Done()
+}
+
+// interrupted returns the context's error once the attached context is
+// cancelled or past its deadline. It polls only every cancelEvery calls, so
+// it is safe to invoke per row on hot paths.
+func (c *Context) interrupted() error {
+	if c.cancelErr != nil {
+		return c.cancelErr
+	}
+	if c.done == nil {
+		return nil
+	}
+	c.checkCtr++
+	// Poll on the first call (catches already-cancelled contexts even for
+	// tiny row counts), then once per cancelEvery calls.
+	if c.checkCtr&(cancelEvery-1) != 1 {
+		return nil
+	}
+	select {
+	case <-c.done:
+		c.cancelErr = c.goCtx.Err()
+		return c.cancelErr
+	default:
+		return nil
+	}
 }
 
 // touch charges CPU for n rows.
@@ -63,4 +123,82 @@ type OpStats struct {
 	ActRows int64
 	// Children in plan order.
 	Children []*OpStats
+}
+
+// OperatorPanic is a panic raised inside a physical operator, recovered at
+// the operator's boundary and converted into an ordinary query error. Op is
+// the label of the deepest operator whose code (or whose storage-engine
+// callees) panicked.
+type OperatorPanic struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *OperatorPanic) Error() string {
+	return fmt.Sprintf("exec: panic in operator %s: %v", p.Op, p.Value)
+}
+
+// guardOp wraps an operator with a panic boundary. Build wraps every
+// operator it constructs, so a panic is recovered at the deepest operator
+// it escaped from and surfaces as an *OperatorPanic naming that operator;
+// parents see a plain error on the normal propagation path and release
+// their resources exactly as they do for storage faults.
+type guardOp struct {
+	inner Operator
+}
+
+func (g *guardOp) recovered(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	*errp = &OperatorPanic{Op: g.inner.Stats().Label, Value: r, Stack: debug.Stack()}
+}
+
+// Open implements Operator. If the inner Open panics mid-way (for example
+// while a blocking operator drains its input), the inner operator is closed
+// best-effort so page pins acquired before the panic are released.
+func (g *guardOp) Open() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &OperatorPanic{Op: g.inner.Stats().Label, Value: r, Stack: debug.Stack()}
+			func() {
+				defer func() { recover() }()
+				g.inner.Close()
+			}()
+		}
+	}()
+	return g.inner.Open()
+}
+
+// Next implements Operator.
+func (g *guardOp) Next() (row tuple.Row, ok bool, err error) {
+	defer g.recovered(&err)
+	return g.inner.Next()
+}
+
+// Close implements Operator.
+func (g *guardOp) Close() (err error) {
+	defer g.recovered(&err)
+	return g.inner.Close()
+}
+
+// Schema implements Operator.
+func (g *guardOp) Schema() *tuple.Schema { return g.inner.Schema() }
+
+// Stats implements Operator.
+func (g *guardOp) Stats() *OpStats { return g.inner.Stats() }
+
+// unwrapOp strips the panic guard, exposing the concrete operator for the
+// builder's structural inspection (monitor wiring, sort detection).
+func unwrapOp(op Operator) Operator {
+	for {
+		g, ok := op.(*guardOp)
+		if !ok {
+			return op
+		}
+		op = g.inner
+	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"pagefeedback/internal/catalog"
-	"pagefeedback/internal/core"
 	"pagefeedback/internal/expr"
 	"pagefeedback/internal/storage"
 	"pagefeedback/internal/tuple"
@@ -22,7 +21,7 @@ type HashJoinOp struct {
 	buildOrd int
 	probeOrd int
 	schema   *tuple.Schema
-	filter   *core.BitVectorFilter // optional; filled during build
+	filter   *filterSink // optional; filled during build
 	stats    OpStats
 
 	table   map[string][]tuple.Row
@@ -42,7 +41,7 @@ func NewHashJoin(ctx *Context, build, probe Operator, buildOrd, probeOrd int, sc
 }
 
 // SetFilter wires a bit-vector filter to fill during the build phase.
-func (j *HashJoinOp) SetFilter(f *core.BitVectorFilter) { j.filter = f }
+func (j *HashJoinOp) SetFilter(f *filterSink) { j.filter = f }
 
 // Open implements Operator: drains the build input into the hash table.
 // The build input is always closed before Open returns — even on error —
@@ -129,7 +128,7 @@ type MergeJoinOp struct {
 	outerOrd int
 	innerOrd int
 	schema   *tuple.Schema
-	filter   *core.BitVectorFilter
+	filter   *filterSink
 	innerSE  *SEScan // non-nil when the inner input is directly an SE scan
 	stats    OpStats
 
@@ -158,7 +157,7 @@ func NewMergeJoin(ctx *Context, outer, inner Operator, outerOrd, innerOrd int, s
 
 // SetFilter wires a partial bit-vector filter filled as outer rows are
 // consumed. innerSE (may be nil) receives late-match callbacks.
-func (j *MergeJoinOp) SetFilter(f *core.BitVectorFilter, innerSE *SEScan) {
+func (j *MergeJoinOp) SetFilter(f *filterSink, innerSE *SEScan) {
 	j.filter = f
 	j.innerSE = innerSE
 }
@@ -337,6 +336,9 @@ func (j *INLJoinOp) Next() (tuple.Row, bool, error) {
 	for {
 		if j.it != nil {
 			for j.it.Next() {
+				if err := j.ctx.interrupted(); err != nil {
+					return nil, false, err
+				}
 				j.ctx.touch(1)
 				rid := j.it.RID()
 				row, err := j.innerTab.FetchRow(rid)

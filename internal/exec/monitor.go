@@ -30,6 +30,20 @@ type MonitorConfig struct {
 	CompareSamplingEstimator bool
 	// ReservoirSize for the comparison estimator; 0 defaults to 1024.
 	ReservoirSize int
+	// FailMonitors is a fault-injection hook for tests: monitors whose
+	// mechanism appears here panic on their first observation, exercising
+	// the quarantine path. Production callers leave it empty.
+	FailMonitors []string
+}
+
+// failInjected reports whether fault injection is armed for mechanism mech.
+func (mc *MonitorConfig) failInjected(mech string) bool {
+	for _, m := range mc.FailMonitors {
+		if m == mech {
+			return true
+		}
+	}
+	return false
 }
 
 func (mc *MonitorConfig) sampleFraction() float64 {
@@ -83,7 +97,11 @@ type DPCResult struct {
 	Cardinality int64
 	// SamplingEstimate is the GEE comparison estimate, when enabled.
 	SamplingEstimate int64
-	// Reason explains an unsatisfiable request.
+	// Degraded is true when the monitor failed mid-query and was
+	// quarantined: the query finished normally but produced no trustworthy
+	// observation for this request, and ApplyFeedback ignores it.
+	Degraded bool
+	// Reason explains an unsatisfiable request or a quarantined monitor.
 	Reason string
 }
 
@@ -114,6 +132,82 @@ type scanMonitor struct {
 	// monJoinFilter: bitvector membership of the join column.
 	filter     *core.BitVectorFilter
 	joinColOrd int
+
+	// quarantine state: a monitor that panics is disabled for the rest of
+	// the query and reports a degraded result; the host query is unaffected.
+	disabled bool
+	failure  string
+	// injectFail makes the first observation panic (test hook).
+	injectFail bool
+}
+
+// mechanism names the monitor's reporting mechanism.
+func (m *scanMonitor) mechanism() string {
+	switch m.kind {
+	case monExactPrefix:
+		return MechExactScan
+	case monSampled:
+		return MechDPSample
+	default:
+		return MechBitVector
+	}
+}
+
+// quarantine disables the monitor for the rest of the query, recording why.
+func (m *scanMonitor) quarantine(v any) {
+	m.disabled = true
+	m.failure = fmt.Sprint(v)
+}
+
+// safeObserve is observe behind the quarantine guard: a panic inside the
+// monitor machinery (including the core counters) disables this monitor and
+// returns control to the scan, which continues as if the monitor were never
+// attached — monitoring failures must never fail the host query.
+func (m *scanMonitor) safeObserve(rid storage.RID, row tuple.Row, failIdx int) {
+	if m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantine(r)
+		}
+	}()
+	if m.injectFail {
+		panic("exec: injected monitor fault (" + m.mechanism() + ")")
+	}
+	m.observe(rid, row, failIdx)
+}
+
+// safeLateMatch is lateMatch behind the quarantine guard.
+func (m *scanMonitor) safeLateMatch(rid storage.RID) {
+	if m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantine(r)
+		}
+	}()
+	m.lateMatch(rid)
+}
+
+// safeFinish closes the monitor's last page at end of scan, behind the
+// quarantine guard.
+func (m *scanMonitor) safeFinish() {
+	if m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantine(r)
+		}
+	}()
+	switch m.kind {
+	case monExactPrefix:
+		m.gc.Finish()
+	default:
+		m.dps.Finish()
+	}
 }
 
 // observe processes one scanned row. failIdx is the index of the first scan-
@@ -146,6 +240,31 @@ func (m *scanMonitor) observe(rid storage.RID, row tuple.Row, failIdx int) {
 	}
 }
 
+// filterSink is the RE-side face of a join-filter monitor: joins and sorts
+// add outer join values through it while building the bit-vector filter
+// (Fig 5). The sink shares quarantine state with the scan-side monitor, so a
+// panic on either side of the RE/SE boundary disables the whole monitor.
+type filterSink struct {
+	m *scanMonitor
+	f *core.BitVectorFilter
+}
+
+// Add inserts an outer join value into the filter, behind the guard.
+func (fs *filterSink) Add(v tuple.Value) {
+	if fs.m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fs.m.quarantine(r)
+		}
+	}()
+	if fs.m.injectFail {
+		panic("exec: injected monitor fault (" + fs.m.mechanism() + ")")
+	}
+	fs.f.Add(v)
+}
+
 // lateMatch marks the page of rid as satisfying after the fact — the
 // RE-side merge join calls this through the boundary callback when an inner
 // row matches an outer value that entered the partial bit vector after the
@@ -159,8 +278,16 @@ func (m *scanMonitor) lateMatch(rid storage.RID) {
 	m.dps.ObserveAtPage(rid.Page)
 }
 
-// result finalizes the monitor into a DPCResult.
+// result finalizes the monitor into a DPCResult. A quarantined monitor
+// reports a degraded result: no page count, a reason, and Degraded set so
+// feedback consumers skip it.
 func (m *scanMonitor) result() DPCResult {
+	if m.disabled {
+		return DPCResult{
+			Request: m.req, Mechanism: m.mechanism(), Degraded: true,
+			Reason: "monitor quarantined: " + m.failure,
+		}
+	}
 	switch m.kind {
 	case monExactPrefix:
 		return DPCResult{

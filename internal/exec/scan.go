@@ -66,6 +66,9 @@ func (s *SEScan) Open() error {
 // scan predicate then decides whether the row flows to the parent.
 func (s *SEScan) Next() (tuple.Row, bool, error) {
 	for s.it.Next() {
+		if err := s.ctx.interrupted(); err != nil {
+			return nil, false, err
+		}
 		s.ctx.touch(1)
 		row := s.it.Row()
 		rid := s.it.RID()
@@ -81,7 +84,7 @@ func (s *SEScan) Next() (tuple.Row, bool, error) {
 			}
 		}
 		for _, m := range s.monitors {
-			m.observe(rid, row, failIdx)
+			m.safeObserve(rid, row, failIdx)
 		}
 		if failIdx == -1 {
 			s.stats.ActRows++
@@ -93,12 +96,7 @@ func (s *SEScan) Next() (tuple.Row, bool, error) {
 	}
 	// End of scan: close the monitors' last page.
 	for _, m := range s.monitors {
-		switch m.kind {
-		case monExactPrefix:
-			m.gc.Finish()
-		default:
-			m.dps.Finish()
-		}
+		m.safeFinish()
 	}
 	return nil, false, nil
 }
@@ -110,7 +108,7 @@ func (s *SEScan) LastRID() storage.RID { return s.lastRID }
 // lateMatch forwards a late join-match notification to join-filter monitors.
 func (s *SEScan) lateMatch(rid storage.RID) {
 	for _, m := range s.monitors {
-		m.lateMatch(rid)
+		m.safeLateMatch(rid)
 	}
 }
 
@@ -164,6 +162,9 @@ func (s *CoveringScan) Open() error {
 // Next implements Operator.
 func (s *CoveringScan) Next() (tuple.Row, bool, error) {
 	for s.it.Next() {
+		if err := s.ctx.interrupted(); err != nil {
+			return nil, false, err
+		}
 		s.ctx.touch(1)
 		row := tuple.Row(append([]tuple.Value(nil), s.it.Values()...))
 		if s.pred.Eval(row) {

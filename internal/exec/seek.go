@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sort"
 
 	"pagefeedback/internal/catalog"
@@ -19,9 +20,26 @@ type seekMonitor struct {
 	sd   *core.SampleDistinct // optional comparison estimator
 	rows int64
 	mech string
+
+	// quarantine state; see scanMonitor.
+	disabled   bool
+	failure    string
+	injectFail bool
 }
 
 func (m *seekMonitor) observe(pid storage.PageID) {
+	if m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.disabled = true
+			m.failure = fmt.Sprint(r)
+		}
+	}()
+	if m.injectFail {
+		panic("exec: injected monitor fault (" + m.mech + ")")
+	}
 	m.rows++
 	m.lc.AddPID(pid)
 	if m.sd != nil {
@@ -30,6 +48,12 @@ func (m *seekMonitor) observe(pid storage.PageID) {
 }
 
 func (m *seekMonitor) result() DPCResult {
+	if m.disabled {
+		return DPCResult{
+			Request: m.req, Mechanism: m.mech, Degraded: true,
+			Reason: "monitor quarantined: " + m.failure,
+		}
+	}
 	r := DPCResult{
 		Request: m.req, Mechanism: m.mech,
 		DPC: m.lc.EstimateInt(), Cardinality: m.rows,
@@ -90,6 +114,9 @@ func (s *IndexSeek) openRange() error {
 func (s *IndexSeek) Next() (tuple.Row, bool, error) {
 	for s.it != nil {
 		for s.it.Next() {
+			if err := s.ctx.interrupted(); err != nil {
+				return nil, false, err
+			}
 			s.ctx.touch(1)
 			rid := s.it.RID()
 			row, err := s.tab.FetchRow(rid) // the random-I/O Fetch
@@ -171,6 +198,10 @@ func (s *IndexIntersect) collect(ix *catalog.Index, ranges []expr.KeyRange) (map
 			return nil, err
 		}
 		for it.Next() {
+			if err := s.ctx.interrupted(); err != nil {
+				it.Close()
+				return nil, err
+			}
 			s.ctx.touch(1)
 			set[it.RID().AsInt64()] = struct{}{}
 		}
@@ -215,6 +246,9 @@ func (s *IndexIntersect) Open() error {
 // Next implements Operator.
 func (s *IndexIntersect) Next() (tuple.Row, bool, error) {
 	for s.pos < len(s.rids) {
+		if err := s.ctx.interrupted(); err != nil {
+			return nil, false, err
+		}
 		rid := s.rids[s.pos]
 		s.pos++
 		s.ctx.touch(1)

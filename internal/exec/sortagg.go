@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"pagefeedback/internal/core"
 	"pagefeedback/internal/expr"
 	"pagefeedback/internal/tuple"
 )
@@ -22,7 +21,7 @@ type SortOp struct {
 	schema *tuple.Schema
 	stats  OpStats
 
-	filter    *core.BitVectorFilter
+	filter    *filterSink
 	filterOrd int
 
 	rows []tuple.Row
@@ -36,7 +35,7 @@ func NewSort(ctx *Context, input Operator, ords []int) *SortOp {
 }
 
 // SetFilter wires a bit-vector filter to fill with column ord while draining.
-func (s *SortOp) SetFilter(f *core.BitVectorFilter, ord int) {
+func (s *SortOp) SetFilter(f *filterSink, ord int) {
 	s.filter = f
 	s.filterOrd = ord
 }

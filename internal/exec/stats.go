@@ -33,6 +33,7 @@ type PageCountXML struct {
 	Estimated  int64  `xml:"estimated,attr"` // the optimizer's analytical estimate
 	Actual     int64  `xml:"actual,attr"`    // the fed-back observation
 	Exact      bool   `xml:"exact,attr"`
+	Degraded   bool   `xml:"degraded,attr,omitempty"` // monitor quarantined mid-query
 	Reason     string `xml:"reason,attr,omitempty"`
 }
 
@@ -45,6 +46,9 @@ type RuntimeStats struct {
 	RandomReads    int64         `xml:"randomReads,attr"`
 	LogicalReads   int64         `xml:"logicalReads,attr"`
 	RowsTouched    int64         `xml:"rowsTouched,attr"`
+	// QuarantinedMonitors counts DPC monitors disabled mid-query by the
+	// quarantine guard; their results carry no observation.
+	QuarantinedMonitors int `xml:"quarantinedMonitors,attr,omitempty"`
 }
 
 // snapshotOpStats converts the live OpStats tree into the XML form.

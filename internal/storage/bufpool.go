@@ -2,9 +2,15 @@ package storage
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrPoolExhausted is returned when a page must be brought in but every
+// frame is pinned. It is a typed, recoverable condition: once callers unpin,
+// the pool serves requests again.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
 // PoolStats accumulates buffer-pool counters. LogicalReads counts every page
 // request; Hits counts those served from memory.
@@ -143,7 +149,7 @@ func (bp *BufferPool) allocFrameLocked(key frameKey) (*frame, error) {
 func (bp *BufferPool) evictLocked() error {
 	el := bp.lruList.Back()
 	if el == nil {
-		return fmt.Errorf("storage: buffer pool exhausted (all %d pages pinned)", bp.capacity)
+		return fmt.Errorf("storage: all %d pages pinned: %w", bp.capacity, ErrPoolExhausted)
 	}
 	fr := el.Value.(*frame)
 	if fr.dirty {
@@ -214,6 +220,21 @@ func (bp *BufferPool) Reset() error {
 	bp.frames = make(map[frameKey]*frame, bp.capacity)
 	bp.lruList.Init()
 	return nil
+}
+
+// Pinned returns the number of currently pinned frames. A query that has
+// fully finished — successfully or not — must leave this at zero; the
+// robustness tests assert it after every fault scenario.
+func (bp *BufferPool) Pinned() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats returns a snapshot of the pool counters.

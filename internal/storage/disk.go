@@ -3,12 +3,31 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 )
 
 // ErrInjectedFault is returned by reads after FailReadsAfter triggers.
 var ErrInjectedFault = errors.New("storage: injected read fault")
+
+// ErrInjectedWriteFault is returned by writes after FailWritesAfter triggers.
+var ErrInjectedWriteFault = errors.New("storage: injected write fault")
+
+// ErrChecksum is returned when a page read fails checksum verification — the
+// stored bytes do not match the checksum recorded at the last complete write,
+// the signature of a torn (partially persisted) page. Torn pages are
+// permanent media damage: reads are NOT retried.
+var ErrChecksum = errors.New("storage: page checksum mismatch (torn page)")
+
+// ErrTransientFault is the underlying cause of a read that kept failing
+// transiently after the retry budget was exhausted. Single transient faults
+// are absorbed by the disk manager's bounded retry and never surface.
+var ErrTransientFault = errors.New("storage: transient read fault")
+
+// maxReadRetries bounds how many times a transiently failing page read is
+// retried before the fault is reported as hard.
+const maxReadRetries = 3
 
 // IOModel holds the simulated device timing constants. The same constants
 // drive the optimizer's cost model (internal/opt), so that a corrected
@@ -35,6 +54,8 @@ type IOStats struct {
 	SequentialReads int64         // reads that continued the previous page
 	RandomReads     int64         // reads that required a seek
 	PagesWritten    int64         // pages written
+	ReadRetries     int64         // re-issued reads after transient faults
+	ChecksumErrors  int64         // reads rejected by checksum verification
 	SimulatedIO     time.Duration // total simulated device time
 }
 
@@ -45,6 +66,8 @@ func (s IOStats) Sub(o IOStats) IOStats {
 		SequentialReads: s.SequentialReads - o.SequentialReads,
 		RandomReads:     s.RandomReads - o.RandomReads,
 		PagesWritten:    s.PagesWritten - o.PagesWritten,
+		ReadRetries:     s.ReadRetries - o.ReadRetries,
+		ChecksumErrors:  s.ChecksumErrors - o.ChecksumErrors,
 		SimulatedIO:     s.SimulatedIO - o.SimulatedIO,
 	}
 }
@@ -52,10 +75,19 @@ func (s IOStats) Sub(o IOStats) IOStats {
 // FileID identifies one file (heap or index) managed by a DiskManager.
 type FileID uint32
 
+// crcTable is the Castagnoli polynomial (hardware-accelerated on most CPUs).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // DiskManager is an in-memory page store standing in for the I/O subsystem.
 // It hands out files, serves page reads/writes, and charges simulated time
 // per the IOModel, classifying each read as sequential or random based on
 // the previously read page of the same file (a simple prefetch model).
+//
+// Every complete write records a page checksum; reads verify it, so a torn
+// page (injected with CorruptPage, or any out-of-band mutation of the stored
+// bytes) surfaces as ErrChecksum instead of silently decoding garbage.
+// Transient read faults are retried up to maxReadRetries times with a
+// simulated backoff before being reported; retries show up in IOStats.
 //
 // All methods are safe for concurrent use.
 type DiskManager struct {
@@ -64,10 +96,16 @@ type DiskManager struct {
 	files  map[FileID]*fileData
 	nextID FileID
 	stats  IOStats
-	// failAfter injects read faults for tests: when > 0, it counts down
-	// per read and every read after it reaches zero fails.
+	// failAfter injects hard read faults for tests: when armed, it counts
+	// down per read and every read after it reaches zero fails.
 	failAfter int64
 	failArmed bool
+	// failWriteAfter is the write-side analog.
+	failWriteAfter int64
+	failWriteArmed bool
+	// transient is the number of upcoming read attempts that fail
+	// transiently (each attempt, including retries, consumes one).
+	transient int64
 }
 
 // FailReadsAfter arms fault injection: the next n reads succeed, every
@@ -80,8 +118,54 @@ func (d *DiskManager) FailReadsAfter(n int64) {
 	d.failArmed = n >= 0
 }
 
+// FailWritesAfter arms write-fault injection: the next n writes succeed,
+// every write after that returns ErrInjectedWriteFault. Pass a negative n to
+// disarm.
+func (d *DiskManager) FailWritesAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWriteAfter = n
+	d.failWriteArmed = n >= 0
+}
+
+// InjectTransientFaults makes the next n read attempts fail transiently.
+// The disk manager itself retries such reads (up to maxReadRetries per
+// read), so n <= maxReadRetries is absorbed invisibly — apart from
+// IOStats.ReadRetries and the simulated backoff time — while a longer burst
+// surfaces as an error wrapping ErrTransientFault.
+func (d *DiskManager) InjectTransientFaults(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	d.transient = n
+}
+
+// CorruptPage simulates a torn write: the tail half of the stored page is
+// overwritten with garbage while the recorded checksum still describes the
+// complete page, so the next read of the page fails with ErrChecksum.
+func (d *DiskManager) CorruptPage(id FileID, pid PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[id]
+	if f == nil {
+		return fmt.Errorf("storage: no file %d", id)
+	}
+	if int(pid) >= len(f.pages) {
+		return fmt.Errorf("storage: file %d has no page %d", id, pid)
+	}
+	page := f.pages[pid]
+	for i := PageSize / 2; i < PageSize; i++ {
+		page[i] ^= 0xA5
+	}
+	return nil
+}
+
 type fileData struct {
 	pages [][]byte
+	// sums holds the CRC32-C of each page as of its last complete write.
+	sums []uint32
 	// lastRead tracks the most recently read page for the sequential-vs-
 	// random classification. Tracking per file (rather than one global
 	// head) models the read-ahead real devices and engines provide: a scan
@@ -127,6 +211,9 @@ func (d *DiskManager) NumPages(id FileID) int {
 	return len(f.pages)
 }
 
+// zeroPageSum is the checksum of a freshly allocated (all-zero) page.
+var zeroPageSum = crc32.Checksum(make([]byte, PageSize), crcTable)
+
 // AllocPage appends a zeroed page to the file and returns its PageID.
 // Allocation itself is not charged I/O time; the subsequent write is.
 func (d *DiskManager) AllocPage(id FileID) (PageID, error) {
@@ -138,11 +225,14 @@ func (d *DiskManager) AllocPage(id FileID) (PageID, error) {
 	}
 	pid := PageID(len(f.pages))
 	f.pages = append(f.pages, make([]byte, PageSize))
+	f.sums = append(f.sums, zeroPageSum)
 	return pid, nil
 }
 
 // ReadPage copies page pid of the file into dst (PageSize bytes) and charges
-// simulated time.
+// simulated time. Transient device faults are absorbed by up to
+// maxReadRetries retries (each charged a random-read backoff); checksum
+// mismatches and hard faults are returned immediately.
 func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -159,6 +249,28 @@ func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
 		}
 		d.failAfter--
 	}
+	// First attempt plus bounded retries for transient faults. Each retry
+	// charges one random-read worth of simulated backoff: the device has to
+	// re-seek after an aborted transfer.
+	attempts := 0
+	for {
+		attempts++
+		if d.transient > 0 {
+			d.transient--
+			if attempts > maxReadRetries {
+				return fmt.Errorf("storage: file %d page %d failed after %d retries: %w",
+					id, pid, maxReadRetries, ErrTransientFault)
+			}
+			d.stats.ReadRetries++
+			d.stats.SimulatedIO += d.model.RandomRead
+			continue
+		}
+		break
+	}
+	if crc32.Checksum(f.pages[pid], crcTable) != f.sums[pid] {
+		d.stats.ChecksumErrors++
+		return fmt.Errorf("storage: file %d page %d: %w", id, pid, ErrChecksum)
+	}
 	copy(dst, f.pages[pid])
 	d.stats.PhysicalReads++
 	if f.hasLast && pid == f.lastRead+1 {
@@ -172,9 +284,10 @@ func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
 	return nil
 }
 
-// WritePage copies src (PageSize bytes) into page pid of the file. Writes are
-// charged sequential time; the experiments in this repo are read-dominated,
-// matching the paper's read-only query workloads.
+// WritePage copies src (PageSize bytes) into page pid of the file and records
+// the page's checksum. Writes are charged sequential time; the experiments in
+// this repo are read-dominated, matching the paper's read-only query
+// workloads.
 func (d *DiskManager) WritePage(id FileID, pid PageID, src []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -185,7 +298,14 @@ func (d *DiskManager) WritePage(id FileID, pid PageID, src []byte) error {
 	if int(pid) >= len(f.pages) {
 		return fmt.Errorf("storage: file %d has no page %d", id, pid)
 	}
+	if d.failWriteArmed {
+		if d.failWriteAfter <= 0 {
+			return fmt.Errorf("storage: file %d page %d: %w", id, pid, ErrInjectedWriteFault)
+		}
+		d.failWriteAfter--
+	}
 	copy(f.pages[pid], src)
+	f.sums[pid] = crc32.Checksum(f.pages[pid], crcTable)
 	d.stats.PagesWritten++
 	d.stats.SimulatedIO += d.model.SeqRead
 	return nil

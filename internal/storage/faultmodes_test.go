@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newFaultTestPage(t *testing.T, d *DiskManager) (FileID, PageID, []byte) {
+	t.Helper()
+	f := d.CreateFile()
+	pid, err := d.AllocPage(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := d.WritePage(f, pid, buf); err != nil {
+		t.Fatal(err)
+	}
+	return f, pid, buf
+}
+
+func TestChecksumDetectsTornPage(t *testing.T) {
+	d := NewDiskManager(DefaultIOModel())
+	f, pid, buf := newFaultTestPage(t, d)
+
+	dst := make([]byte, PageSize)
+	if err := d.ReadPage(f, pid, dst); err != nil {
+		t.Fatalf("clean read failed: %v", err)
+	}
+	if !bytes.Equal(dst, buf) {
+		t.Fatal("clean read returned wrong bytes")
+	}
+
+	if err := d.CorruptPage(f, pid); err != nil {
+		t.Fatal(err)
+	}
+	err := d.ReadPage(f, pid, dst)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("read of torn page: err = %v, want ErrChecksum", err)
+	}
+	if d.Stats().ChecksumErrors != 1 {
+		t.Errorf("ChecksumErrors = %d, want 1", d.Stats().ChecksumErrors)
+	}
+
+	// A complete rewrite re-records the checksum and clears the fault.
+	if err := d.WritePage(f, pid, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(f, pid, dst); err != nil {
+		t.Fatalf("read after rewrite failed: %v", err)
+	}
+	if !bytes.Equal(dst, buf) {
+		t.Error("rewrite did not restore page contents")
+	}
+}
+
+func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
+	d := NewDiskManager(DefaultIOModel())
+	f, pid, buf := newFaultTestPage(t, d)
+	dst := make([]byte, PageSize)
+
+	// A burst within the retry budget is invisible apart from the stats.
+	d.InjectTransientFaults(2)
+	ioBefore := d.Stats().SimulatedIO
+	if err := d.ReadPage(f, pid, dst); err != nil {
+		t.Fatalf("read with 2 transient faults failed: %v", err)
+	}
+	if !bytes.Equal(dst, buf) {
+		t.Error("retried read returned wrong bytes")
+	}
+	if got := d.Stats().ReadRetries; got != 2 {
+		t.Errorf("ReadRetries = %d, want 2", got)
+	}
+	// Each retry charges backoff: 2 retries + the real read.
+	if got := d.Stats().SimulatedIO - ioBefore; got < 3*d.Model().RandomRead {
+		t.Errorf("simulated time %v does not include retry backoff", got)
+	}
+}
+
+func TestTransientBurstExceedsRetryBudget(t *testing.T) {
+	d := NewDiskManager(DefaultIOModel())
+	f, pid, _ := newFaultTestPage(t, d)
+	dst := make([]byte, PageSize)
+
+	d.InjectTransientFaults(maxReadRetries + 5)
+	err := d.ReadPage(f, pid, dst)
+	if !errors.Is(err, ErrTransientFault) {
+		t.Fatalf("read under long burst: err = %v, want ErrTransientFault", err)
+	}
+	// The burst drains as later reads retry through it; eventually the
+	// device heals and reads succeed again.
+	for i := 0; i < 4; i++ {
+		if d.ReadPage(f, pid, dst) == nil {
+			return
+		}
+	}
+	t.Error("reads never recovered after transient burst drained")
+}
+
+func TestWriteFaultInjection(t *testing.T) {
+	d := NewDiskManager(DefaultIOModel())
+	f, pid, buf := newFaultTestPage(t, d)
+
+	d.FailWritesAfter(0)
+	err := d.WritePage(f, pid, buf)
+	if !errors.Is(err, ErrInjectedWriteFault) {
+		t.Fatalf("write under injection: err = %v, want ErrInjectedWriteFault", err)
+	}
+	// The failed write must not have touched the page or its checksum.
+	dst := make([]byte, PageSize)
+	if err := d.ReadPage(f, pid, dst); err != nil {
+		t.Fatalf("read after failed write: %v", err)
+	}
+	if !bytes.Equal(dst, buf) {
+		t.Error("failed write mutated the page")
+	}
+
+	d.FailWritesAfter(-1)
+	if err := d.WritePage(f, pid, buf); err != nil {
+		t.Fatalf("write after disarm failed: %v", err)
+	}
+}
+
+func TestPoolExhaustionTyped(t *testing.T) {
+	d := NewDiskManager(DefaultIOModel())
+	f := d.CreateFile()
+	for i := 0; i < 16; i++ {
+		if _, err := d.AllocPage(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(d, 8)
+	var pins []*PinnedPage
+	for pid := PageID(0); pid < 8; pid++ {
+		pp, err := bp.FetchPage(f, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, pp)
+	}
+	if got := bp.Pinned(); got != 8 {
+		t.Errorf("Pinned = %d, want 8", got)
+	}
+	_, err := bp.FetchPage(f, 10)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("fetch into full pool: err = %v, want ErrPoolExhausted", err)
+	}
+	pins[0].Unpin(false)
+	if _, err := bp.FetchPage(f, 10); err != nil {
+		t.Fatalf("fetch after unpin failed: %v", err)
+	}
+}

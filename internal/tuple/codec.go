@@ -33,16 +33,6 @@ func Encode(dst []byte, s *Schema, row Row) ([]byte, error) {
 	return dst, nil
 }
 
-// MustEncode is Encode but panics on error; for generators and tests where
-// schema/value mismatches are programming errors.
-func MustEncode(s *Schema, row Row) []byte {
-	b, err := Encode(nil, s, row)
-	if err != nil {
-		panic(err)
-	}
-	return b
-}
-
 // Decode parses one row (under schema s) from data. The entire slice must be
 // consumed; trailing bytes indicate corruption.
 func Decode(s *Schema, data []byte) (Row, error) {

@@ -126,7 +126,10 @@ func TestValueString(t *testing.T) {
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	s := testSchema()
 	row := Row{Int64(7), Str("widget"), Date(13665)}
-	b := MustEncode(s, row)
+	b, err := Encode(nil, s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := Decode(s, b)
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +160,10 @@ func TestEncodeErrors(t *testing.T) {
 func TestDecodeErrors(t *testing.T) {
 	s := testSchema()
 	row := Row{Int64(7), Str("widget"), Date(13665)}
-	b := MustEncode(s, row)
+	b, err := Encode(nil, s, row)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for cut := 1; cut < len(b); cut += 3 {
 		if _, err := Decode(s, b[:cut]); err == nil {
 			t.Errorf("truncated row (%d bytes) decoded without error", cut)

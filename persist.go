@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"pagefeedback/internal/core"
 	"pagefeedback/internal/expr"
@@ -140,6 +142,53 @@ func (e *Engine) ExportFeedback(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dump)
+}
+
+// ExportFeedbackToFile atomically writes the feedback dump to path: the
+// JSON is written to a temporary file in the same directory, synced, and
+// renamed over the destination. A crash or write fault mid-export leaves
+// any existing dump at path untouched — a half-written feedback file read
+// back next session would silently poison the optimizer.
+func (e *Engine) ExportFeedbackToFile(path string) error {
+	return writeFileAtomic(path, e.ExportFeedback)
+}
+
+// ImportFeedbackFromFile loads a feedback dump written by
+// ExportFeedbackToFile (or any ExportFeedback output).
+func (e *Engine) ImportFeedbackFromFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return e.ImportFeedback(f)
+}
+
+// writeFileAtomic streams write's output into a temp file next to path and
+// renames it into place only after a successful write and sync. On any
+// failure the temp file is removed and path is left as it was.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // histDumpSources snapshots the learned histograms by walking the columns

@@ -1,0 +1,80 @@
+package pagefeedback
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExportFeedbackToFileRoundTrip exercises the atomic file export and
+// the matching import.
+func TestExportFeedbackToFileRoundTrip(t *testing.T) {
+	eng := buildTestDB(t, 8000)
+	res, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500",
+		&RunOptions{MonitorAll: true, SampleFraction: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ApplyFeedback(res)
+
+	path := filepath.Join(t.TempDir(), "feedback.json")
+	if err := eng.ExportFeedbackToFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2 := buildTestDB(t, 8000)
+	n, err := eng2.ImportFeedbackFromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("import loaded no entries")
+	}
+	if got, want := len(eng2.FeedbackCache().Entries()), len(eng.FeedbackCache().Entries()); got != want {
+		t.Errorf("imported cache has %d entries, want %d", got, want)
+	}
+}
+
+// TestAtomicWritePartialFailure drives the atomic writer with a write
+// function that fails partway: the existing destination must be untouched
+// and no temp file may be left behind.
+func TestAtomicWritePartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "feedback.json")
+	const original = `{"version":1,"entries":null,"histograms":null}`
+	if err := os.WriteFile(path, []byte(original), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		// A partial write followed by a failure — the torn-export case.
+		if _, err := io.WriteString(w, `{"version":1,"ent`); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("writeFileAtomic error = %v, want the writer's failure", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != original {
+		t.Errorf("destination changed after failed export:\n%s", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		for _, e := range entries {
+			t.Logf("left behind: %s", e.Name())
+		}
+		t.Errorf("%d files in dir after failed export, want 1", len(entries))
+	}
+}

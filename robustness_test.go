@@ -1,0 +1,394 @@
+package pagefeedback
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pagefeedback/internal/storage"
+)
+
+// assertQueryErrorKind checks err is a *QueryError of the given kind.
+func assertQueryErrorKind(t *testing.T, err error, kind ErrorKind) {
+	t.Helper()
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error %v (%T) is not a *QueryError", err, err)
+	}
+	if qe.Kind != kind {
+		t.Errorf("QueryError kind = %s, want %s: %v", qe.Kind, kind, err)
+	}
+}
+
+// assertNoPins checks the buffer pool is fully unpinned.
+func assertNoPins(t *testing.T, eng *Engine) {
+	t.Helper()
+	if n := eng.Pool().Pinned(); n != 0 {
+		t.Errorf("%d buffer-pool frames still pinned", n)
+	}
+}
+
+// assertRecovered runs a control query and checks the engine still answers
+// correctly after whatever fault the caller injected and cleared.
+func assertRecovered(t *testing.T, eng *Engine, sql string, want int64) {
+	t.Helper()
+	res, err := eng.Query(sql, nil)
+	if err != nil {
+		t.Fatalf("post-fault query failed: %v", err)
+	}
+	if got := res.Rows[0][0].Int; got != want {
+		t.Errorf("post-fault count = %d, want %d", got, want)
+	}
+}
+
+// tornPageEnv builds a heap table h (file 0, so CorruptPage can address it)
+// plus an intact clustered table v, flushes everything to "disk", and tears
+// several of h's data pages.
+func tornPageEnv(t *testing.T) *Engine {
+	t.Helper()
+	eng := New(DefaultConfig())
+	h := NewSchema(
+		Column{Name: "k", Kind: KindInt},
+		Column{Name: "pad", Kind: KindString},
+	)
+	if _, err := eng.CreateHeapTable("h", h); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 2000)
+	for i := range rows {
+		rows[i] = Row{Int64(int64(i)), Str(strings.Repeat("p", 60))}
+	}
+	if err := eng.Load("h", rows); err != nil {
+		t.Fatal(err)
+	}
+	v := NewSchema(
+		Column{Name: "k", Kind: KindInt},
+		Column{Name: "val", Kind: KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("v", v, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	vrows := make([]Row, 4000)
+	for i := range vrows {
+		vrows[i] = Row{Int64(int64(i)), Int64(int64(i))}
+	}
+	if err := eng.Load("v", vrows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("h", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Flush so the pool holds no clean copy that could mask the torn bytes,
+	// then tear pages mid-file (a full scan of h is certain to read them).
+	if err := eng.Pool().Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range []storage.PageID{2, 3, 4} {
+		if err := eng.Pool().Disk().CorruptPage(0, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// TestFaultMatrix drives one fault of each class through a full query and
+// asserts the common contract: a typed error (or success where the fault is
+// recoverable), no panic, no leaked pins, and a correct follow-up query.
+func TestFaultMatrix(t *testing.T) {
+	t.Run("torn page", func(t *testing.T) {
+		eng := tornPageEnv(t)
+		_, err := eng.Query("SELECT COUNT(pad) FROM h", nil)
+		if err == nil {
+			t.Fatal("scan over torn pages succeeded")
+		}
+		if !errors.Is(err, storage.ErrChecksum) {
+			t.Errorf("error does not wrap ErrChecksum: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindStorage)
+		assertNoPins(t, eng)
+		if eng.Pool().Disk().Stats().ChecksumErrors == 0 {
+			t.Error("ChecksumErrors stat not incremented")
+		}
+		assertRecovered(t, eng, "SELECT COUNT(*) FROM v WHERE k < 10", 10)
+	})
+
+	t.Run("transient fault recovered by retry", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		before := eng.Pool().Disk().Stats()
+		eng.Pool().Disk().InjectTransientFaults(2)
+		res, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+		if err != nil {
+			t.Fatalf("query under recoverable transient faults failed: %v", err)
+		}
+		if res.Rows[0][0].Int != 500 {
+			t.Errorf("count = %d under transient faults", res.Rows[0][0].Int)
+		}
+		if got := eng.Pool().Disk().Stats().Sub(before).ReadRetries; got != 2 {
+			t.Errorf("ReadRetries = %d, want 2", got)
+		}
+		assertNoPins(t, eng)
+	})
+
+	t.Run("transient burst exceeds retry budget", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		// More consecutive faulted attempts than one read's retry budget.
+		eng.Pool().Disk().InjectTransientFaults(10)
+		_, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+		if err == nil {
+			t.Fatal("query under transient burst succeeded")
+		}
+		if !errors.Is(err, storage.ErrTransientFault) {
+			t.Errorf("error does not wrap ErrTransientFault: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindStorage)
+		assertNoPins(t, eng)
+		eng.Pool().Disk().InjectTransientFaults(0)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+
+	t.Run("hard read fault", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		eng.Pool().Disk().FailReadsAfter(5)
+		_, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+		if err == nil {
+			t.Fatal("query under hard read faults succeeded")
+		}
+		if !errors.Is(err, storage.ErrInjectedFault) {
+			t.Errorf("error does not wrap ErrInjectedFault: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindStorage)
+		assertNoPins(t, eng)
+		eng.Pool().Disk().FailReadsAfter(-1)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+
+	t.Run("write fault during cold-cache flush", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		// Dirty one page so the cold-cache Reset must write it back.
+		pp, err := eng.Pool().FetchPage(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp.Unpin(true)
+		eng.Pool().Disk().FailWritesAfter(0)
+		_, err = eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+		if err == nil {
+			t.Fatal("query with failing writeback succeeded")
+		}
+		if !errors.Is(err, storage.ErrInjectedWriteFault) {
+			t.Errorf("error does not wrap ErrInjectedWriteFault: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindStorage)
+		assertNoPins(t, eng)
+		eng.Pool().Disk().FailWritesAfter(-1)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+
+	t.Run("cancelled context", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := eng.QueryContext(ctx, "SELECT COUNT(padding) FROM t WHERE c2 < 500", nil)
+		if err == nil {
+			t.Fatal("query under cancelled context succeeded")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error does not wrap context.Canceled: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindCancelled)
+		assertNoPins(t, eng)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+
+	t.Run("query timeout", func(t *testing.T) {
+		eng := buildTestDB(t, 8000)
+		_, err := eng.Query("SELECT COUNT(padding) FROM t WHERE c2 < 2000",
+			&RunOptions{Timeout: time.Nanosecond})
+		if err == nil {
+			t.Fatal("query with 1ns timeout succeeded")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("error does not wrap DeadlineExceeded: %v", err)
+		}
+		assertQueryErrorKind(t, err, ErrKindTimeout)
+		assertNoPins(t, eng)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+
+	t.Run("injected monitor panic", func(t *testing.T) {
+		eng := joinTestEnv(t, 8000)
+		sql := "SELECT COUNT(padding) FROM t, u WHERE u.c1 < 100 AND u.c2 = t.c2"
+		healthy, err := eng.Query(sql, &RunOptions{MonitorAll: true, SampleFraction: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Query(sql, &RunOptions{
+			MonitorAll: true, SampleFraction: 1.0,
+			FailMonitors: []string{MechExactScan, MechDPSample, MechLinearCount, MechBitVector, MechINLFetch},
+		})
+		if err != nil {
+			t.Fatalf("query with all monitors failing errored: %v", err)
+		}
+		if res.Rows[0][0].Int != healthy.Rows[0][0].Int {
+			t.Errorf("count with quarantined monitors = %d, want %d",
+				res.Rows[0][0].Int, healthy.Rows[0][0].Int)
+		}
+		if res.Stats.Runtime.QuarantinedMonitors == 0 {
+			t.Error("no monitor recorded as quarantined")
+		}
+		// With every monitor quarantined, feedback application is a no-op:
+		// degraded observations never reach the cache or the optimizer.
+		eng.ApplyFeedback(res)
+		if n := len(eng.FeedbackCache().Entries()); n != 0 {
+			t.Errorf("%d feedback entries stored from fully-degraded run", n)
+		}
+		assertNoPins(t, eng)
+		assertRecovered(t, eng, "SELECT COUNT(padding) FROM t WHERE c2 < 500", 500)
+	})
+}
+
+// TestMonitorQuarantinePerMechanism runs, for every monitoring mechanism a
+// query exercises, a healthy execution and one with that mechanism's
+// monitors panicking — and diffs them: identical rows, the failed monitor
+// reported Degraded with no observation, the other monitors unaffected.
+// Each query case gets a fresh engine so plan choices stay identical
+// between the healthy and the failing run.
+func TestMonitorQuarantinePerMechanism(t *testing.T) {
+	seekSQL := "SELECT COUNT(padding) FROM t WHERE c2 < 500"
+	cases := []struct {
+		name string
+		sql  string
+		// forceSeek injects a tiny DPC so the optimizer picks an index plan
+		// (linear counting engages only on fetch paths).
+		forceSeek bool
+	}{
+		{name: "scan", sql: "SELECT COUNT(padding) FROM t WHERE c5 < 2000 AND c2 < 6000"},
+		{name: "seek", sql: seekSQL, forceSeek: true},
+		{name: "join", sql: "SELECT COUNT(padding) FROM t, u WHERE u.c1 < 100 AND u.c2 = t.c2"},
+	}
+	opts := func(fail ...string) *RunOptions {
+		return &RunOptions{MonitorAll: true, SampleFraction: 1.0, FailMonitors: fail}
+	}
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := joinTestEnv(t, 8000)
+			if tc.forceSeek {
+				pq, err := eng.ParseQuery(tc.sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.Optimizer().InjectDPC("t", pq.Pred, 1)
+			}
+			healthy, err := eng.Query(tc.sql, opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mechs := map[string]bool{}
+			for _, r := range healthy.DPC {
+				if r.Mechanism != MechUnsatisfiable && !r.Degraded {
+					mechs[r.Mechanism] = true
+				}
+			}
+			for mech := range mechs {
+				covered[mech] = true
+				res, err := eng.Query(tc.sql, opts(mech))
+				if err != nil {
+					t.Fatalf("with %s failing: %v", mech, err)
+				}
+				if res.Rows[0][0].Int != healthy.Rows[0][0].Int {
+					t.Errorf("with %s quarantined: count %d, want %d",
+						mech, res.Rows[0][0].Int, healthy.Rows[0][0].Int)
+				}
+				degraded := 0
+				for _, r := range res.DPC {
+					switch {
+					case r.Degraded && r.Mechanism == mech:
+						degraded++
+						if r.DPC != 0 {
+							t.Errorf("%s: degraded result carries DPC %d", mech, r.DPC)
+						}
+						if !strings.Contains(r.Reason, "quarantined") {
+							t.Errorf("%s: degraded reason = %q", mech, r.Reason)
+						}
+					case r.Degraded:
+						t.Errorf("mechanism %s degraded while only %s was failed", r.Mechanism, mech)
+					}
+				}
+				if degraded == 0 {
+					t.Errorf("with %s failing: no degraded result", mech)
+				}
+				if res.Stats.Runtime.QuarantinedMonitors != degraded {
+					t.Errorf("QuarantinedMonitors = %d, degraded results = %d",
+						res.Stats.Runtime.QuarantinedMonitors, degraded)
+				}
+				for _, x := range res.Stats.DPC {
+					if x.Mechanism == mech && !x.Degraded {
+						t.Errorf("statistics-xml entry for %s not marked degraded", mech)
+					}
+				}
+			}
+		})
+	}
+	for _, want := range []string{MechExactScan, MechDPSample, MechLinearCount, MechBitVector} {
+		if !covered[want] {
+			t.Errorf("mechanism %s never exercised by the quarantine matrix", want)
+		}
+	}
+}
+
+// TestBufferPoolExhaustion pins every frame of a minimum-size pool and
+// checks a query fails with the typed exhaustion error — and that the
+// engine recovers completely once the pins are released.
+func TestBufferPoolExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolPages = 64
+	eng := New(cfg)
+	h := NewSchema(
+		Column{Name: "k", Kind: KindInt},
+		Column{Name: "pad", Kind: KindString},
+	)
+	if _, err := eng.CreateHeapTable("h", h); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 10000) // ~100 data pages, well past pool capacity
+	for i := range rows {
+		rows[i] = Row{Int64(int64(i)), Str(strings.Repeat("x", 60))}
+	}
+	if err := eng.Load("h", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Pool().Reset(); err != nil {
+		t.Fatal(err)
+	}
+
+	var pins []*storage.PinnedPage
+	for pid := storage.PageID(0); pid < 64; pid++ {
+		pp, err := eng.Pool().FetchPage(0, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, pp)
+	}
+	// WarmCache: a cold-cache reset cannot run with frames pinned; the scan
+	// itself must hit the exhausted pool when it needs a 65th frame.
+	_, err := eng.Query("SELECT COUNT(pad) FROM h", &RunOptions{WarmCache: true})
+	if err == nil {
+		t.Fatal("query over exhausted pool succeeded")
+	}
+	if !errors.Is(err, storage.ErrPoolExhausted) {
+		t.Errorf("error does not wrap ErrPoolExhausted: %v", err)
+	}
+	assertQueryErrorKind(t, err, ErrKindStorage)
+
+	for _, pp := range pins {
+		pp.Unpin(false)
+	}
+	assertNoPins(t, eng)
+	assertRecovered(t, eng, "SELECT COUNT(pad) FROM h", 10000)
+}
