@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race
+.PHONY: all vet build test race bench profile
 
 all: vet build test
 
@@ -15,3 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention' -benchmem -run xxx .
+
+# Profile the hot path: runs the parallel throughput benchmark under the CPU
+# and heap profilers, then prints the top CPU consumers. Open the interactive
+# views with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) test -bench BenchmarkThroughput -benchtime 5s -run xxx \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	$(GO) tool pprof -top -nodecount 15 cpu.prof

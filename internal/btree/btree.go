@@ -269,6 +269,25 @@ func (t *Tree) Get(rid storage.RID) (key, value []byte, err error) {
 		append([]byte(nil), leafCellValue(cell)...), nil
 }
 
+// View locates the entry at rid and calls fn with its value bytes while the
+// leaf is pinned. The value aliases the page buffer and must not be retained
+// after fn returns; in exchange, point reads avoid the copies Get makes.
+func (t *Tree) View(rid storage.RID, fn func(value []byte) error) error {
+	pp, err := t.pool.FetchPage(t.file, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer pp.Unpin(false)
+	if pp.Page.Type() != storage.PageTypeBTreeLeaf {
+		return fmt.Errorf("btree: RID %v is not in a leaf page", rid)
+	}
+	cell := pp.Page.Cell(rid.Slot)
+	if cell == nil {
+		return fmt.Errorf("btree: RID %v points at deleted slot", rid)
+	}
+	return fn(leafCellValue(cell))
+}
+
 // Insert stores value under key. It returns ErrDuplicateKey if key exists.
 // It returns the RID where the entry landed (meaningful for clustered
 // tables; note that later splits can move entries inserted this way, so

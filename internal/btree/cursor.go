@@ -65,6 +65,48 @@ func (c *Cursor) Next() bool {
 // Valid reports whether the cursor points at an entry.
 func (c *Cursor) Valid() bool { return c.valid }
 
+// NextLeaf consumes the rest of the current leaf in one call, for
+// page-batched execution: fn is invoked for every remaining entry of the
+// leaf, with key and value aliasing the pinned page (do not retain them).
+// If fn returns false, iteration stops with the cursor on that entry and
+// NextLeaf returns false. Crossing into the next leaf happens lazily on the
+// following call, so the just-consumed leaf remains the cursor's current
+// page until then. Returns false at the end of the tree or on error (check
+// Err).
+func (c *Cursor) NextLeaf(fn func(key, value []byte, rid storage.RID) bool) bool {
+	if c.err != nil || c.leaf == nil {
+		c.valid = false
+		return false
+	}
+	// Current leaf exhausted on a previous call: cross to the next one.
+	for c.slot+1 >= c.leaf.Page.NumSlots() {
+		next := c.leaf.Page.Next()
+		c.leaf.Unpin(false)
+		c.leaf = nil
+		if next == storage.InvalidPageID {
+			c.valid = false
+			return false
+		}
+		pp, err := c.tree.pool.FetchPage(c.tree.file, next)
+		if err != nil {
+			c.err = err
+			c.valid = false
+			return false
+		}
+		c.leaf = pp
+		c.slot = -1
+	}
+	for c.slot+1 < c.leaf.Page.NumSlots() {
+		c.slot++
+		c.valid = true
+		cell := c.leaf.Page.Cell(storage.SlotID(c.slot))
+		if !fn(cellKey(cell), leafCellValue(cell), storage.RID{Page: c.leaf.ID, Slot: storage.SlotID(c.slot)}) {
+			return false
+		}
+	}
+	return true
+}
+
 // Key returns the current entry's key (aliases the page buffer).
 func (c *Cursor) Key() []byte {
 	return cellKey(c.leaf.Page.Cell(storage.SlotID(c.slot)))

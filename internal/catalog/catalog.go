@@ -232,6 +232,30 @@ func (t *Table) FetchRow(rid storage.RID) (tuple.Row, error) {
 	return tuple.Decode(t.Schema, enc)
 }
 
+// FetchRowInto reads the row at rid, decoding into row's backing array when
+// it has capacity, and returns the (possibly grown) row. The decode happens
+// while the data page is pinned, so no intermediate copy of the encoded row
+// is made. Rows fetched this way are valid until the next FetchRowInto with
+// the same destination.
+func (t *Table) FetchRowInto(dst tuple.Row, rid storage.RID) (tuple.Row, error) {
+	out := dst[:0]
+	decode := func(enc []byte) error {
+		vals, err := tuple.DecodeAppend(out, t.Schema, enc)
+		out = vals
+		return err
+	}
+	var err error
+	if t.Kind == KindHeap {
+		err = t.heapFile.View(rid, decode)
+	} else {
+		err = t.clustered.View(rid, decode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Indexes returns the table's secondary indexes.
 func (t *Table) Indexes() []*Index { return t.indexes }
 
@@ -245,7 +269,48 @@ func (t *Table) IndexByName(name string) (*Index, bool) {
 	return nil, false
 }
 
-// RowIter walks a table's rows in physical page order.
+// RowBatch holds every row of one data page, decoded into a flat value
+// arena that is reused across pages: a steady-state scan allocates O(pages),
+// not O(rows). Rows[i] is a view into the arena valid only until the next
+// NextPage call on the same batch.
+type RowBatch struct {
+	PID  storage.PageID
+	RIDs []storage.RID
+	Rows []tuple.Row
+	vals []tuple.Value // flat arena backing Rows
+}
+
+// Len returns the number of rows in the batch.
+func (b *RowBatch) Len() int { return len(b.RIDs) }
+
+func (b *RowBatch) reset() {
+	b.RIDs = b.RIDs[:0]
+	b.Rows = b.Rows[:0]
+	b.vals = b.vals[:0]
+}
+
+// add decodes one encoded row into the arena. Row views are built in finish,
+// after the arena has stopped growing (appends may move it).
+func (b *RowBatch) add(s *tuple.Schema, rid storage.RID, enc []byte) error {
+	vals, err := tuple.DecodeAppend(b.vals, s, enc)
+	if err != nil {
+		return err
+	}
+	b.vals = vals
+	b.RIDs = append(b.RIDs, rid)
+	return nil
+}
+
+// finish materializes the per-row views over the settled arena.
+func (b *RowBatch) finish(ncols int) {
+	for i := range b.RIDs {
+		b.Rows = append(b.Rows, tuple.Row(b.vals[i*ncols:(i+1)*ncols:(i+1)*ncols]))
+	}
+}
+
+// RowIter walks a table's rows in physical page order, either row at a time
+// (Next) or page at a time (NextPage). Do not mix the two styles on one
+// iterator.
 type RowIter struct {
 	table *Table
 	hit   *heap.Iterator
@@ -254,6 +319,9 @@ type RowIter struct {
 	row   tuple.Row
 	rid   storage.RID
 	err   error
+
+	pscan *heap.PageScanner // lazily created by NextPage on heap tables
+	done  bool              // NextPage hit the hi bound
 }
 
 // ScanAll returns an iterator over all rows in page order. It has the
@@ -311,6 +379,56 @@ func (it *RowIter) Next() bool {
 	it.rid = it.cur.RID()
 	it.row, it.err = tuple.Decode(it.table.Schema, it.cur.Value())
 	return it.err == nil
+}
+
+// NextPage fills b with every row of the next data page (heap page or
+// clustered leaf), pinning the page exactly once. It preserves grouped page
+// access: each page is visited once, in physical order, and for range scans
+// rows beyond the upper bound are excluded. Returns false when the scan is
+// exhausted or on error (check Err); b is valid until the next NextPage.
+func (it *RowIter) NextPage(b *RowBatch) bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	b.reset()
+	ncols := it.table.Schema.NumColumns()
+	if it.table.Kind == KindHeap {
+		if it.pscan == nil {
+			it.pscan = it.table.heapFile.ScanPages()
+		}
+		ok := it.pscan.NextPage(func(rid storage.RID, cell []byte) error {
+			b.PID = rid.Page
+			return b.add(it.table.Schema, rid, cell)
+		})
+		if it.err = it.pscan.Err(); it.err != nil || !ok {
+			return false
+		}
+		b.finish(ncols)
+		return true
+	}
+	it.cur.NextLeaf(func(key, val []byte, rid storage.RID) bool {
+		if it.hi != nil && string(key) >= string(it.hi) {
+			it.done = true
+			return false
+		}
+		b.PID = rid.Page
+		if err := b.add(it.table.Schema, rid, val); err != nil {
+			it.err = err
+			return false
+		}
+		return true
+	})
+	if it.err == nil {
+		it.err = it.cur.Err()
+	}
+	if it.err != nil {
+		return false
+	}
+	if b.Len() == 0 {
+		return false
+	}
+	b.finish(ncols)
+	return true
 }
 
 // Row returns the current row.
@@ -403,12 +521,15 @@ func (ix *Index) LeafPages() int64 { return ix.tree.LeafPages() }
 // Height returns the index tree height.
 func (ix *Index) Height() int { return ix.tree.Height() }
 
-// EntryIter iterates index entries within one key range.
+// EntryIter iterates index entries within one key range. The values exposed
+// by Values are decoded into a buffer reused across entries: they are valid
+// only until the next call to Next.
 type EntryIter struct {
 	ix     *Index
 	cur    *btree.Cursor
 	hi     []byte
 	vals   []tuple.Value
+	buf    []tuple.Value // reused decode buffer backing vals
 	rid    storage.RID
 	err    error
 	nCols  int
@@ -437,11 +558,12 @@ func (it *EntryIter) Next() bool {
 	if it.hi != nil && string(key) >= string(it.hi) {
 		return false
 	}
-	vals, err := tuple.DecodeKey(key)
+	vals, err := tuple.DecodeKeyAppend(it.buf[:0], key)
 	if err != nil {
 		it.err = err
 		return false
 	}
+	it.buf = vals
 	if len(vals) != it.nCols+1 {
 		it.err = fmt.Errorf("catalog: index %s entry has %d values, want %d", it.ix.Name, len(vals), it.nCols+1)
 		return false
@@ -464,6 +586,10 @@ func (it *EntryIter) Values() []tuple.Value { return it.vals }
 
 // RID returns the current entry's row identifier.
 func (it *EntryIter) RID() storage.RID { return it.rid }
+
+// LeafPage returns the index leaf page holding the current entry, letting
+// callers act at leaf granularity (e.g. poll cancellation once per leaf).
+func (it *EntryIter) LeafPage() storage.PageID { return it.cur.RID().Page }
 
 // Err returns the first error encountered.
 func (it *EntryIter) Err() error { return it.err }

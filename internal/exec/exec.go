@@ -38,18 +38,10 @@ type Context struct {
 	rowsTouched int64
 
 	// goCtx is the query's cancellation scope; nil means uncancellable.
-	goCtx context.Context
-	done  <-chan struct{}
-	// checkCtr rate-limits cancellation polling to every cancelEvery rows,
-	// keeping the per-row overhead to one increment and one mask.
-	checkCtr  uint64
+	goCtx     context.Context
+	done      <-chan struct{}
 	cancelErr error
 }
-
-// cancelEvery is how many interrupted() calls elapse between actual polls of
-// the context's done channel. Power of two; the row loops of every
-// storage-side operator call interrupted() once per row.
-const cancelEvery = 64
 
 // NewContext creates an execution context with the default CPU model
 // (1 µs per row touched).
@@ -57,8 +49,9 @@ func NewContext(pool *storage.BufferPool) *Context {
 	return &Context{Pool: pool, CPUPerRow: time.Microsecond}
 }
 
-// BindContext attaches a cancellation scope. Operators poll it (cheaply,
-// every cancelEvery rows) and abort with ctx.Err() once it fires.
+// BindContext attaches a cancellation scope. Operators poll it at page
+// granularity — once per page batch on scans, once per fetched page on seek
+// paths — and abort with ctx.Err() once it fires.
 func (c *Context) BindContext(ctx context.Context) {
 	if ctx == nil {
 		c.goCtx, c.done = nil, nil
@@ -69,19 +62,13 @@ func (c *Context) BindContext(ctx context.Context) {
 }
 
 // interrupted returns the context's error once the attached context is
-// cancelled or past its deadline. It polls only every cancelEvery calls, so
-// it is safe to invoke per row on hot paths.
+// cancelled or past its deadline. Callers invoke it at page granularity, so
+// no per-call rate limiting is needed: it is one non-blocking select.
 func (c *Context) interrupted() error {
 	if c.cancelErr != nil {
 		return c.cancelErr
 	}
 	if c.done == nil {
-		return nil
-	}
-	c.checkCtr++
-	// Poll on the first call (catches already-cancelled contexts even for
-	// tiny row counts), then once per cancelEvery calls.
-	if c.checkCtr&(cancelEvery-1) != 1 {
 		return nil
 	}
 	select {

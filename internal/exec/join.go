@@ -313,6 +313,7 @@ type INLJoinOp struct {
 
 	outerRow tuple.Row
 	it       *catalog.EntryIter
+	rowBuf   tuple.Row // reused inner-fetch destination
 }
 
 // NewINLJoin constructs the operator.
@@ -341,10 +342,11 @@ func (j *INLJoinOp) Next() (tuple.Row, bool, error) {
 				}
 				j.ctx.touch(1)
 				rid := j.it.RID()
-				row, err := j.innerTab.FetchRow(rid)
+				row, err := j.innerTab.FetchRowInto(j.rowBuf, rid)
 				if err != nil {
 					return nil, false, err
 				}
+				j.rowBuf = row
 				// Every fetched row satisfies the join predicate: monitors
 				// count its page toward DPC(inner, join-pred) (§IV).
 				for _, m := range j.monitors {

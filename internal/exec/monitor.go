@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pagefeedback/internal/catalog"
 	"pagefeedback/internal/core"
 	"pagefeedback/internal/expr"
 	"pagefeedback/internal/storage"
@@ -159,11 +160,11 @@ func (m *scanMonitor) quarantine(v any) {
 	m.failure = fmt.Sprint(v)
 }
 
-// safeObserve is observe behind the quarantine guard: a panic inside the
-// monitor machinery (including the core counters) disables this monitor and
-// returns control to the scan, which continues as if the monitor were never
-// attached — monitoring failures must never fail the host query.
-func (m *scanMonitor) safeObserve(rid storage.RID, row tuple.Row, failIdx int) {
+// safeObservePage is observePage behind the quarantine guard: a panic inside
+// the monitor machinery (including the core counters) disables this monitor
+// and returns control to the scan, which continues as if the monitor were
+// never attached — monitoring failures must never fail the host query.
+func (m *scanMonitor) safeObservePage(b *catalog.RowBatch, failIdx []int) {
 	if m.disabled {
 		return
 	}
@@ -175,7 +176,7 @@ func (m *scanMonitor) safeObserve(rid storage.RID, row tuple.Row, failIdx int) {
 	if m.injectFail {
 		panic("exec: injected monitor fault (" + m.mechanism() + ")")
 	}
-	m.observe(rid, row, failIdx)
+	m.observePage(b, failIdx)
 }
 
 // safeLateMatch is lateMatch behind the quarantine guard.
@@ -210,30 +211,45 @@ func (m *scanMonitor) safeFinish() {
 	}
 }
 
-// observe processes one scanned row. failIdx is the index of the first scan-
-// predicate atom that evaluated false under short-circuiting, or -1 if the
-// row passed; prefix monitors derive their result from it for free.
-func (m *scanMonitor) observe(rid storage.RID, row tuple.Row, failIdx int) {
+// observePage processes one page's worth of scanned rows in a single call —
+// the page-batched form of the paper's per-row SE instrumentation. failIdx[i]
+// is the index of the first scan-predicate atom that evaluated false for
+// b.Rows[i] under short-circuiting, or -1 if the row passed; prefix monitors
+// derive their result from it for free. Page-granular mechanisms (grouped
+// counting, DPSample) make exactly one counter transition per page, so
+// batching removes per-row monitor overhead rather than hiding it.
+func (m *scanMonitor) observePage(b *catalog.RowBatch, failIdx []int) {
 	switch m.kind {
 	case monExactPrefix:
-		sat := failIdx == -1 || failIdx >= m.prefixLen
-		m.gc.Observe(rid.Page, sat)
-		if sat {
-			m.rows++
-		}
-	case monSampled:
-		if m.dps.StartRow(rid.Page) {
-			sat := m.pred.Eval(row)
-			m.dps.Observe(sat)
-			if sat {
+		hit := false
+		for _, fi := range failIdx {
+			if fi == -1 || fi >= m.prefixLen {
 				m.rows++
+				hit = true
 			}
 		}
+		m.gc.Observe(b.PID, hit)
+	case monSampled:
+		// One sampling decision per page; rows are evaluated (with
+		// short-circuiting off) only when the page is in the sample.
+		if m.dps.StartRow(b.PID) {
+			hit := false
+			for _, row := range b.Rows {
+				if m.pred.Eval(row) {
+					m.rows++
+					hit = true
+				}
+			}
+			m.dps.Observe(hit)
+		}
 	case monJoinFilter:
-		if m.dps.StartRow(rid.Page) {
-			hit := m.filter.MayContain(row[m.joinColOrd])
-			if hit {
-				m.rows++
+		if m.dps.StartRow(b.PID) {
+			hit := false
+			for _, row := range b.Rows {
+				if m.filter.MayContain(row[m.joinColOrd]) {
+					m.rows++
+					hit = true
+				}
 			}
 			m.dps.Observe(hit)
 		}

@@ -21,6 +21,9 @@ type SEScan struct {
 	stats    OpStats
 
 	it      *catalog.RowIter
+	batch   catalog.RowBatch
+	failIdx []int // per batch row: first failing atom, -1 = row passes
+	pos     int   // next batch row to deliver
 	lastRID storage.RID
 	open    bool
 }
@@ -57,48 +60,60 @@ func (s *SEScan) Open() error {
 		return err
 	}
 	s.it = it
+	s.batch.Rows = s.batch.Rows[:0]
+	s.pos = 0
 	s.open = true
 	return nil
 }
 
-// Next implements Operator. Monitors observe every scanned row (before
-// filtering), exactly as the SE-side instrumentation of the paper does; the
-// scan predicate then decides whether the row flows to the parent.
+// Next implements Operator. The scan is page-batched: each underlying data
+// page is pinned once, all of its rows are decoded into a reusable batch,
+// the scan predicate is evaluated atom by atom for every row (so prefix
+// monitors can reuse the short-circuited results, §III-B), monitors observe
+// the whole page in one callback, and cancellation is polled once per page.
+// Rows then stream to the parent from the batch; a returned row is valid
+// until the scan advances past its page.
 func (s *SEScan) Next() (tuple.Row, bool, error) {
-	for s.it.Next() {
+	for {
+		for s.pos < len(s.batch.Rows) {
+			i := s.pos
+			s.pos++
+			s.lastRID = s.batch.RIDs[i]
+			if s.failIdx[i] == -1 {
+				s.stats.ActRows++
+				return s.batch.Rows[i], true, nil
+			}
+		}
+		if !s.it.NextPage(&s.batch) {
+			if err := s.it.Err(); err != nil {
+				return nil, false, err
+			}
+			// End of scan: close the monitors' last page.
+			for _, m := range s.monitors {
+				m.safeFinish()
+			}
+			return nil, false, nil
+		}
 		if err := s.ctx.interrupted(); err != nil {
 			return nil, false, err
 		}
-		s.ctx.touch(1)
-		row := s.it.Row()
-		rid := s.it.RID()
-		s.lastRID = rid
-
-		// Evaluate the scan predicate atom by atom so prefix monitors can
-		// reuse the short-circuited result (§III-B: prefixes are free).
-		failIdx := -1
-		for i := range s.pred.Atoms {
-			if !s.pred.Atoms[i].Eval(row) {
-				failIdx = i
-				break
+		s.ctx.touch(int64(s.batch.Len()))
+		s.failIdx = s.failIdx[:0]
+		for _, row := range s.batch.Rows {
+			fi := -1
+			for i := range s.pred.Atoms {
+				if !s.pred.Atoms[i].Eval(row) {
+					fi = i
+					break
+				}
 			}
+			s.failIdx = append(s.failIdx, fi)
 		}
 		for _, m := range s.monitors {
-			m.safeObserve(rid, row, failIdx)
+			m.safeObservePage(&s.batch, s.failIdx)
 		}
-		if failIdx == -1 {
-			s.stats.ActRows++
-			return row, true, nil
-		}
+		s.pos = 0
 	}
-	if err := s.it.Err(); err != nil {
-		return nil, false, err
-	}
-	// End of scan: close the monitors' last page.
-	for _, m := range s.monitors {
-		m.safeFinish()
-	}
-	return nil, false, nil
 }
 
 // LastRID returns the RID of the most recently scanned row (used by the
@@ -137,7 +152,10 @@ type CoveringScan struct {
 	schema *tuple.Schema
 	stats  OpStats
 
-	it *catalog.EntryIter
+	it       *catalog.EntryIter
+	rowBuf   tuple.Row      // reused output row; valid until the next Next
+	lastLeaf storage.PageID // leaf of the previous entry, for page-granular polling
+	started  bool
 }
 
 // NewCoveringScan builds a covering scan of ix. pred must be bound to the
@@ -159,17 +177,23 @@ func (s *CoveringScan) Open() error {
 	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator. Cancellation is polled once per index leaf, and
+// the emitted row reuses one buffer: it is valid only until the next Next
+// (consumers that keep rows — sorts, joins, the result sink — clone them).
 func (s *CoveringScan) Next() (tuple.Row, bool, error) {
 	for s.it.Next() {
-		if err := s.ctx.interrupted(); err != nil {
-			return nil, false, err
+		if leaf := s.it.LeafPage(); !s.started || leaf != s.lastLeaf {
+			if err := s.ctx.interrupted(); err != nil {
+				return nil, false, err
+			}
+			s.started = true
+			s.lastLeaf = leaf
 		}
 		s.ctx.touch(1)
-		row := tuple.Row(append([]tuple.Value(nil), s.it.Values()...))
-		if s.pred.Eval(row) {
+		s.rowBuf = append(s.rowBuf[:0], s.it.Values()...)
+		if s.pred.Eval(s.rowBuf) {
 			s.stats.ActRows++
-			return row, true, nil
+			return s.rowBuf, true, nil
 		}
 	}
 	return nil, false, s.it.Err()

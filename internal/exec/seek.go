@@ -78,6 +78,7 @@ type IndexSeek struct {
 
 	rangeIdx int
 	it       *catalog.EntryIter
+	rowBuf   tuple.Row // reused fetch destination; valid until the next Next
 }
 
 // NewIndexSeek builds the operator. pred must be bound to tab.Schema.
@@ -119,10 +120,11 @@ func (s *IndexSeek) Next() (tuple.Row, bool, error) {
 			}
 			s.ctx.touch(1)
 			rid := s.it.RID()
-			row, err := s.tab.FetchRow(rid) // the random-I/O Fetch
+			row, err := s.tab.FetchRowInto(s.rowBuf, rid) // the random-I/O Fetch
 			if err != nil {
 				return nil, false, err
 			}
+			s.rowBuf = row
 			sat := s.pred.Eval(row)
 			for _, m := range s.monitors {
 				if sat {
@@ -174,8 +176,9 @@ type IndexIntersect struct {
 	monitors []*seekMonitor
 	stats    OpStats
 
-	rids []storage.RID
-	pos  int
+	rids   []storage.RID
+	pos    int
+	rowBuf tuple.Row // reused fetch destination; valid until the next Next
 }
 
 // NewIndexIntersect builds the operator.
@@ -197,10 +200,17 @@ func (s *IndexIntersect) collect(ix *catalog.Index, ranges []expr.KeyRange) (map
 		if err != nil {
 			return nil, err
 		}
+		var lastLeaf storage.PageID
+		started := false
 		for it.Next() {
-			if err := s.ctx.interrupted(); err != nil {
-				it.Close()
-				return nil, err
+			// Poll cancellation once per index leaf, not per entry.
+			if leaf := it.LeafPage(); !started || leaf != lastLeaf {
+				if err := s.ctx.interrupted(); err != nil {
+					it.Close()
+					return nil, err
+				}
+				started = true
+				lastLeaf = leaf
 			}
 			s.ctx.touch(1)
 			set[it.RID().AsInt64()] = struct{}{}
@@ -252,10 +262,11 @@ func (s *IndexIntersect) Next() (tuple.Row, bool, error) {
 		rid := s.rids[s.pos]
 		s.pos++
 		s.ctx.touch(1)
-		row, err := s.tab.FetchRow(rid)
+		row, err := s.tab.FetchRowInto(s.rowBuf, rid)
 		if err != nil {
 			return nil, false, err
 		}
+		s.rowBuf = row
 		sat := s.pred.Eval(row)
 		for _, m := range s.monitors {
 			if sat {

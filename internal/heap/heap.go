@@ -113,6 +113,25 @@ func (f *File) Get(rid storage.RID) ([]byte, error) {
 	return append([]byte(nil), cell...), nil
 }
 
+// View locates the row at rid and calls fn with its bytes while the page is
+// pinned. The cell aliases the page buffer and must not be retained after fn
+// returns; in exchange, point reads avoid the copy Get makes.
+func (f *File) View(rid storage.RID, fn func(cell []byte) error) error {
+	pp, err := f.pool.FetchPage(f.file, rid.Page)
+	if err != nil {
+		return err
+	}
+	defer pp.Unpin(false)
+	if int(rid.Slot) >= pp.Page.NumSlots() {
+		return fmt.Errorf("heap: no slot %v", rid)
+	}
+	cell := pp.Page.Cell(rid.Slot)
+	if cell == nil {
+		return fmt.Errorf("heap: slot %v deleted", rid)
+	}
+	return fn(cell)
+}
+
 // Delete removes the row at rid.
 func (f *File) Delete(rid storage.RID) error {
 	pp, err := f.pool.FetchPage(f.file, rid.Page)
@@ -195,3 +214,59 @@ func (it *Iterator) Close() {
 	}
 	it.pid = storage.PageID(it.f.NumPages()) // exhaust
 }
+
+// PageScanner walks a file one page at a time, for page-batched execution:
+// each NextPage call pins a single page once, hands every live cell to the
+// callback, and unpins before returning.
+type PageScanner struct {
+	f   *File
+	pid storage.PageID
+	err error
+}
+
+// ScanPages returns a scanner positioned before the first page.
+func (f *File) ScanPages() *PageScanner {
+	return &PageScanner{f: f}
+}
+
+// NextPage visits the next page that contains live rows, calling fn once per
+// live cell in slot order. The cell aliases the pinned page and must not be
+// retained after fn returns. Pages with no live rows are skipped. It returns
+// false when the file is exhausted, fn returns an error, or a read fails
+// (check Err).
+func (ps *PageScanner) NextPage(fn func(rid storage.RID, cell []byte) error) bool {
+	if ps.err != nil {
+		return false
+	}
+	for int(ps.pid) < ps.f.NumPages() {
+		pp, err := ps.f.pool.FetchPage(ps.f.file, ps.pid)
+		if err != nil {
+			ps.err = err
+			return false
+		}
+		visited := false
+		for s := 0; s < pp.Page.NumSlots(); s++ {
+			cell := pp.Page.Cell(storage.SlotID(s))
+			if cell == nil {
+				continue
+			}
+			visited = true
+			if err := fn(storage.RID{Page: pp.ID, Slot: storage.SlotID(s)}, cell); err != nil {
+				ps.err = err
+				break
+			}
+		}
+		pp.Unpin(false)
+		ps.pid++
+		if ps.err != nil {
+			return false
+		}
+		if visited {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the first error encountered.
+func (ps *PageScanner) Err() error { return ps.err }

@@ -1,0 +1,79 @@
+package opt
+
+import (
+	"testing"
+
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// certLadder returns predicates from loosest to tightest: each "col < k"
+// strictly implies the previous one, so any sound estimator must produce
+// non-increasing row counts and distinct page counts down the ladder. This is
+// the CERT-style constraint check: no ground truth needed, only the logical
+// ordering of the predicates themselves.
+func certLadder(col string) []expr.Conjunction {
+	var preds []expr.Conjunction
+	for k := int64(optRows); k >= 1; k /= 4 {
+		preds = append(preds, expr.And(expr.NewAtom(col, expr.Lt, tuple.Int64(k))))
+	}
+	return preds
+}
+
+func assertLadderMonotone(t *testing.T, e *optEnv, col, label string) {
+	t.Helper()
+	prevCard, prevDPC := -1.0, -1.0
+	for i, pred := range certLadder(col) {
+		card, err := e.opt.EstimateCardinality("t", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dpc, err := e.opt.EstimateDPC("t", pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card < 0 || dpc < 0 {
+			t.Errorf("%s: %s: negative estimate card=%.1f dpc=%.1f", label, pred, card, dpc)
+		}
+		if i > 0 {
+			if card > prevCard {
+				t.Errorf("%s: tightening to %s RAISED cardinality %.1f -> %.1f", label, pred, prevCard, card)
+			}
+			if dpc > prevDPC {
+				t.Errorf("%s: tightening to %s RAISED DPC %.1f -> %.1f", label, pred, prevDPC, dpc)
+			}
+		}
+		prevCard, prevDPC = card, dpc
+	}
+}
+
+// TestEstimateMonotonicity checks the CERT constraint on every column class
+// the optimizer models differently: the cluster key (c1), a correlated
+// secondary index column (c2), and a randomly permuted column (c5).
+func TestEstimateMonotonicity(t *testing.T) {
+	e := newOptEnv(t)
+	for _, col := range []string{"c1", "c2", "c5"} {
+		assertLadderMonotone(t, e, col, "analytical/"+col)
+	}
+}
+
+// TestEstimateMonotonicityWithFeedback re-checks the ladder after execution
+// feedback has been folded in: learned DPC densities may change the absolute
+// estimates, but must never make a strictly tighter predicate look bigger.
+func TestEstimateMonotonicityWithFeedback(t *testing.T) {
+	e := newOptEnv(t)
+	// Feedback from two monitored ranges of c2 with very different densities.
+	e.opt.RecordDPCObservation("t", "c2", 0, optRows/8-1, int64(optRows/8), 80)
+	e.opt.RecordDPCObservation("t", "c2", optRows/4, optRows/2-1, int64(optRows/4), 3000)
+	assertLadderMonotone(t, e, "c2", "feedback/c2")
+
+	// An exact-match injection for one rung must not break the ordering
+	// against its analytically estimated neighbors.
+	mid := expr.And(expr.NewAtom("c2", expr.Lt, tuple.Int64(int64(optRows/16))))
+	est, err := e.opt.EstimateDPC("t", mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.opt.InjectDPC("t", mid, est)
+	assertLadderMonotone(t, e, "c2", "injected/c2")
+}

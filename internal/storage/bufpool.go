@@ -1,15 +1,15 @@
 package storage
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrPoolExhausted is returned when a page must be brought in but every
-// frame is pinned. It is a typed, recoverable condition: once callers unpin,
-// the pool serves requests again.
+// eligible frame is pinned. It is a typed, recoverable condition: once
+// callers unpin, the pool serves requests again.
 var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
 
 // PoolStats accumulates buffer-pool counters. LogicalReads counts every page
@@ -34,40 +34,106 @@ type frameKey struct {
 	page PageID
 }
 
+// hash mixes the key into a shard selector (splitmix64 finalizer, so nearby
+// page ids of one file scatter across shards instead of convoying).
+func (k frameKey) hash() uint64 {
+	x := uint64(k.file)<<32 | uint64(uint32(k.page))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// frame is one resident page. ref is the CLOCK reference bit: set on every
+// pin, cleared as the hand sweeps past; a frame is evicted only when the
+// hand finds it unpinned with ref already cleared (second chance).
 type frame struct {
+	shard *poolShard
 	key   frameKey
 	buf   []byte
 	dirty bool
 	pins  int
-	lru   *list.Element // nil while pinned
+	ref   bool
 }
 
-// BufferPool caches pages above the DiskManager with LRU replacement.
-// Unpinned pages are eviction candidates; dirty pages are written back on
-// eviction or Flush. All methods are safe for concurrent use, though the
-// experiments run single-threaded like the paper's.
+// poolShard is one independently locked slice of the pool: a frame map, a
+// CLOCK ring, and the shard-local eviction counter. A page's shard is fixed
+// by its frameKey hash, so no operation ever takes two shard locks.
+type poolShard struct {
+	mu        sync.Mutex
+	capacity  int
+	frames    map[frameKey]*frame
+	ring      []*frame // CLOCK ring; grows up to capacity, slots reused
+	hand      int
+	free      []*frame // frames whose read failed; reused before growing
+	evictions int64
+}
+
+// maxPoolShards caps the shard count; beyond ~16 shards the mutexes stop
+// being the bottleneck and the extra rings just fragment capacity.
+const maxPoolShards = 16
+
+// minShardPages is the smallest useful shard: a B+tree descent plus a scan
+// pin must fit with headroom, mirroring the old whole-pool minimum of 8.
+const minShardPages = 8
+
+// BufferPool caches pages above the DiskManager. It is sharded by frameKey
+// hash — each shard has its own mutex, frame table, and CLOCK replacement
+// ring — so concurrent queries on different pages proceed without queueing
+// on one pool-wide lock. Unpinned pages are eviction candidates; dirty pages
+// are written back on eviction or Flush. All methods are safe for concurrent
+// use.
 type BufferPool struct {
-	mu       sync.Mutex
 	disk     *DiskManager
 	capacity int
-	frames   map[frameKey]*frame
-	lruList  *list.List // front = most recently used
-	stats    PoolStats
+	shardBit uint64 // len(shards)-1; shard count is a power of two
+	shards   []*poolShard
+
+	// Hit/miss counters are pool-wide atomics: FetchPage bumps them outside
+	// any shard lock, and Stats() reads them without stopping the world.
+	logicalReads atomic.Int64
+	hits         atomic.Int64
 }
 
-// NewBufferPool creates a pool holding up to capacity pages. A capacity of at
-// least a few dozen pages is needed for B+tree traversals; NewBufferPool
-// panics below 8 to catch misconfiguration early.
+// NewBufferPool creates a pool holding up to capacity pages, sharded as wide
+// as the capacity allows (each shard keeps at least minShardPages frames, up
+// to maxPoolShards shards). A capacity of at least a few dozen pages is
+// needed for B+tree traversals; NewBufferPool panics below 8 to catch
+// misconfiguration early.
 func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
-	if capacity < 8 {
+	if capacity < minShardPages {
 		panic(fmt.Sprintf("storage: buffer pool capacity %d too small", capacity))
 	}
-	return &BufferPool{
+	n := 1
+	for n*2 <= maxPoolShards && capacity/(n*2) >= minShardPages {
+		n *= 2
+	}
+	bp := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
-		frames:   make(map[frameKey]*frame, capacity),
-		lruList:  list.New(),
+		shardBit: uint64(n - 1),
+		shards:   make([]*poolShard, n),
 	}
+	for i := range bp.shards {
+		// Spread capacity across shards; earlier shards absorb the remainder
+		// so the per-shard capacities sum exactly to the configured total.
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		bp.shards[i] = &poolShard{
+			capacity: c,
+			frames:   make(map[frameKey]*frame, c),
+		}
+	}
+	return bp
+}
+
+// shardFor returns the shard owning key.
+func (bp *BufferPool) shardFor(key frameKey) *poolShard {
+	return bp.shards[key.hash()&bp.shardBit]
 }
 
 // Disk returns the underlying disk manager.
@@ -76,9 +142,11 @@ func (bp *BufferPool) Disk() *DiskManager { return bp.disk }
 // Capacity returns the pool capacity in pages.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
+// Shards returns the number of independently locked pool shards.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
 // PinnedPage is a pinned page handle. Callers must Unpin exactly once.
 type PinnedPage struct {
-	pool *BufferPool
 	fr   *frame
 	Page *Page
 	File FileID
@@ -88,30 +156,36 @@ type PinnedPage struct {
 // Unpin releases the pin. If dirty is true the page will be written back
 // before eviction.
 func (pp *PinnedPage) Unpin(dirty bool) {
-	pp.pool.unpin(pp.fr, dirty)
+	pp.fr.shard.unpin(pp.fr, dirty)
 }
 
 // FetchPage pins page pid of the file, reading it from disk on a miss.
 func (bp *BufferPool) FetchPage(file FileID, pid PageID) (*PinnedPage, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats.LogicalReads++
+	bp.logicalReads.Add(1)
 	key := frameKey{file, pid}
-	if fr, ok := bp.frames[key]; ok {
-		bp.stats.Hits++
-		bp.pinLocked(fr)
-		return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+	s := bp.shardFor(key)
+	s.mu.Lock()
+	if fr, ok := s.frames[key]; ok {
+		fr.pins++
+		fr.ref = true
+		s.mu.Unlock()
+		bp.hits.Add(1)
+		return &PinnedPage{fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
 	}
-	fr, err := bp.allocFrameLocked(key)
+	fr, err := s.allocFrameLocked(bp.disk, key)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	if err := bp.disk.ReadPage(file, pid, fr.buf); err != nil {
-		delete(bp.frames, key)
+		s.releaseFrameLocked(fr)
+		s.mu.Unlock()
 		return nil, err
 	}
-	bp.pinLocked(fr)
-	return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+	fr.pins++
+	fr.ref = true
+	s.mu.Unlock()
+	return &PinnedPage{fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
 }
 
 // NewPage allocates a fresh page in the file, formats it with the given type,
@@ -121,59 +195,91 @@ func (bp *BufferPool) NewPage(file FileID, typ byte) (*PinnedPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	key := frameKey{file, pid}
-	fr, err := bp.allocFrameLocked(key)
+	s := bp.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, err := s.allocFrameLocked(bp.disk, key)
 	if err != nil {
 		return nil, err
 	}
 	InitPage(fr.buf, typ)
 	fr.dirty = true
-	bp.pinLocked(fr)
-	return &PinnedPage{pool: bp, fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+	fr.pins++
+	fr.ref = true
+	return &PinnedPage{fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
 }
 
-// allocFrameLocked finds or evicts a frame for key. Caller holds bp.mu.
-func (bp *BufferPool) allocFrameLocked(key frameKey) (*frame, error) {
-	if len(bp.frames) >= bp.capacity {
-		if err := bp.evictLocked(); err != nil {
+// allocFrameLocked finds a frame for key: a previously released frame, a new
+// one while the shard is below capacity, or the next CLOCK victim. Caller
+// holds s.mu; the returned frame is registered in the shard map with zero
+// pins and the ref bit clear.
+func (s *poolShard) allocFrameLocked(disk *DiskManager, key frameKey) (*frame, error) {
+	var fr *frame
+	switch {
+	case len(s.free) > 0:
+		fr = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	case len(s.ring) < s.capacity:
+		fr = &frame{shard: s, buf: make([]byte, PageSize)}
+		s.ring = append(s.ring, fr)
+	default:
+		victim, err := s.evictLocked(disk)
+		if err != nil {
 			return nil, err
 		}
+		fr = victim
 	}
-	fr := &frame{key: key, buf: make([]byte, PageSize)}
-	bp.frames[key] = fr
+	fr.key = key
+	fr.dirty = false
+	fr.ref = false
+	s.frames[key] = fr
 	return fr, nil
 }
 
-func (bp *BufferPool) evictLocked() error {
-	el := bp.lruList.Back()
-	if el == nil {
-		return fmt.Errorf("storage: all %d pages pinned: %w", bp.capacity, ErrPoolExhausted)
-	}
-	fr := el.Value.(*frame)
-	if fr.dirty {
-		if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
-			return err
+// releaseFrameLocked drops a frame whose fill failed (read error): the page
+// never became visible, so the frame goes back on the free list.
+func (s *poolShard) releaseFrameLocked(fr *frame) {
+	delete(s.frames, fr.key)
+	fr.dirty = false
+	fr.ref = false
+	s.free = append(s.free, fr)
+}
+
+// evictLocked runs the CLOCK hand until it finds an unpinned frame with a
+// clear reference bit, writing the victim back if dirty and returning its
+// frame for reuse (the page buffer is recycled, so steady-state misses do
+// not allocate). Two full sweeps without a victim means every frame is
+// pinned: ErrPoolExhausted.
+func (s *poolShard) evictLocked(disk *DiskManager) (*frame, error) {
+	for i := 0; i < 2*len(s.ring); i++ {
+		fr := s.ring[s.hand]
+		s.hand++
+		if s.hand == len(s.ring) {
+			s.hand = 0
 		}
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.ref {
+			fr.ref = false // second chance
+			continue
+		}
+		if fr.dirty {
+			if err := disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+				return nil, err
+			}
+		}
+		delete(s.frames, fr.key)
+		s.evictions++
+		return fr, nil
 	}
-	bp.lruList.Remove(el)
-	delete(bp.frames, fr.key)
-	bp.stats.Evictions++
-	return nil
+	return nil, fmt.Errorf("storage: all %d pages of shard pinned: %w", s.capacity, ErrPoolExhausted)
 }
 
-func (bp *BufferPool) pinLocked(fr *frame) {
-	if fr.lru != nil {
-		bp.lruList.Remove(fr.lru)
-		fr.lru = nil
-	}
-	fr.pins++
-}
-
-func (bp *BufferPool) unpin(fr *frame, dirty bool) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
+func (s *poolShard) unpin(fr *frame, dirty bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if fr.pins <= 0 {
 		panic("storage: unpin of unpinned page")
 	}
@@ -181,44 +287,59 @@ func (bp *BufferPool) unpin(fr *frame, dirty bool) {
 	if dirty {
 		fr.dirty = true
 	}
-	if fr.pins == 0 {
-		fr.lru = bp.lruList.PushFront(fr)
-	}
 }
 
 // Flush writes back all dirty pages (pinned or not) without evicting them.
 func (bp *BufferPool) Flush() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
-				return err
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.dirty {
+				if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				fr.dirty = false
 			}
-			fr.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // Reset flushes dirty pages and drops every cached page, simulating a cold
 // cache (the paper measures all executions cold). It returns an error if any
-// page is still pinned.
+// page is still pinned. All shard locks are held for the duration, so the
+// reset is atomic with respect to concurrent fetches.
 func (bp *BufferPool) Reset() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, fr := range bp.frames {
-		if fr.pins > 0 {
-			return fmt.Errorf("storage: Reset with pinned page %v", fr.key)
+	for _, s := range bp.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range bp.shards {
+			s.mu.Unlock()
 		}
-		if fr.dirty {
-			if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
-				return err
+	}()
+	for _, s := range bp.shards {
+		for _, fr := range s.frames {
+			if fr.pins > 0 {
+				return fmt.Errorf("storage: Reset with pinned page %v", fr.key)
 			}
 		}
 	}
-	bp.frames = make(map[frameKey]*frame, bp.capacity)
-	bp.lruList.Init()
+	for _, s := range bp.shards {
+		for _, fr := range s.frames {
+			if fr.dirty {
+				if err := bp.disk.WritePage(fr.key.file, fr.key.page, fr.buf); err != nil {
+					return err
+				}
+			}
+		}
+		s.frames = make(map[frameKey]*frame, s.capacity)
+		s.ring = s.ring[:0]
+		s.free = s.free[:0]
+		s.hand = 0
+	}
 	return nil
 }
 
@@ -226,27 +347,41 @@ func (bp *BufferPool) Reset() error {
 // fully finished — successfully or not — must leave this at zero; the
 // robustness tests assert it after every fault scenario.
 func (bp *BufferPool) Pinned() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	n := 0
-	for _, fr := range bp.frames {
-		if fr.pins > 0 {
-			n++
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.pins > 0 {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters: the atomic hit/miss
+// counters plus the shard-local eviction counts merged on read.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	st := PoolStats{
+		LogicalReads: bp.logicalReads.Load(),
+		Hits:         bp.hits.Load(),
+	}
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		st.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ResetStats zeroes the pool counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats = PoolStats{}
+	bp.logicalReads.Store(0)
+	bp.hits.Store(0)
+	for _, s := range bp.shards {
+		s.mu.Lock()
+		s.evictions = 0
+		s.mu.Unlock()
+	}
 }

@@ -36,7 +36,19 @@ func Encode(dst []byte, s *Schema, row Row) ([]byte, error) {
 // Decode parses one row (under schema s) from data. The entire slice must be
 // consumed; trailing bytes indicate corruption.
 func Decode(s *Schema, data []byte) (Row, error) {
-	row := make(Row, 0, s.NumColumns())
+	vals, err := DecodeAppend(make([]Value, 0, s.NumColumns()), s, data)
+	if err != nil {
+		return nil, err
+	}
+	return Row(vals), nil
+}
+
+// DecodeAppend parses one row (under schema s) from data, appending its
+// values to dst and returning the extended slice. Reusing dst's capacity
+// across calls lets steady-state scans decode without per-row allocation
+// (string payloads still allocate; fixed-width columns do not).
+func DecodeAppend(dst []Value, s *Schema, data []byte) ([]Value, error) {
+	row := dst
 	rest := data
 	for i := 0; i < s.NumColumns(); i++ {
 		col := s.Column(i)

@@ -57,7 +57,14 @@ func EncodeKey(vals ...Value) []byte {
 // values decode as KindInt; callers that need KindDate must re-tag using the
 // schema (the numeric payload is identical).
 func DecodeKey(key []byte) ([]Value, error) {
-	var vals []Value
+	return DecodeKeyAppend(nil, key)
+}
+
+// DecodeKeyAppend parses all values from an encoded composite key, appending
+// them to dst and returning the extended slice. Reusing dst's capacity lets
+// index-entry iteration decode integer keys without per-entry allocation.
+func DecodeKeyAppend(dst []Value, key []byte) ([]Value, error) {
+	vals := dst
 	rest := key
 	for len(rest) > 0 {
 		tag := rest[0]

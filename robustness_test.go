@@ -367,13 +367,23 @@ func TestBufferPoolExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Pin every page the pool will admit. The pool is sharded, so a shard can
+	// fill before the global capacity is reached; pages whose shard is already
+	// full of pins are skipped, leaving those shards exhausted for the scan.
 	var pins []*storage.PinnedPage
-	for pid := storage.PageID(0); pid < 64; pid++ {
+	npages := eng.Pool().Disk().NumPages(0)
+	for pid := storage.PageID(0); pid < storage.PageID(npages); pid++ {
 		pp, err := eng.Pool().FetchPage(0, pid)
 		if err != nil {
+			if errors.Is(err, storage.ErrPoolExhausted) {
+				continue
+			}
 			t.Fatal(err)
 		}
 		pins = append(pins, pp)
+	}
+	if len(pins) == 0 || len(pins) >= npages {
+		t.Fatalf("pinned %d of %d pages; expected partial exhaustion", len(pins), npages)
 	}
 	// WarmCache: a cold-cache reset cannot run with frames pinned; the scan
 	// itself must hit the exhausted pool when it needs a 65th frame.

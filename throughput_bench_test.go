@@ -1,0 +1,176 @@
+package pagefeedback_test
+
+// BenchmarkThroughput measures the engine's concurrent hot-path throughput:
+// a parallel mix of storage-engine scans, index seek+fetch plans, and an
+// index nested-loops join, all against one shared engine with a warm cache.
+// This is the workload the sharded CLOCK buffer pool and the page-batched
+// scan pipeline exist for; run it with -cpu to see scaling:
+//
+//	go test -bench BenchmarkThroughput -cpu 1,8 -benchmem
+//
+// After a run the headline numbers are written to BENCH_throughput.json so
+// successive PRs accumulate a perf trajectory.
+//
+// BenchmarkScanAlloc isolates the steady-state allocation behaviour of one
+// full-table scan over an integer-only table: with the page-batched decode
+// path the scan allocates O(pages), not O(rows) — visible with -benchmem.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pagefeedback"
+)
+
+// buildBenchEngine creates one engine with two integer-only tables:
+// tb (clustered on k, 64k rows, secondary index on v) and ub (heap, 8k rows,
+// index on fk) so scans, seeks, and INL joins all have a natural plan.
+func buildBenchEngine(b *testing.B, rows int) *pagefeedback.Engine {
+	b.Helper()
+	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	schema := pagefeedback.NewSchema(
+		pagefeedback.Column{Name: "k", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "v", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "w", Kind: pagefeedback.KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("tb", schema, []string{"k"}); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]pagefeedback.Row, rows)
+	for i := range data {
+		data[i] = pagefeedback.Row{
+			pagefeedback.Int64(int64(i)),
+			pagefeedback.Int64(int64(i * 13 % rows)),
+			pagefeedback.Int64(int64(i % 97)),
+		}
+	}
+	if err := eng.Load("tb", data); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.CreateIndex("ix_v", "tb", "v"); err != nil {
+		b.Fatal(err)
+	}
+
+	uschema := pagefeedback.NewSchema(
+		pagefeedback.Column{Name: "id", Kind: pagefeedback.KindInt},
+		pagefeedback.Column{Name: "fk", Kind: pagefeedback.KindInt},
+	)
+	if _, err := eng.CreateHeapTable("ub", uschema); err != nil {
+		b.Fatal(err)
+	}
+	udata := make([]pagefeedback.Row, rows/8)
+	for i := range udata {
+		udata[i] = pagefeedback.Row{
+			pagefeedback.Int64(int64(i)),
+			pagefeedback.Int64(int64(i * 7 % rows)),
+		}
+	}
+	if err := eng.Load("ub", udata); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.CreateIndex("ix_fk", "ub", "fk"); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Analyze("tb", "ub"); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool once; the parallel workload runs entirely warm.
+	if _, err := eng.Query("SELECT COUNT(w) FROM tb WHERE v < 1000000",
+		&pagefeedback.RunOptions{WarmCache: true}); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// throughputQueries is the mixed hot-path workload: a predicate scan, a
+// selective index seek+fetch, and an INL-shaped two-table join.
+var throughputQueries = []struct {
+	name string
+	sql  string
+	mon  bool
+}{
+	{"scan", "SELECT COUNT(w) FROM tb WHERE v < 32000", false},
+	{"seek", "SELECT COUNT(w) FROM tb WHERE v < 200", false},
+	{"join", "SELECT COUNT(w) FROM tb, ub WHERE ub.id < 400 AND ub.fk = tb.k", false},
+	{"monitored-scan", "SELECT COUNT(w) FROM tb WHERE v < 32000", true},
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	const rows = 64000
+	eng := buildBenchEngine(b, rows)
+	var ops atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := throughputQueries[i%len(throughputQueries)]
+			i++
+			opts := &pagefeedback.RunOptions{WarmCache: true}
+			if q.mon {
+				opts.MonitorAll = true
+				opts.SampleFraction = 0.01
+			}
+			if _, err := eng.Query(q.sql, opts); err != nil {
+				b.Fatalf("%s: %v", q.name, err)
+			}
+			ops.Add(1)
+		}
+	})
+	b.StopTimer()
+	opsPerSec := float64(ops.Load()) / b.Elapsed().Seconds()
+	b.ReportMetric(opsPerSec, "queries/sec")
+	writeThroughputJSON(b, opsPerSec)
+}
+
+// writeThroughputJSON records the headline throughput for the perf
+// trajectory. Errors are non-fatal: the benchmark's job is the measurement.
+func writeThroughputJSON(b *testing.B, opsPerSec float64) {
+	doc := map[string]any{
+		"benchmark":       "BenchmarkThroughput",
+		"gomaxprocs":      runtime.GOMAXPROCS(0),
+		"queries_per_sec": opsPerSec,
+		"iterations":      b.N,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile("BENCH_throughput.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_throughput.json not written: %v", err)
+	}
+}
+
+// BenchmarkScanAlloc demonstrates the O(pages) allocation profile of a
+// steady-state full-table scan over an integer-only table (-benchmem).
+func BenchmarkScanAlloc(b *testing.B) {
+	eng := buildBenchEngine(b, 64000)
+	sql := "SELECT COUNT(w) FROM tb WHERE v < 1000000" // scans every row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(sql, &pagefeedback.RunOptions{WarmCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolContention hammers the buffer pool itself through tiny seek
+// queries from all procs — nearly every cycle is FetchPage/Unpin, so this is
+// the purest view of pool lock contention.
+func BenchmarkPoolContention(b *testing.B) {
+	eng := buildBenchEngine(b, 64000)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sql := fmt.Sprintf("SELECT COUNT(w) FROM tb WHERE v < %d", 50+i%50)
+			i++
+			if _, err := eng.Query(sql, &pagefeedback.RunOptions{WarmCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
