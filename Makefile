@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all vet build test race bench profile
+.PHONY: all vet build test race bench profile fuzz-smoke
 
 all: vet build test
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dbvet ./...
 
 build:
 	$(GO) build ./...
@@ -26,3 +27,11 @@ profile:
 	$(GO) test -bench BenchmarkThroughput -benchtime 5s -run xxx \
 		-cpuprofile cpu.prof -memprofile mem.prof .
 	$(GO) tool pprof -top -nodecount 15 cpu.prof
+
+# Brief fuzzing pass over the row/key codecs and the SQL parser: a smoke
+# check suitable for CI, not a soak. Corpus finds accumulate in the build
+# cache and testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/tuple -run xxx -fuzz FuzzTupleDecode -fuzztime 10s
+	$(GO) test ./internal/tuple -run xxx -fuzz FuzzKeyCodec -fuzztime 10s
+	$(GO) test ./internal/sql -run xxx -fuzz FuzzParse -fuzztime 10s

@@ -1,0 +1,80 @@
+// Command dbvet is the repository's invariant checker: a multichecker in
+// the spirit of golang.org/x/tools/go/analysis/multichecker, built on the
+// standard library's go/ast + go/types so the module stays dependency-free
+// and hermetic. It machine-checks the pin/lock/context/error invariants the
+// buffer pool, executor, and engine boundary rely on.
+//
+// Usage:
+//
+//	go run ./cmd/dbvet ./...            # run all analyzers
+//	go run ./cmd/dbvet -only pinleak .  # a subset
+//	go run ./cmd/dbvet -list            # describe the analyzers
+//
+// Findings print as file:line:col: message (analyzer). The exit status is 1
+// when findings exist, 2 on usage or load errors. A finding can be
+// suppressed by a trailing `//dbvet:ignore` comment (optionally naming
+// analyzers: `//dbvet:ignore pinleak,ctxflow`) on the offending line or the
+// line above — use sparingly and say why in the same comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pagefeedback/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dbvet [-only analyzers] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader, root, err := lint.NewModuleLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	units, err := loader.LoadPatterns(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(units, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -330,7 +330,7 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	ctx.BindContext(goCtx)
 	ex, err := exec.Build(ctx, node, mcfg)
 	if err != nil {
-		return nil, err
+		return nil, classifyQueryError(err)
 	}
 	ioBefore := e.disk.Stats()
 	poolBefore := e.pool.Stats()

@@ -62,9 +62,8 @@ func Create(pool *storage.BufferPool) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	root := rootPage.ID
-	rootPage.Unpin(true)
-	t := &Tree{pool: pool, file: file, root: root, height: 1, leafCount: 1}
+	defer rootPage.Unpin(true)
+	t := &Tree{pool: pool, file: file, root: rootPage.ID, height: 1, leafCount: 1}
 	if err := t.saveMeta(); err != nil {
 		return nil, err
 	}
@@ -215,16 +214,13 @@ func (t *Tree) descend(key []byte, recordPath bool) (*storage.PinnedPage, []path
 	var path []pathStep
 	pid := t.root
 	for level := t.height; level > 1; level-- {
-		pp, err := t.pool.FetchPage(t.file, pid)
+		child, idx, err := t.descendStep(pid, key)
 		if err != nil {
 			return nil, nil, err
 		}
-		idx := childIndex(pp.Page, key)
-		child := innerCellChild(pp.Page.Cell(storage.SlotID(idx)))
 		if recordPath {
 			path = append(path, pathStep{pid: pid, slot: idx})
 		}
-		pp.Unpin(false)
 		pid = child
 	}
 	leaf, err := t.pool.FetchPage(t.file, pid)
@@ -232,6 +228,18 @@ func (t *Tree) descend(key []byte, recordPath bool) (*storage.PinnedPage, []path
 		return nil, nil, err
 	}
 	return leaf, path, nil
+}
+
+// descendStep reads one inner node and returns the child to follow, with the
+// inner page's pin scoped to this call.
+func (t *Tree) descendStep(pid storage.PageID, key []byte) (child storage.PageID, idx int, err error) {
+	pp, err := t.pool.FetchPage(t.file, pid)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer pp.Unpin(false)
+	idx = childIndex(pp.Page, key)
+	return innerCellChild(pp.Page.Cell(storage.SlotID(idx))), idx, nil
 }
 
 // Search returns a copy of the value stored under key, or found=false.

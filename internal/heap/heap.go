@@ -25,7 +25,7 @@ func Create(pool *storage.BufferPool) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	pp.Unpin(true)
+	defer pp.Unpin(true)
 	return &File{pool: pool, file: file, lastPage: pp.ID}, nil
 }
 
@@ -38,18 +38,30 @@ func Open(pool *storage.BufferPool, file storage.FileID) (*File, error) {
 	}
 	f := &File{pool: pool, file: file, lastPage: storage.PageID(n - 1)}
 	for pid := storage.PageID(0); int(pid) < n; pid++ {
-		pp, err := pool.FetchPage(file, pid)
+		live, err := liveRows(pool, file, pid)
 		if err != nil {
 			return nil, err
 		}
-		for s := 0; s < pp.Page.NumSlots(); s++ {
-			if pp.Page.Cell(storage.SlotID(s)) != nil {
-				f.rowCount++
-			}
-		}
-		pp.Unpin(false)
+		f.rowCount += live
 	}
 	return f, nil
+}
+
+// liveRows counts the live cells of one page, with the pin scoped to the
+// call so no path — including a panic on a corrupt page — leaks it.
+func liveRows(pool *storage.BufferPool, file storage.FileID, pid storage.PageID) (int64, error) {
+	pp, err := pool.FetchPage(file, pid)
+	if err != nil {
+		return 0, err
+	}
+	defer pp.Unpin(false)
+	var n int64
+	for s := 0; s < pp.Page.NumSlots(); s++ {
+		if pp.Page.Cell(storage.SlotID(s)) != nil {
+			n++
+		}
+	}
+	return n, nil
 }
 
 // FileID returns the backing file.
@@ -239,26 +251,9 @@ func (ps *PageScanner) NextPage(fn func(rid storage.RID, cell []byte) error) boo
 		return false
 	}
 	for int(ps.pid) < ps.f.NumPages() {
-		pp, err := ps.f.pool.FetchPage(ps.f.file, ps.pid)
+		visited, err := ps.visitPage(fn)
 		if err != nil {
 			ps.err = err
-			return false
-		}
-		visited := false
-		for s := 0; s < pp.Page.NumSlots(); s++ {
-			cell := pp.Page.Cell(storage.SlotID(s))
-			if cell == nil {
-				continue
-			}
-			visited = true
-			if err := fn(storage.RID{Page: pp.ID, Slot: storage.SlotID(s)}, cell); err != nil {
-				ps.err = err
-				break
-			}
-		}
-		pp.Unpin(false)
-		ps.pid++
-		if ps.err != nil {
 			return false
 		}
 		if visited {
@@ -266,6 +261,29 @@ func (ps *PageScanner) NextPage(fn func(rid storage.RID, cell []byte) error) boo
 		}
 	}
 	return false
+}
+
+// visitPage pins the scanner's current page, hands each live cell to fn, and
+// advances past the page; the pin is scoped to this call so neither an fn
+// error nor a panic on a corrupt cell can leak it.
+func (ps *PageScanner) visitPage(fn func(rid storage.RID, cell []byte) error) (visited bool, err error) {
+	pp, err := ps.f.pool.FetchPage(ps.f.file, ps.pid)
+	if err != nil {
+		return false, err
+	}
+	defer pp.Unpin(false)
+	ps.pid++
+	for s := 0; s < pp.Page.NumSlots(); s++ {
+		cell := pp.Page.Cell(storage.SlotID(s))
+		if cell == nil {
+			continue
+		}
+		visited = true
+		if err := fn(storage.RID{Page: pp.ID, Slot: storage.SlotID(s)}, cell); err != nil {
+			return visited, err
+		}
+	}
+	return visited, nil
 }
 
 // Err returns the first error encountered.

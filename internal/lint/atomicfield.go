@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer protects the pool-wide counters (and any future field
+// managed with sync/atomic): once any code touches a struct field through a
+// sync/atomic function (atomic.AddInt64(&s.f, ...) style), every other
+// access to that field — in any package — must also be atomic. A plain read
+// races with the atomic writers; a plain write can be lost entirely.
+//
+// Fields of the type-safe atomic wrapper types (atomic.Int64 & friends) are
+// safe by construction and need no checking; this analyzer exists for the
+// legacy function-based style where the type system cannot help.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name:      "atomicfield",
+	Doc:       "check that fields accessed via sync/atomic are never read or written non-atomically",
+	RunGlobal: runAtomicField,
+}
+
+func runAtomicField(units []*Unit, report func(u *Unit, pos token.Pos, format string, args ...any)) error {
+	// Phase 1: collect every field reached through a sync/atomic call, and
+	// the selector nodes that form those sanctioned accesses. Loaded
+	// packages share one type-checker universe, so field objects compare
+	// equal across units.
+	atomicFields := make(map[types.Object]token.Pos)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(u.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if !isAtomicAccessor(fn.Name()) || len(call.Args) == 0 {
+					return true
+				}
+				// The address argument is always first: &x.f.
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fieldObj := selectedField(u.Info, sel)
+				if fieldObj == nil {
+					return true
+				}
+				if _, seen := atomicFields[fieldObj]; !seen {
+					atomicFields[fieldObj] = call.Pos()
+				}
+				sanctioned[sel] = true
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other access to those fields is a finding.
+	for _, u := range units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fieldObj := selectedField(u.Info, sel)
+				if fieldObj == nil {
+					return true
+				}
+				if _, atomicOwned := atomicFields[fieldObj]; atomicOwned {
+					report(u, sel.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; this non-atomic access races with the atomic users",
+						fieldObj.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicAccessor reports whether name is a sync/atomic function that takes
+// the address of the value it manages.
+func isAtomicAccessor(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectedField resolves a selector to the struct field it reads, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicField(t *testing.T) {
+	runFixture(t, AtomicFieldAnalyzer, "atomicfield", "atomicfield/client")
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ErrKindAnalyzer enforces the typed-error contract at the engine boundary
+// (the package containing engine.go/facade.go and the QueryError type):
+//
+//   - An error produced by a call into internal/exec or internal/storage
+//     must not be returned from an exported function in engine.go/facade.go
+//     without passing through classifyQueryError (which wraps it in a
+//     *QueryError of the right kind). Callers pattern-match on the kind;
+//     a naked storage error would silently skip their handling.
+//   - Every QueryError composite literal must set Kind to one of the
+//     ErrKind* constants — an empty or ad-hoc kind defeats classification.
+//   - The boundary package must not panic: panics belong below the recover
+//     boundaries (recoverQueryPanic / the operator guards), never above.
+var ErrKindAnalyzer = &Analyzer{
+	Name: "errkind",
+	Doc:  "check that errors crossing the engine boundary are *QueryError values with a valid kind",
+	Run:  runErrKind,
+}
+
+// errSourcePkgs are the internal packages whose raw errors must never cross
+// the boundary unclassified (matched by final import-path segment so the
+// analysistest fixtures can model them with stub packages).
+var errSourcePkgs = map[string]bool{"exec": true, "storage": true}
+
+func runErrKind(pass *Pass) error {
+	// The boundary package is recognized structurally: it declares a type
+	// named QueryError and contains a file named engine.go or facade.go.
+	if pass.Pkg.Scope().Lookup("QueryError") == nil {
+		return nil
+	}
+	boundaryFiles := make(map[*ast.File]bool)
+	anyBoundary := false
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if base == "engine.go" || base == "facade.go" {
+			boundaryFiles[f] = true
+			anyBoundary = true
+		}
+	}
+	if !anyBoundary {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		// Panic and composite-literal rules apply to the whole boundary
+		// package; the return rule only to the boundary files' exported
+		// functions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(e.Pos(),
+							"panic in the engine boundary package: raise below the recover boundaries or return a *QueryError")
+					}
+				}
+			case *ast.CompositeLit:
+				checkQueryErrorLit(pass, e)
+			}
+			return true
+		})
+		if !boundaryFiles[f] {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkBoundaryReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkQueryErrorLit verifies a QueryError literal sets Kind: ErrKind*.
+func checkQueryErrorLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !typeNameIs(tv.Type, "QueryError") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		name := ""
+		switch v := ast.Unparen(kv.Value).(type) {
+		case *ast.Ident:
+			name = v.Name
+		case *ast.SelectorExpr:
+			name = v.Sel.Name
+		}
+		if !strings.HasPrefix(name, "ErrKind") {
+			pass.Reportf(kv.Value.Pos(),
+				"QueryError.Kind must be one of the ErrKind* constants, not %s", exprString(pass.Fset, kv.Value))
+		}
+		return
+	}
+	pass.Reportf(lit.Pos(), "QueryError constructed without a Kind: set one of the ErrKind* constants")
+}
+
+// checkBoundaryReturns flags returns of raw exec/storage errors from an
+// exported boundary function. The walk is in source order with a simple
+// taint map: an error variable becomes tainted when assigned the error
+// result of a call into exec/storage, and clean when reassigned from any
+// other source or passed through classifyQueryError.
+func checkBoundaryReturns(pass *Pass, fd *ast.FuncDecl) {
+	taint := make(map[types.Object]string) // err var -> source package
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			src := ""
+			if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+				src = errSourcePkg(pass.Info, call)
+			}
+			last := st.Lhs[len(st.Lhs)-1]
+			id, ok := last.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || !isErrorType(obj.Type()) {
+				return true
+			}
+			if src != "" {
+				taint[obj] = src
+			} else {
+				delete(taint, obj)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				id, ok := ast.Unparen(res).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if src, ok := taint[obj]; ok {
+					pass.Reportf(res.Pos(),
+						"error from internal/%s returned across the engine boundary without classifyQueryError", src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// errSourcePkg returns the matching source package name ("exec", "storage")
+// when call's callee is defined in one, or "" — unless the call is
+// classifyQueryError itself or another boundary-package classifier.
+func errSourcePkg(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if errSourcePkgs[pkgLastSegment(fn.Pkg().Path())] {
+		return pkgLastSegment(fn.Pkg().Path())
+	}
+	return ""
+}

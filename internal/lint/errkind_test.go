@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrKind(t *testing.T) {
+	runFixture(t, ErrKindAnalyzer, "errkind")
+}

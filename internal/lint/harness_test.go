@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture loads the named fixture packages from testdata/src, runs one
+// analyzer over them, and checks the diagnostics against `// want` comments,
+// following the x/tools analysistest convention: a trailing comment
+//
+//	// want `regexp`
+//
+// expects exactly one diagnostic on that line whose message matches the
+// backquoted pattern (several patterns expect several diagnostics). Every
+// diagnostic must be wanted and every want must be matched.
+func runFixture(t *testing.T, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewTreeLoader(srcRoot)
+	var units []*Unit
+	for _, p := range pkgPaths {
+		u, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+		units = append(units, u)
+	}
+	diags, err := Run(units, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, ok := parseWantComment(c.Text)
+					if !ok {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					k := wantKey{pos.Filename, pos.Line}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						wants[k] = append(wants[k], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := wantKey{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching `%s`", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// parseWantComment extracts the backquoted expectation patterns from a
+// `// want` comment; ok is false for any other comment.
+func parseWantComment(text string) (patterns []string, ok bool) {
+	rest, found := strings.CutPrefix(text, "// want ")
+	if !found {
+		return nil, false
+	}
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != '`' {
+			return nil, false
+		}
+		end := strings.IndexByte(rest[1:], '`')
+		if end < 0 {
+			return nil, false
+		}
+		patterns = append(patterns, rest[1:1+end])
+		rest = rest[2+end:]
+	}
+	return patterns, len(patterns) > 0
+}

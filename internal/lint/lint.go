@@ -1,0 +1,212 @@
+// Package lint is dbvet's analysis framework: a small, dependency-free
+// re-implementation of the golang.org/x/tools go/analysis surface, just wide
+// enough for this repository's invariant checkers.
+//
+// The five analyzers (one per file) machine-check the hand-maintained
+// invariants the query-lifecycle and hot-path PRs rely on:
+//
+//   - pinleak:     every pinned page reaches Unpin on all control-flow paths
+//   - lockorder:   buffer-pool shard mutexes are acquired in ascending order
+//   - ctxflow:     context.Context flows from the engine entry points
+//   - errkind:     errors crossing the engine boundary are typed *QueryError
+//   - atomicfield: fields touched via sync/atomic are never accessed plainly
+//
+// The framework intentionally mirrors go/analysis (Analyzer, Pass, Reportf,
+// analysistest-style fixtures under testdata/src) so the checkers could move
+// onto x/tools unchanged; it is self-contained only because this repository
+// builds hermetically with zero external module dependencies.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. It mirrors the go/analysis Analyzer
+// shape: a name that appears in diagnostics and suppression comments, a doc
+// string shown by `dbvet -help`, and a Run function invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //dbvet:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+	// RunGlobal, when set, replaces per-package Run: the analyzer sees every
+	// loaded package at once. atomicfield needs this — a field written
+	// atomically in one package must not be read plainly in another.
+	RunGlobal func(units []*Unit, report func(u *Unit, pos token.Pos, format string, args ...any)) error
+}
+
+// Pass carries one package's ASTs and type information to an analyzer,
+// mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	unit   *Unit
+	report func(u *Unit, pos token.Pos, format string, args ...any)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.unit, pos, format, args...)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run executes the analyzers over the loaded units and returns the surviving
+// diagnostics, sorted by position. Findings on lines carrying a
+// //dbvet:ignore comment (or whose preceding line is such a comment) are
+// suppressed; `//dbvet:ignore` mutes every analyzer on that line,
+// `//dbvet:ignore pinleak,ctxflow` only the named ones.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a := a
+		report := func(u *Unit, pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Pos:      u.Fset.Position(pos),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		if a.RunGlobal != nil {
+			if err := a.RunGlobal(units, report); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, u := range units {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+				unit:     u,
+				report:   report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.PkgPath, err)
+			}
+		}
+	}
+	diags = filterSuppressed(diags, units)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "//dbvet:ignore"
+
+// filterSuppressed drops diagnostics muted by //dbvet:ignore comments.
+func filterSuppressed(diags []Diagnostic, units []*Unit) []Diagnostic {
+	// ignores maps filename -> line -> analyzer names ("" = all).
+	ignores := make(map[string]map[int][]string)
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignoreDirective)
+					var names []string
+					for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+						names = append(names, n)
+					}
+					pos := u.Fset.Position(c.Pos())
+					m := ignores[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						ignores[pos.Filename] = m
+					}
+					if len(names) == 0 {
+						m[pos.Line] = append(m[pos.Line], "")
+					} else {
+						m[pos.Line] = append(m[pos.Line], names...)
+					}
+				}
+			}
+		}
+	}
+	matches := func(d Diagnostic, line int) bool {
+		for _, n := range ignores[d.Pos.Filename][line] {
+			if n == "" || n == d.Analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if matches(d, d.Pos.Line) || matches(d, d.Pos.Line-1) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PinLeakAnalyzer,
+		LockOrderAnalyzer,
+		CtxFlowAnalyzer,
+		ErrKindAnalyzer,
+		AtomicFieldAnalyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; unknown names error.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}

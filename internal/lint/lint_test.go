@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository itself —
+// the same check CI's `go run ./cmd/dbvet ./...` performs — so a regression
+// in the linted tree fails plain `go test ./...` too.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis skipped in -short mode")
+	}
+	loader, root, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags, err := Run(units, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("pinleak, errkind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "pinleak" || as[1].Name != "errkind" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v lacks a name or doc", a)
+		}
+		if strings.ToLower(a.Name) != a.Name {
+			t.Errorf("analyzer name %q must be lower-case for //dbvet:ignore", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if (a.Run == nil) == (a.RunGlobal == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunGlobal", a.Name)
+		}
+	}
+}

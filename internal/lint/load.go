@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one loaded, type-checked package: the inputs every analyzer needs.
+type Unit struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages. Imports inside the analyzed tree
+// resolve through the loader itself (so every analyzer sees one shared
+// types.Object identity per declaration); everything else — the standard
+// library — resolves through go/importer's source importer, which builds
+// export data from $GOROOT/src and therefore works fully offline.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	// Exactly one mode is active: module mode maps the module path prefix
+	// onto modRoot; tree mode maps any existing path under srcRoot
+	// (GOPATH-style, used by the analyzer test fixtures).
+	modRoot string
+	modPath string
+	srcRoot string
+
+	units   map[string]*Unit
+	loading map[string]bool
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		units:   make(map[string]*Unit),
+		loading: make(map[string]bool),
+	}
+}
+
+// NewModuleLoader loads packages of the Go module rooted at or above dir.
+// It returns the loader and the module root directory.
+func NewModuleLoader(dir string) (*Loader, string, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, "", err
+	}
+	l := newLoader()
+	l.modRoot = root
+	l.modPath = modPath
+	return l, root, nil
+}
+
+// NewTreeLoader loads packages from a GOPATH-style source root: import path
+// "p/q" maps to srcRoot/p/q. The analyzer test fixtures use this.
+func NewTreeLoader(srcRoot string) *Loader {
+	l := newLoader()
+	l.srcRoot = srcRoot
+	return l
+}
+
+// resolveDir maps an import path to a directory inside the loaded tree.
+func (l *Loader) resolveDir(importPath string) (string, bool) {
+	switch {
+	case l.modPath != "":
+		if importPath == l.modPath {
+			return l.modRoot, true
+		}
+		if rest, ok := strings.CutPrefix(importPath, l.modPath+"/"); ok {
+			return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+		}
+	case l.srcRoot != "":
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// importPathForDir maps a directory inside the loaded tree to its import
+// path (the inverse of resolveDir).
+func (l *Loader) importPathForDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := l.modRoot
+	if root == "" {
+		root = l.srcRoot
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %s is outside %s", dir, root)
+	}
+	if rel == "." {
+		if l.modPath != "" {
+			return l.modPath, nil
+		}
+		return "", fmt.Errorf("lint: source root itself is not a package")
+	}
+	if l.modPath != "" {
+		return path.Join(l.modPath, filepath.ToSlash(rel)), nil
+	}
+	return filepath.ToSlash(rel), nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	return l.ImportFrom(importPath, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: tree-local packages load through
+// the loader, all else through the offline source importer.
+func (l *Loader) ImportFrom(importPath, dir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := l.resolveDir(importPath); ok {
+		u, err := l.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return l.std.ImportFrom(importPath, dir, 0)
+}
+
+// Load parses and type-checks the package at the import path (memoized).
+// Test files are skipped: dbvet lints production code, and test packages may
+// intentionally violate invariants to exercise failure paths.
+func (l *Loader) Load(importPath string) (*Unit, error) {
+	if u, ok := l.units[importPath]; ok {
+		return u, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir, ok := l.resolveDir(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: cannot resolve %s", importPath)
+	}
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	u := &Unit{PkgPath: importPath, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}
+	l.units[importPath] = u
+	return u, nil
+}
+
+// goSourceFiles lists the non-test Go files of dir, sorted, honoring
+// `//go:build ignore`.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if isIgnored(string(data)) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// isIgnored reports whether src carries a `//go:build ignore` constraint.
+func isIgnored(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if line == "//go:build ignore" || strings.HasPrefix(line, "// +build ignore") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPatterns expands package patterns relative to root and loads each
+// match. Supported forms: "./...", "./dir", "dir/...", and plain import
+// paths resolvable by the loader. Directories named testdata, vendor, or
+// starting with "." or "_" are never matched by "...".
+func (l *Loader) LoadPatterns(root string, patterns []string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, filepath.FromSlash(pat))
+		}
+		st, err := os.Stat(dir)
+		isDir := err == nil && st.IsDir()
+		switch {
+		case isDir && recursive:
+			err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				base := filepath.Base(p)
+				if p != dir && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+					return filepath.SkipDir
+				}
+				names, err := goSourceFiles(p)
+				if err != nil {
+					return err
+				}
+				if len(names) == 0 {
+					return nil
+				}
+				ip, err := l.importPathForDir(p)
+				if err != nil {
+					return err
+				}
+				add(ip)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case isDir:
+			ip, err := l.importPathForDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(ip)
+		case recursive:
+			return nil, fmt.Errorf("lint: recursive pattern %q does not name a directory", pat)
+		default:
+			add(pat) // plain import path
+		}
+	}
+	var units []*Unit
+	for _, p := range paths {
+		u, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

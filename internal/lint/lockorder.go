@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockOrderAnalyzer enforces the shard-locking protocol of the sharded
+// buffer pool: a goroutine may hold at most one shard mutex, except for the
+// sanctioned whole-pool sweep that locks every shard in ascending index
+// order (a `for range` over the shard slice). Concretely, taking a shard
+// lock while another is held is reported unless the analyzer can prove
+// ascending order:
+//
+//   - both locks use constant indices i < j into the same shard slice, or
+//   - both are taken by the same `for range` sweep over the shard slice
+//     (range iteration is ascending by construction).
+//
+// A "shard mutex" is any sync.Mutex/RWMutex field reached through a value
+// whose named type contains "shard" (poolShard today; future shard types
+// are covered by construction).
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "check that buffer-pool shard mutexes are acquired in ascending shard-index order",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			lo := &lockWalker{pass: pass}
+			lo.walkStmts(fb.body.List)
+		}
+	}
+	return nil
+}
+
+// lockToken is one held shard lock.
+type lockToken struct {
+	desc     string         // source text of the shard expression
+	constIdx int64          // constant index into a shard slice, or -1
+	sweep    *ast.RangeStmt // the range sweep this lock belongs to, if any
+	accum    bool           // stands for "every shard", locked by a sweep
+	pos      token.Pos
+}
+
+// lockWalker tracks held shard locks through one function body. The walk is
+// syntactic and optimistic: branches are applied in source order, and an
+// Unlock anywhere releases the matching token. The point is to prove the
+// sanctioned patterns and flag everything that cannot be proven, not to be
+// a full may-hold analysis.
+type lockWalker struct {
+	pass  *Pass
+	held  []lockToken
+	loops []*ast.RangeStmt // enclosing range statements, innermost last
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.ExprStmt:
+		w.visitExpr(st.X)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.visitExpr(r)
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks release at function end; for ordering purposes
+		// the lock is simply held for the rest of the walk, which is the
+		// conservative and correct view.
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// Unlocks inside a deferred closure do not run here.
+			_ = fl
+			return
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.visitExpr(st.Cond)
+		w.walkStmt(st.Body)
+		if st.Else != nil {
+			w.walkStmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		before := len(w.held)
+		w.walkStmts(st.Body.List)
+		w.endLoop(before, nil, st.Pos())
+	case *ast.RangeStmt:
+		w.loops = append(w.loops, st)
+		before := len(w.held)
+		w.walkStmts(st.Body.List)
+		w.loops = w.loops[:len(w.loops)-1]
+		w.endLoop(before, st, st.Pos())
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body)
+	case *ast.CaseClause:
+		w.walkStmts(st.Body)
+	case *ast.CommClause:
+		w.walkStmts(st.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.visitExpr(r)
+		}
+	case *ast.GoStmt:
+		// A goroutine has its own lock stack.
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// endLoop handles locks that survived a loop body: they accumulate across
+// iterations. Only the ascending sweep — a `for range` over a shard slice —
+// is sanctioned; the surviving tokens collapse into one "all shards" token.
+func (w *lockWalker) endLoop(before int, rng *ast.RangeStmt, pos token.Pos) {
+	if len(w.held) <= before {
+		return
+	}
+	acquired := w.held[before:]
+	if rng != nil && w.isShardSliceExpr(rng.X) {
+		w.held = append(w.held[:before], lockToken{
+			desc:     "all shards (ascending sweep over " + exprString(w.pass.Fset, rng.X) + ")",
+			constIdx: -1,
+			accum:    true,
+			pos:      pos,
+		})
+		return
+	}
+	for _, t := range acquired {
+		w.pass.Reportf(t.pos,
+			"shard lock %s accumulates across loop iterations outside an ascending `for range` sweep over the shard slice", t.desc)
+	}
+	w.held = w.held[:before]
+}
+
+// visitExpr looks for shard Lock/Unlock calls inside an expression.
+func (w *lockWalker) visitExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		isLock := name == "Lock" || name == "RLock"
+		isUnlock := name == "Unlock" || name == "RUnlock"
+		if !isLock && !isUnlock {
+			return true
+		}
+		shard, ok := w.shardExprOfMutex(sel.X)
+		if !ok {
+			return true
+		}
+		if isLock {
+			w.acquire(shard, call.Pos())
+		} else {
+			w.release(shard)
+		}
+		return true
+	})
+}
+
+// shardExprOfMutex unwraps `<shard>.mu` (any mutex-typed field on a value
+// whose named type contains "shard") and returns the shard expression.
+func (w *lockWalker) shardExprOfMutex(mutexExpr ast.Expr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(mutexExpr).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	if !typeNameContains(tv.Type, "shard") {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isShardSliceExpr reports whether e has type []T with T a shard type.
+func (w *lockWalker) isShardSliceExpr(e ast.Expr) bool {
+	tv, ok := w.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return typeNameContains(sl.Elem(), "shard")
+}
+
+func (w *lockWalker) token(shard ast.Expr, pos token.Pos) lockToken {
+	t := lockToken{desc: exprString(w.pass.Fset, shard), constIdx: -1, pos: pos}
+	if idx, ok := ast.Unparen(shard).(*ast.IndexExpr); ok {
+		if tv, ok := w.pass.Info.Types[idx.Index]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				t.constIdx = v
+			}
+		}
+	}
+	if id, ok := ast.Unparen(shard).(*ast.Ident); ok {
+		for i := len(w.loops) - 1; i >= 0; i-- {
+			rng := w.loops[i]
+			if rangeDefines(rng, id.Name) && w.isShardSliceExpr(rng.X) {
+				t.sweep = rng
+				break
+			}
+		}
+	}
+	return t
+}
+
+// rangeDefines reports whether the range statement's key or value variable
+// has the given name.
+func rangeDefines(rng *ast.RangeStmt, name string) bool {
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) acquire(shard ast.Expr, pos token.Pos) {
+	nt := w.token(shard, pos)
+	for _, h := range w.held {
+		switch {
+		case h.accum:
+			w.pass.Reportf(pos,
+				"shard lock %s acquired while the whole-pool sweep already holds every shard", nt.desc)
+		case h.sweep != nil && nt.sweep == h.sweep:
+			// Two locks from the same ascending sweep iteration variable:
+			// ordered by construction.
+		case h.constIdx >= 0 && nt.constIdx >= 0 && sameIndexBase(h.desc, nt.desc):
+			if nt.constIdx <= h.constIdx {
+				w.pass.Reportf(pos,
+					"shard locks acquired out of ascending order: %s after %s", nt.desc, h.desc)
+			}
+		default:
+			w.pass.Reportf(pos,
+				"shard lock %s acquired while holding %s: cannot prove ascending shard order", nt.desc, h.desc)
+		}
+	}
+	w.held = append(w.held, nt)
+}
+
+func (w *lockWalker) release(shard ast.Expr) {
+	desc := exprString(w.pass.Fset, shard)
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].desc == desc || w.held[i].accum {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// sameIndexBase reports whether two "base[i]" descriptions index the same
+// base expression.
+func sameIndexBase(a, b string) bool {
+	ia, ib := strings.IndexByte(a, '['), strings.IndexByte(b, '[')
+	return ia > 0 && ib > 0 && a[:ia] == b[:ib]
+}

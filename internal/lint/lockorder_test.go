@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrder(t *testing.T) {
+	runFixture(t, LockOrderAnalyzer, "lockorder")
+}

@@ -1,0 +1,597 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PinLeakAnalyzer checks the buffer-pool pin discipline: every *PinnedPage
+// obtained from FetchPage/NewPage (any call returning one) must reach Unpin
+// on every control-flow path. Two rules:
+//
+//  1. Path rule: no path from the acquisition to a return may leave the pin
+//     held. Error-return paths taken because the acquiring call itself
+//     failed are understood (the pin was never taken there).
+//  2. Defer rule: a pin whose only release is a single direct (non-deferred)
+//     Unpin call is flagged — a panic or a later-added early return between
+//     pin and release leaks it. Multi-site release ladders (B+tree splits)
+//     are exempt from this rule but still subject to the path rule.
+//
+// Pins that escape the function — stored into a struct (iterators), passed
+// to another function, or returned — transfer ownership and are exempt.
+var PinLeakAnalyzer = &Analyzer{
+	Name: "pinleak",
+	Doc:  "check that every pinned buffer-pool page is unpinned on all control-flow paths",
+	Run:  runPinLeak,
+}
+
+func runPinLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			analyzePinScope(pass, fb.body)
+		}
+	}
+	return nil
+}
+
+// pinAcq describes one pin acquisition site.
+type pinAcq struct {
+	pin  types.Object
+	err  types.Object // paired error result, may be nil
+	pos  token.Pos
+	name string
+}
+
+// pinAttrs are flow-insensitive per-variable facts from the prescan.
+type pinAttrs struct {
+	escaped     bool
+	deferred    bool
+	directSites int
+}
+
+// inspectScope walks root without descending into nested function literals.
+func inspectScope(root ast.Node, fn func(n ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isPinnedPageCall reports whether call's first result is a *PinnedPage.
+func isPinnedPageCall(info *types.Info, call *ast.CallExpr) bool {
+	t := firstResult(info, call)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	return typeNameIs(t, "PinnedPage")
+}
+
+// analyzePinScope checks one function body (function literals are analyzed
+// as their own scopes by the caller).
+func analyzePinScope(pass *Pass, body *ast.BlockStmt) {
+	// Pass 0: bail on control flow the path interpreter cannot model.
+	bail := false
+	inspectScope(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.LabeledStmt:
+			bail = true
+		case *ast.BranchStmt:
+			if s.Tok == token.GOTO || s.Label != nil {
+				bail = true
+			}
+		}
+		return !bail
+	})
+
+	// Pass 1: collect acquisitions.
+	acqs := make(map[*ast.AssignStmt]*pinAcq)
+	tracked := make(map[types.Object]*pinAcq)
+	inspectScope(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPinnedPageCall(pass.Info, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		a := &pinAcq{pin: obj, pos: id.Pos(), name: id.Name}
+		if len(as.Lhs) > 1 {
+			if eid, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && eid.Name != "_" {
+				eo := pass.Info.Defs[eid]
+				if eo == nil {
+					eo = pass.Info.Uses[eid]
+				}
+				if eo != nil && isErrorType(eo.Type()) {
+					a.err = eo
+				}
+			}
+		}
+		acqs[as] = a
+		if prev, ok := tracked[obj]; !ok || prev.pos > a.pos {
+			tracked[obj] = a
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: per-variable attributes (escape, deferred release, direct
+	// Unpin sites), via a parent-stack walk that does enter function
+	// literals (to classify captures).
+	attrs := make(map[types.Object]*pinAttrs)
+	for obj := range tracked {
+		attrs[obj] = &pinAttrs{}
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if at, ok := attrs[obj]; ok {
+				classifyPinUse(id, stack, at)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for obj, at := range attrs {
+		if at.escaped || at.deferred {
+			delete(tracked, obj)
+		}
+	}
+	for as, a := range acqs {
+		if _, ok := tracked[a.pin]; !ok {
+			delete(acqs, as)
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 3: path-sensitive leak detection.
+	leaked := make(map[types.Object]bool)
+	if !bail {
+		it := &pinInterp{pass: pass, acqs: acqs, tracked: tracked, leaked: leaked}
+		r := it.execStmts(body.List, []*pinPath{newPinPath()})
+		if !it.overflow {
+			for _, p := range r.fall {
+				it.checkReturn(p, body.End())
+			}
+		}
+	}
+
+	// Pass 4: defer rule.
+	type entry struct {
+		a  *pinAcq
+		at *pinAttrs
+	}
+	var order []entry
+	for obj, a := range tracked {
+		order = append(order, entry{a, attrs[obj]})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].a.pos < order[j].a.pos })
+	for _, e := range order {
+		if leaked[e.a.pin] {
+			continue
+		}
+		if e.at.directSites == 1 {
+			pass.Reportf(e.a.pos,
+				"pinned page %s is released by a single non-deferred Unpin; a panic or early return between pin and release leaks it (use defer %s.Unpin)",
+				e.a.name, e.a.name)
+		}
+	}
+}
+
+// classifyPinUse updates at for one use of a pin variable given the
+// ancestor stack (innermost last).
+func classifyPinUse(id *ast.Ident, stack []ast.Node, at *pinAttrs) {
+	parent := ast.Node(nil)
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	// Locate an enclosing function literal and whether it is deferred
+	// (`defer func() { ... }()`).
+	inLit := false
+	litDeferred := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			inLit = true
+			if i >= 2 {
+				call, okc := stack[i-1].(*ast.CallExpr)
+				_, okd := stack[i-2].(*ast.DeferStmt)
+				if okc && okd && call.Fun == stack[i] {
+					litDeferred = true
+				}
+			}
+			break
+		}
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != id {
+			at.escaped = true
+			return
+		}
+		if p.Sel.Name == "Unpin" {
+			// Direct call, deferred call, or call inside a deferred literal?
+			if call, ok := stackTop(stack, 2).(*ast.CallExpr); ok && call.Fun == p {
+				if _, ok := stackTop(stack, 3).(*ast.DeferStmt); ok {
+					at.deferred = true
+					return
+				}
+				if inLit {
+					if litDeferred {
+						at.deferred = true
+					} else {
+						at.escaped = true
+					}
+					return
+				}
+				at.directSites++
+				return
+			}
+			at.escaped = true // method value: ownership unclear
+			return
+		}
+		// Field access (pp.Page, pp.ID, ...): benign unless captured by a
+		// non-deferred literal that may outlive the frame.
+		if inLit && !litDeferred {
+			at.escaped = true
+		}
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				return // reassignment target
+			}
+		}
+		at.escaped = true
+	case *ast.BinaryExpr:
+		// Comparisons (pp != nil) are benign reads.
+		if p.Op == token.EQL || p.Op == token.NEQ {
+			return
+		}
+		at.escaped = true
+	default:
+		at.escaped = true
+	}
+}
+
+// stackTop returns the n-th node from the top of the stack (1 = last).
+func stackTop(stack []ast.Node, n int) ast.Node {
+	if len(stack) < n {
+		return nil
+	}
+	return stack[len(stack)-n]
+}
+
+// pinPath is one abstract execution path: which pins are held, and which
+// error variables are still paired with the acquisition that set them (so a
+// branch on err != nil can clear the pin on the failure arm).
+type pinPath struct {
+	held  map[types.Object]bool
+	pairs map[types.Object]types.Object
+}
+
+func newPinPath() *pinPath {
+	return &pinPath{held: map[types.Object]bool{}, pairs: map[types.Object]types.Object{}}
+}
+
+func (p *pinPath) clone() *pinPath {
+	q := newPinPath()
+	for k, v := range p.held {
+		q.held[k] = v
+	}
+	for k, v := range p.pairs {
+		q.pairs[k] = v
+	}
+	return q
+}
+
+func (p *pinPath) signature() string {
+	var parts []string
+	for k, v := range p.held {
+		if v {
+			parts = append(parts, fmt.Sprintf("h%p", k))
+		}
+	}
+	for k, v := range p.pairs {
+		parts = append(parts, fmt.Sprintf("p%p=%p", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+const maxPinPaths = 256
+
+type flowResult struct {
+	fall []*pinPath
+	brk  []*pinPath
+	cont []*pinPath
+}
+
+type pinInterp struct {
+	pass     *Pass
+	acqs     map[*ast.AssignStmt]*pinAcq
+	tracked  map[types.Object]*pinAcq
+	leaked   map[types.Object]bool
+	overflow bool
+}
+
+// mergePaths deduplicates path states and enforces the path cap.
+func (it *pinInterp) mergePaths(sets ...[]*pinPath) []*pinPath {
+	seen := make(map[string]bool)
+	var out []*pinPath
+	for _, set := range sets {
+		for _, p := range set {
+			sig := p.signature()
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			out = append(out, p)
+		}
+	}
+	if len(out) > maxPinPaths {
+		it.overflow = true
+		out = out[:maxPinPaths]
+	}
+	return out
+}
+
+func (it *pinInterp) checkReturn(p *pinPath, pos token.Pos) {
+	for obj, h := range p.held {
+		if !h || it.leaked[obj] {
+			continue
+		}
+		a := it.tracked[obj]
+		it.leaked[obj] = true
+		it.pass.Reportf(a.pos,
+			"pinned page %s may not be unpinned on every path: a return at line %d can be reached with the pin held",
+			a.name, it.pass.Fset.Position(pos).Line)
+	}
+}
+
+func (it *pinInterp) execStmts(stmts []ast.Stmt, in []*pinPath) flowResult {
+	cur := in
+	var brk, cont []*pinPath
+	for _, s := range stmts {
+		if len(cur) == 0 || it.overflow {
+			break
+		}
+		r := it.execStmt(s, cur)
+		brk = append(brk, r.brk...)
+		cont = append(cont, r.cont...)
+		cur = r.fall
+	}
+	return flowResult{fall: cur, brk: brk, cont: cont}
+}
+
+func (it *pinInterp) execStmt(s ast.Stmt, in []*pinPath) flowResult {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return it.execStmts(st.List, in)
+
+	case *ast.AssignStmt:
+		if a, ok := it.acqs[st]; ok {
+			for _, p := range in {
+				p.held[a.pin] = true
+				if a.err != nil {
+					p.pairs[a.err] = a.pin
+				}
+			}
+			return flowResult{fall: in}
+		}
+		// A non-acquiring write to a paired error variable ends the pairing.
+		for _, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				obj := it.pass.Info.Defs[id]
+				if obj == nil {
+					obj = it.pass.Info.Uses[id]
+				}
+				if obj != nil {
+					for _, p := range in {
+						delete(p.pairs, obj)
+					}
+				}
+			}
+		}
+		return flowResult{fall: in}
+
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					obj := it.pass.Info.Uses[id]
+					if _, tracked := it.tracked[obj]; tracked {
+						for _, p := range in {
+							p.held[obj] = false
+						}
+					}
+				}
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return flowResult{} // path ends; panic recovery is a boundary concern
+			}
+		}
+		return flowResult{fall: in}
+
+	case *ast.ReturnStmt:
+		for _, p := range in {
+			it.checkReturn(p, st.Pos())
+		}
+		return flowResult{}
+
+	case *ast.IfStmt:
+		cur := in
+		if st.Init != nil {
+			cur = it.execStmt(st.Init, cur).fall
+		}
+		thenIn := clonePaths(cur)
+		elseIn := clonePaths(cur)
+		applyErrCond(it.pass.Info, st.Cond, thenIn, elseIn)
+		rThen := it.execStmt(st.Body, thenIn)
+		var rElse flowResult
+		if st.Else != nil {
+			rElse = it.execStmt(st.Else, elseIn)
+		} else {
+			rElse = flowResult{fall: elseIn}
+		}
+		return flowResult{
+			fall: it.mergePaths(rThen.fall, rElse.fall),
+			brk:  it.mergePaths(rThen.brk, rElse.brk),
+			cont: it.mergePaths(rThen.cont, rElse.cont),
+		}
+
+	case *ast.ForStmt:
+		cur := in
+		if st.Init != nil {
+			cur = it.execStmt(st.Init, cur).fall
+		}
+		r := it.execStmts(st.Body.List, clonePaths(cur))
+		skip := cur
+		if st.Cond == nil {
+			skip = nil // for{} only exits through break or return
+			return flowResult{fall: it.mergePaths(r.brk)}
+		}
+		return flowResult{fall: it.mergePaths(skip, r.fall, r.brk, r.cont)}
+
+	case *ast.RangeStmt:
+		r := it.execStmts(st.Body.List, clonePaths(in))
+		return flowResult{fall: it.mergePaths(in, r.fall, r.brk, r.cont)}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		var init ast.Stmt
+		hasDefault := false
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			body, init = sw.Body, sw.Init
+		case *ast.TypeSwitchStmt:
+			body, init = sw.Body, sw.Init
+		case *ast.SelectStmt:
+			body, hasDefault = sw.Body, true // select always takes a case
+		}
+		cur := in
+		if init != nil {
+			cur = it.execStmt(init, cur).fall
+		}
+		var falls [][]*pinPath
+		var cont []*pinPath
+		for _, cl := range body.List {
+			var caseBody []ast.Stmt
+			switch c := cl.(type) {
+			case *ast.CaseClause:
+				caseBody = c.Body
+				if c.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				caseBody = c.Body
+			}
+			r := it.execStmts(caseBody, clonePaths(cur))
+			falls = append(falls, r.fall, r.brk) // break leaves the switch
+			cont = append(cont, r.cont...)
+		}
+		if !hasDefault {
+			falls = append(falls, cur)
+		}
+		var all []*pinPath
+		for _, f := range falls {
+			all = it.mergePaths(all, f)
+		}
+		return flowResult{fall: all, cont: cont}
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			return flowResult{brk: in}
+		case token.CONTINUE:
+			return flowResult{cont: in}
+		}
+		return flowResult{fall: in} // fallthrough
+
+	case *ast.LabeledStmt:
+		return it.execStmt(st.Stmt, in) // unreachable: labels bail earlier
+
+	default:
+		// DeclStmt, DeferStmt, GoStmt, IncDecStmt, SendStmt, EmptyStmt, ...
+		return flowResult{fall: in}
+	}
+}
+
+func clonePaths(in []*pinPath) []*pinPath {
+	out := make([]*pinPath, len(in))
+	for i, p := range in {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+// applyErrCond interprets `err != nil` / `err == nil` conditions over paired
+// error variables: on the arm where the acquiring call failed, the pin was
+// never taken.
+func applyErrCond(info *types.Info, cond ast.Expr, thenIn, elseIn []*pinPath) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return
+	}
+	var errID *ast.Ident
+	if id, ok := be.X.(*ast.Ident); ok && isNilIdent(be.Y) {
+		errID = id
+	} else if id, ok := be.Y.(*ast.Ident); ok && isNilIdent(be.X) {
+		errID = id
+	}
+	if errID == nil {
+		return
+	}
+	obj := info.Uses[errID]
+	if obj == nil {
+		return
+	}
+	failure, success := thenIn, elseIn // err != nil: then = failure
+	if be.Op == token.EQL {
+		failure, success = elseIn, thenIn
+	}
+	for _, p := range failure {
+		if pin, ok := p.pairs[obj]; ok {
+			p.held[pin] = false
+			delete(p.pairs, obj)
+		}
+	}
+	for _, p := range success {
+		delete(p.pairs, obj)
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPinLeak(t *testing.T) {
+	runFixture(t, PinLeakAnalyzer, "pinleak")
+}

@@ -1,0 +1,48 @@
+// Package atomicfield exercises the atomicfield analyzer: once any code
+// touches a struct field through a sync/atomic function, every other access
+// to that field — in any package — must also be atomic.
+package atomicfield
+
+import "sync/atomic"
+
+// Stats mixes atomically-managed counters with a plain field.
+type Stats struct {
+	Hits   int64
+	misses int64
+	name   string
+}
+
+// Hit is the sanctioning access: after this, Hits is atomic-only.
+func (s *Stats) Hit() {
+	atomic.AddInt64(&s.Hits, 1)
+}
+
+// Miss manages misses atomically too.
+func (s *Stats) Miss() {
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// Misses reads atomically: fine.
+func (s *Stats) Misses() int64 {
+	return atomic.LoadInt64(&s.misses)
+}
+
+// Snapshot reads Hits plainly: races with Hit.
+func (s *Stats) Snapshot() int64 {
+	return s.Hits // want `field Hits is accessed with sync/atomic elsewhere`
+}
+
+// reset writes misses plainly: the write can be lost entirely.
+func (s *Stats) reset() {
+	s.misses = 0 // want `field misses is accessed with sync/atomic elsewhere`
+}
+
+// Name is a plain field with only plain accesses: fine.
+func (s *Stats) Name() string {
+	return s.name
+}
+
+// Rename keeps name plain too.
+func (s *Stats) Rename(n string) {
+	s.name = n
+}

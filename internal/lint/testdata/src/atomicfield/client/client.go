@@ -1,0 +1,11 @@
+// Package client reads another package's atomic counter plainly — the
+// cross-package race that forces atomicfield to analyze all packages in one
+// global pass.
+package client
+
+import "atomicfield"
+
+// PlainHits races with atomicfield.(*Stats).Hit.
+func PlainHits(s *atomicfield.Stats) int64 {
+	return s.Hits // want `field Hits is accessed with sync/atomic elsewhere`
+}

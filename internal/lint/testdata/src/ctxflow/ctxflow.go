@@ -1,0 +1,43 @@
+// Package ctxflow exercises the ctxflow analyzer: cancellation flows from
+// the engine entry points; library code must not re-root a context, and a
+// context parameter always comes first.
+package ctxflow
+
+import "context"
+
+type Engine struct{}
+
+// Query is the convenience wrapper: rooting a fresh background context here
+// is sanctioned because QueryContext exists on the same receiver.
+func (e *Engine) Query(q string) error {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext is the real entry point; the nil-guard default into its own
+// context parameter is sanctioned.
+func (e *Engine) QueryContext(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return run(ctx, q)
+}
+
+func run(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+// reroot re-roots cancellation mid-stack: the caller's deadline is lost.
+func reroot(q string) error {
+	return run(context.Background(), q) // want `context.Background\(\) outside cmd/`
+}
+
+// stubbed leaves a TODO context in library code.
+func stubbed(q string) error {
+	return run(context.TODO(), q) // want `context.TODO\(\) outside cmd/`
+}
+
+// trailingCtx buries the context behind another parameter.
+func trailingCtx(q string, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return run(ctx, q)
+}

@@ -1,0 +1,11 @@
+// Command ctxflowmain shows that package main (cmd/, examples) is exempt
+// from the context-rooting rule: a process entry point is where a context
+// tree legitimately begins.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx.Err()
+}

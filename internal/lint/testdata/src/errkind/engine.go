@@ -1,0 +1,76 @@
+// Package errkind exercises the errkind analyzer. It is recognized as the
+// engine boundary structurally: it declares a QueryError type and contains
+// files named engine.go/facade.go. Raw errors from the exec/storage stubs
+// must pass through classifyQueryError before being returned from exported
+// boundary functions.
+package errkind
+
+import (
+	"fmt"
+
+	"exec"
+)
+
+// ErrorKind labels a QueryError.
+type ErrorKind string
+
+// The valid kinds.
+const (
+	ErrKindExec    ErrorKind = "exec"
+	ErrKindStorage ErrorKind = "storage"
+)
+
+// QueryError is the boundary error type.
+type QueryError struct {
+	Kind ErrorKind
+	Err  error
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("%s: %v", e.Kind, e.Err)
+}
+
+// classifyQueryError wraps err in a *QueryError.
+func classifyQueryError(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &QueryError{Kind: ErrKindExec, Err: err}
+}
+
+// RunRaw leaks raw exec errors across the boundary.
+func RunRaw(q string) (int, error) {
+	p, err := exec.Build(q)
+	if err != nil {
+		return 0, err // want `error from internal/exec returned across the engine boundary`
+	}
+	n, err := p.Run()
+	if err != nil {
+		return 0, err // want `error from internal/exec returned across the engine boundary`
+	}
+	return n, nil
+}
+
+// RunClassified wraps every boundary-crossing error.
+func RunClassified(q string) (int, error) {
+	p, err := exec.Build(q)
+	if err != nil {
+		return 0, classifyQueryError(err)
+	}
+	n, err := p.Run()
+	if err != nil {
+		return 0, classifyQueryError(err)
+	}
+	return n, nil
+}
+
+// RunRewrapped rewraps by hand before returning: the reassignment from a
+// non-source call clears the taint.
+func RunRewrapped(q string) error {
+	_, err := exec.Build(q)
+	if err != nil {
+		err = fmt.Errorf("engine: %w", err)
+		return err
+	}
+	return nil
+}

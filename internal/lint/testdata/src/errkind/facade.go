@@ -1,0 +1,32 @@
+package errkind
+
+import "storage"
+
+// Flush leaks a raw storage error across the boundary.
+func Flush(pool *storage.BufferPool) error {
+	err := storage.FlushAll(pool)
+	return err // want `error from internal/storage returned across the engine boundary`
+}
+
+// FlushClassified wraps the storage error at the return.
+func FlushClassified(pool *storage.BufferPool) error {
+	return classifyQueryError(storage.FlushAll(pool))
+}
+
+// badKind builds a QueryError with an ad-hoc kind the callers' pattern
+// matching will never recognize.
+func badKind(msg string) error {
+	return &QueryError{Kind: ErrorKind(msg)} // want `QueryError.Kind must be one of the ErrKind\* constants`
+}
+
+// badEmpty builds a QueryError with no kind at all.
+func badEmpty(err error) error {
+	return &QueryError{Err: err} // want `QueryError constructed without a Kind`
+}
+
+// mustFlush panics above the recover boundaries.
+func mustFlush(pool *storage.BufferPool) {
+	if err := storage.FlushAll(pool); err != nil {
+		panic(err) // want `panic in the engine boundary package`
+	}
+}

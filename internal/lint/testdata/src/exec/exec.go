@@ -1,0 +1,22 @@
+// Package exec is a stub of the repository's internal/exec package: an
+// error source whose raw errors must not cross the engine boundary. The
+// errkind analyzer matches it by the final import-path segment.
+package exec
+
+import "errors"
+
+// Plan is a stub executor.
+type Plan struct{}
+
+// Build compiles a plan.
+func Build(q string) (*Plan, error) {
+	if q == "" {
+		return nil, errors.New("exec: empty query")
+	}
+	return &Plan{}, nil
+}
+
+// Run executes the plan.
+func (p *Plan) Run() (int, error) {
+	return 0, nil
+}

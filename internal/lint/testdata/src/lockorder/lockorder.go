@@ -1,0 +1,113 @@
+// Package lockorder exercises the lockorder analyzer against the sharded
+// buffer-pool locking protocol: at most one shard mutex held at a time,
+// except constant ascending pairs and the whole-pool ascending sweep.
+package lockorder
+
+import "sync"
+
+type bufShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pool struct {
+	shards []*bufShard
+}
+
+// lockOne holds a single shard lock: fine.
+func lockOne(p *pool, i int) {
+	s := p.shards[i]
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// lockAscending takes two shards at provably ascending constant indices.
+func lockAscending(p *pool) {
+	p.shards[0].mu.Lock()
+	p.shards[1].mu.Lock()
+	p.shards[1].mu.Unlock()
+	p.shards[0].mu.Unlock()
+}
+
+// lockDescending inverts the constant order: deadlock-prone.
+func lockDescending(p *pool) {
+	p.shards[1].mu.Lock()
+	p.shards[0].mu.Lock() // want `out of ascending order`
+	p.shards[0].mu.Unlock()
+	p.shards[1].mu.Unlock()
+}
+
+// lockPair uses two runtime indices: order cannot be proven.
+func lockPair(p *pool, i, j int) {
+	p.shards[i].mu.Lock()
+	p.shards[j].mu.Lock() // want `cannot prove ascending shard order`
+	p.shards[j].mu.Unlock()
+	p.shards[i].mu.Unlock()
+}
+
+// sweepAll is the sanctioned whole-pool sweep: a `for range` over the shard
+// slice locks in ascending index order by construction.
+func sweepAll(p *pool) int {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	total := 0
+	for _, s := range p.shards {
+		total += s.n
+	}
+	for _, s := range p.shards {
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// resetAll pairs the sweep with a deferred unlock-all closure, the shape the
+// real pool's Reset uses.
+func resetAll(p *pool) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
+		}
+	}()
+	for _, s := range p.shards {
+		s.n = 0
+	}
+}
+
+// lockDuringSweep grabs one more shard while the sweep holds all of them.
+func lockDuringSweep(p *pool, extra *bufShard) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	extra.mu.Lock() // want `while the whole-pool sweep already holds every shard`
+	extra.mu.Unlock()
+	for _, s := range p.shards {
+		s.mu.Unlock()
+	}
+}
+
+// lockByIndex accumulates locks across iterations of a loop that is not a
+// range over the shard slice, so ascending order is not guaranteed.
+func lockByIndex(p *pool, order []int) {
+	for _, i := range order {
+		p.shards[i].mu.Lock() // want `accumulates across loop iterations`
+	}
+	for _, i := range order {
+		p.shards[i].mu.Unlock()
+	}
+}
+
+// perIterationLock locks and unlocks within each iteration: balanced, fine.
+func perIterationLock(p *pool) int {
+	total := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total += s.n
+		s.mu.Unlock()
+	}
+	return total
+}

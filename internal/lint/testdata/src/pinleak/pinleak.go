@@ -1,0 +1,160 @@
+// Package pinleak exercises the pinleak analyzer: every *storage.PinnedPage
+// obtained from FetchPage/NewPage must reach Unpin on all control-flow paths,
+// and a single non-deferred release site is flagged as panic-unsafe.
+package pinleak
+
+import (
+	"errors"
+
+	"storage"
+)
+
+var errBad = errors.New("bad page")
+
+func sink(n int) {}
+
+func consume(pp *storage.PinnedPage) {}
+
+// leakOnEarlyReturn forgets the pin on the errBad path.
+func leakOnEarlyReturn(pool *storage.BufferPool) error {
+	pp, err := pool.FetchPage(1) // want `pinned page pp may not be unpinned on every path`
+	if err != nil {
+		return err
+	}
+	if pp.Bad {
+		return errBad
+	}
+	pp.Unpin(false)
+	return nil
+}
+
+// neverUnpinned drops the pin entirely.
+func neverUnpinned(pool *storage.BufferPool) {
+	pp, _ := pool.FetchPage(1) // want `pinned page pp may not be unpinned on every path`
+	sink(pp.Page.N)
+}
+
+// newPageLeak exercises the NewPage acquisition path: the error return is
+// understood, but the fall-off-the-end path still holds the pin.
+func newPageLeak(pool *storage.BufferPool) {
+	pp, err := pool.NewPage() // want `pinned page pp may not be unpinned on every path`
+	if err != nil {
+		return
+	}
+	sink(pp.Page.N)
+}
+
+// missingDefer releases on the only path but not via defer: a panic between
+// pin and release leaks.
+func missingDefer(pool *storage.BufferPool) int {
+	pp, err := pool.FetchPage(1) // want `single non-deferred Unpin`
+	if err != nil {
+		return 0
+	}
+	n := pp.Page.N
+	pp.Unpin(false)
+	return n
+}
+
+// scanLoop releases each page at the bottom of the loop body — flagged by
+// the defer rule, same as the pre-refactor heap scanner.
+func scanLoop(pool *storage.BufferPool, n int) (int, error) {
+	total := 0
+	for pid := 0; pid < n; pid++ {
+		pp, err := pool.FetchPage(pid) // want `single non-deferred Unpin`
+		if err != nil {
+			return 0, err
+		}
+		total += pp.Page.N
+		pp.Unpin(false)
+	}
+	return total, nil
+}
+
+// deferredRelease is the idiomatic safe shape.
+func deferredRelease(pool *storage.BufferPool) (int, error) {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return 0, err
+	}
+	defer pp.Unpin(false)
+	return pp.Page.N, nil
+}
+
+// deferredClosureRelease defers the release inside a closure that decides
+// dirtiness late.
+func deferredClosureRelease(pool *storage.BufferPool) (int, error) {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return 0, err
+	}
+	dirty := false
+	defer func() { pp.Unpin(dirty) }()
+	pp.Page.N++
+	dirty = true
+	return pp.Page.N, nil
+}
+
+// releaseLadder has two release sites, one per outcome; exempt from the
+// defer rule, still subject to the path rule.
+func releaseLadder(pool *storage.BufferPool) error {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return err
+	}
+	if pp.Bad {
+		pp.Unpin(false)
+		return errBad
+	}
+	pp.Page.N++
+	pp.Unpin(true)
+	return nil
+}
+
+// handOut transfers ownership to the caller: exempt.
+func handOut(pool *storage.BufferPool) (*storage.PinnedPage, error) {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return nil, err
+	}
+	return pp, nil
+}
+
+// passedAlong hands the pin to a helper which takes ownership: exempt.
+func passedAlong(pool *storage.BufferPool) error {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return err
+	}
+	consume(pp)
+	return nil
+}
+
+// cursor retains the pin in a struct; close owns the release (the iterator
+// pattern) — storing into a field is an ownership transfer, exempt.
+type cursor struct {
+	pp *storage.PinnedPage
+}
+
+func (c *cursor) open(pool *storage.BufferPool) error {
+	pp, err := pool.FetchPage(1)
+	if err != nil {
+		return err
+	}
+	c.pp = pp
+	return nil
+}
+
+func (c *cursor) close() {
+	if c.pp != nil {
+		c.pp.Unpin(false)
+		c.pp = nil
+	}
+}
+
+// suppressed leaks deliberately; the directive mutes the finding and doubles
+// as the suppression-mechanism test.
+func suppressed(pool *storage.BufferPool) {
+	pp, _ := pool.FetchPage(1) //dbvet:ignore pinleak -- fixture for the suppression test
+	sink(pp.Page.N)
+}

@@ -1,0 +1,44 @@
+// Package storage is a stub of the repository's internal/storage package:
+// just enough surface (PinnedPage, BufferPool, an error-returning helper) for
+// the pinleak and errkind fixtures to type-check. The analyzers match the
+// shapes by name — PinnedPage, the "storage" path segment — so this stub
+// exercises exactly the same code paths as the real package.
+package storage
+
+import "errors"
+
+// Page stands in for a slotted page.
+type Page struct {
+	N int
+}
+
+// PinnedPage mirrors the real pin handle.
+type PinnedPage struct {
+	Page *Page
+	ID   int
+	Bad  bool
+}
+
+// Unpin releases the pin.
+func (pp *PinnedPage) Unpin(dirty bool) {}
+
+// BufferPool hands out pinned pages.
+type BufferPool struct{}
+
+// FetchPage pins an existing page.
+func (bp *BufferPool) FetchPage(pid int) (*PinnedPage, error) {
+	if pid < 0 {
+		return nil, errors.New("storage: no such page")
+	}
+	return &PinnedPage{Page: &Page{}, ID: pid}, nil
+}
+
+// NewPage allocates and pins a fresh page.
+func (bp *BufferPool) NewPage() (*PinnedPage, error) {
+	return &PinnedPage{Page: &Page{}}, nil
+}
+
+// FlushAll is an error source for the errkind fixture.
+func FlushAll(bp *BufferPool) error {
+	return errors.New("storage: flush failed")
+}
