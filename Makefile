@@ -17,8 +17,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# BENCH_STAMP labels this run's entry in the BENCH_throughput.json trajectory;
+# it defaults to the HEAD commit date so re-runs at the same commit are
+# recognizable. Override with BENCH_STAMP=... for ad-hoc labels.
+BENCH_STAMP ?= $(shell git log -1 --format=%cI 2>/dev/null || date -u +%Y-%m-%dT%H:%M:%SZ)
+
 bench:
-	$(GO) test -bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention' -benchmem -run xxx .
+	BENCH_STAMP=$(BENCH_STAMP) $(GO) test \
+		-bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention|BenchmarkParallelScan|BenchmarkParallelHashJoin' \
+		-benchmem -run xxx .
 
 # Profile the hot path: runs the parallel throughput benchmark under the CPU
 # and heap profilers, then prints the top CPU consumers. Open the interactive

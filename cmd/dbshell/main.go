@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ const helpText = `commands:
   SELECT ...            run a query (monitoring per \monitor; default on)
   \explain SELECT ...   show the plan and page-count provenance, don't run
   \monitor on|off       toggle DPC monitoring for subsequent queries
+  \parallel N           set intra-query parallelism (0/1 = serial)
   \feedback apply       inject the page counts observed by the last query
   \feedback show        list the feedback cache
   \feedback export F    write learned state (cache/histograms/curves) to file F
@@ -43,6 +45,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "data seed")
 	real := flag.Bool("real", false, "also build the five real-world-like databases (slower)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
+	parallel := flag.Int("parallel", 0, "intra-query parallelism for scans and hash-join probes (0/1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole session)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -92,7 +95,7 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, `ready — try: SELECT COUNT(padding) FROM t WHERE c2 < 2000  (\help for commands)`)
 
-	sh := &shell{eng: eng, monitor: true, timeout: *timeout, out: os.Stdout}
+	sh := &shell{eng: eng, monitor: true, timeout: *timeout, parallel: *parallel, out: os.Stdout}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("pagefeedback> ")
@@ -106,11 +109,12 @@ func main() {
 }
 
 type shell struct {
-	eng     *pagefeedback.Engine
-	monitor bool
-	timeout time.Duration
-	last    *pagefeedback.Result
-	out     *os.File
+	eng      *pagefeedback.Engine
+	monitor  bool
+	timeout  time.Duration
+	parallel int
+	last     *pagefeedback.Result
+	out      *os.File
 }
 
 // handle processes one line; false means quit.
@@ -136,9 +140,16 @@ func (s *shell) meta(line string) bool {
 			s.monitor = strings.EqualFold(fields[1], "on")
 		}
 		fmt.Fprintf(s.out, "monitoring: %v\n", s.monitor)
+	case `\parallel`:
+		if len(fields) == 2 {
+			if n, err := strconv.Atoi(fields[1]); err == nil && n >= 0 {
+				s.parallel = n
+			}
+		}
+		fmt.Fprintf(s.out, "parallelism: %d\n", s.parallel)
 	case `\explain`:
 		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
-		out, err := s.eng.Explain(sql)
+		out, err := s.eng.ExplainWithOptions(sql, &pagefeedback.RunOptions{Parallelism: s.parallel})
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return true
@@ -214,7 +225,7 @@ func (s *shell) runQuery(sql string) {
 	// killing the shell; the scope is released as soon as the query ends.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	res, err := s.eng.QueryContext(ctx, sql,
-		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout})
+		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel})
 	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)

@@ -22,6 +22,7 @@ package pagefeedback
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -195,6 +196,24 @@ type RunOptions struct {
 	// mechanism name appears here panic on first observation, exercising
 	// the quarantine path. Only meaningful with MonitorAll.
 	FailMonitors []string
+	// Parallelism is the intra-query parallel degree: full scans (and
+	// hash-join probes over them) split into that many partitioned workers.
+	// 0 or 1 runs serially; values above GOMAXPROCS are clamped to it.
+	// Monitored feedback (DPC, cardinalities, quarantine state) is
+	// identical to a serial run; only row order of unsorted results may
+	// differ.
+	Parallelism int
+}
+
+// parallelDegree clamps the requested degree to [0, GOMAXPROCS].
+func (o *RunOptions) parallelDegree() int {
+	if o == nil || o.Parallelism <= 1 {
+		return 0
+	}
+	if p := runtime.GOMAXPROCS(0); o.Parallelism > p {
+		return p
+	}
+	return o.Parallelism
 }
 
 // Result is the outcome of one execution.
@@ -327,6 +346,7 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	}
 	ctx := exec.NewContext(e.pool)
 	ctx.CPUPerRow = e.cfg.CPUPerRow
+	ctx.Parallelism = opts.parallelDegree()
 	ctx.BindContext(goCtx)
 	ex, err := exec.Build(ctx, node, mcfg)
 	if err != nil {
@@ -353,13 +373,15 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	res.Stats = exec.ExecutionStats{
 		Plan: ex.StatsSnapshot(),
 		Runtime: exec.RuntimeStats{
-			SimulatedIO:    io.SimulatedIO,
-			SimulatedCPU:   ctx.SimCPU(),
-			SimulatedTotal: res.SimulatedTime,
-			PhysicalReads:  io.PhysicalReads,
-			RandomReads:    io.RandomReads,
-			LogicalReads:   poolStats.LogicalReads,
-			RowsTouched:    ctx.RowsTouched(),
+			SimulatedIO:     io.SimulatedIO,
+			SimulatedCPU:    ctx.SimCPU(),
+			SimulatedTotal:  res.SimulatedTime,
+			PhysicalReads:   io.PhysicalReads,
+			RandomReads:     io.RandomReads,
+			LogicalReads:    poolStats.LogicalReads,
+			RowsTouched:     ctx.RowsTouched(),
+			Parallelism:     ctx.Parallelism,
+			PrefetchedPages: poolStats.Prefetched,
 		},
 	}
 	for _, r := range res.DPC {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pagefeedback/internal/exec"
 	"pagefeedback/internal/plan"
 )
 
@@ -13,6 +14,15 @@ import (
 // estimate came from (analytical model, feedback injection, or the learned
 // histogram) — the provenance a DBA checks before trusting a plan.
 func (e *Engine) Explain(src string) (string, error) {
+	return e.ExplainWithOptions(src, nil)
+}
+
+// ExplainWithOptions is Explain plus option-dependent detail: when opts
+// request intra-query parallelism it appends the effective degree and the
+// physical operator tree the executor would run, which shows exactly which
+// scans partition (ParallelScan) and which stay serial because their subtree
+// is order-sensitive. Nothing is executed.
+func (e *Engine) ExplainWithOptions(src string, opts *RunOptions) (string, error) {
 	q, err := e.ParseQuery(src)
 	if err != nil {
 		return "", err
@@ -23,6 +33,14 @@ func (e *Engine) Explain(src string) (string, error) {
 	}
 	var b strings.Builder
 	b.WriteString(plan.Format(node))
+	if deg := opts.parallelDegree(); deg > 1 {
+		ctx := exec.NewContext(e.pool)
+		ctx.Parallelism = deg
+		if ex, err := exec.Build(ctx, node, nil); err == nil {
+			fmt.Fprintf(&b, "parallelism: %d\n", deg)
+			writeOpTree(&b, ex.StatsSnapshot(), 1)
+		}
+	}
 
 	// DPC provenance for the query's predicates.
 	appendProvenance := func(table string, pred Conjunction) {
@@ -48,4 +66,12 @@ func (e *Engine) Explain(src string) (string, error) {
 		appendProvenance(q.Table2, q.Pred2)
 	}
 	return b.String(), nil
+}
+
+// writeOpTree renders the physical operator labels as an indented tree.
+func writeOpTree(b *strings.Builder, op exec.OperatorStats, depth int) {
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), op.Label)
+	for _, c := range op.Children {
+		writeOpTree(b, c, depth+1)
+	}
 }

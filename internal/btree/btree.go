@@ -242,6 +242,55 @@ func (t *Tree) descendStep(pid storage.PageID, key []byte) (child storage.PageID
 	return innerCellChild(pp.Page.Cell(storage.SlotID(idx))), idx, nil
 }
 
+// LeafStarts returns the PID of every leaf page in leaf-chain order, reading
+// only the internal levels of the tree — the level above the leaves holds
+// one child pointer per leaf, so collecting leaves costs O(leaves/fanout)
+// page reads and touches no data page. Parallel scans use the result to
+// split a clustered table into contiguous leaf ranges.
+func (t *Tree) LeafStarts() ([]storage.PageID, error) {
+	out := make([]storage.PageID, 0, t.leafCount)
+	err := t.collectLeaves(t.root, t.height, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectLeaves appends the leaf PIDs under pid (at the given level) in key
+// order. Children of one inner node are stored in ascending key order and
+// siblings chain left to right, so an in-order walk yields leaf-chain order.
+func (t *Tree) collectLeaves(pid storage.PageID, level int, out *[]storage.PageID) error {
+	if level == 1 {
+		*out = append(*out, pid)
+		return nil
+	}
+	children, err := t.innerChildren(pid)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := t.collectLeaves(c, level-1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// innerChildren copies one inner node's child pointers, with the page pin
+// scoped to this call.
+func (t *Tree) innerChildren(pid storage.PageID) ([]storage.PageID, error) {
+	pp, err := t.pool.FetchPage(t.file, pid)
+	if err != nil {
+		return nil, err
+	}
+	defer pp.Unpin(false)
+	children := make([]storage.PageID, 0, pp.Page.NumSlots())
+	for s := 0; s < pp.Page.NumSlots(); s++ {
+		children = append(children, innerCellChild(pp.Page.Cell(storage.SlotID(s))))
+	}
+	return children, nil
+}
+
 // Search returns a copy of the value stored under key, or found=false.
 func (t *Tree) Search(key []byte) (value []byte, found bool, err error) {
 	leaf, _, err := t.descend(key, false)

@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"fmt"
+
 	"pagefeedback/internal/storage"
 )
 
@@ -14,6 +16,10 @@ type Cursor struct {
 	err  error
 	// valid reports whether the cursor currently points at an entry.
 	valid bool
+	// bounded cursors (CursorAtLeaf) stop after consuming a fixed number of
+	// leaves instead of following the chain to the end of the tree.
+	bounded    bool
+	leavesLeft int // further leaves the cursor may still enter
 }
 
 // SeekFirst positions a cursor at the smallest entry.
@@ -33,6 +39,44 @@ func (t *Tree) SeekGE(key []byte) (*Cursor, error) {
 	return c, nil
 }
 
+// CursorAtLeaf positions a cursor before the first entry of leaf pid and
+// limits it to nleaves consecutive leaves (counting pid itself). Together
+// with LeafStarts it splits a tree into contiguous leaf ranges: partition i
+// gets CursorAtLeaf(starts[off], len(chunk)) and stops exactly where
+// partition i+1 begins, so every leaf is visited by exactly one cursor.
+func (t *Tree) CursorAtLeaf(pid storage.PageID, nleaves int) (*Cursor, error) {
+	if nleaves <= 0 {
+		return nil, fmt.Errorf("btree: CursorAtLeaf with %d leaves", nleaves)
+	}
+	pp, err := t.pool.FetchPage(t.file, pid)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{tree: t, leaf: pp, slot: -1, bounded: true, leavesLeft: nleaves - 1}, nil
+}
+
+// enterLeaf moves the cursor into the leaf at next, honoring the leaf budget
+// of bounded cursors. The previous leaf must already be unpinned. Returns
+// false at the end of the range or tree, or on a read error (recorded).
+func (c *Cursor) enterLeaf(next storage.PageID) bool {
+	if next == storage.InvalidPageID {
+		return false
+	}
+	if c.bounded {
+		if c.leavesLeft == 0 {
+			return false
+		}
+		c.leavesLeft--
+	}
+	pp, err := c.tree.pool.FetchPage(c.tree.file, next)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	c.leaf = pp
+	return true
+}
+
 // Next advances to the next entry, returning false at the end of the tree or
 // on error (check Err).
 func (c *Cursor) Next() bool {
@@ -45,17 +89,10 @@ func (c *Cursor) Next() bool {
 		next := c.leaf.Page.Next()
 		c.leaf.Unpin(false)
 		c.leaf = nil
-		if next == storage.InvalidPageID {
+		if !c.enterLeaf(next) {
 			c.valid = false
 			return false
 		}
-		pp, err := c.tree.pool.FetchPage(c.tree.file, next)
-		if err != nil {
-			c.err = err
-			c.valid = false
-			return false
-		}
-		c.leaf = pp
 		c.slot = 0
 	}
 	c.valid = true
@@ -83,17 +120,10 @@ func (c *Cursor) NextLeaf(fn func(key, value []byte, rid storage.RID) bool) bool
 		next := c.leaf.Page.Next()
 		c.leaf.Unpin(false)
 		c.leaf = nil
-		if next == storage.InvalidPageID {
+		if !c.enterLeaf(next) {
 			c.valid = false
 			return false
 		}
-		pp, err := c.tree.pool.FetchPage(c.tree.file, next)
-		if err != nil {
-			c.err = err
-			c.valid = false
-			return false
-		}
-		c.leaf = pp
 		c.slot = -1
 	}
 	for c.slot+1 < c.leaf.Page.NumSlots() {

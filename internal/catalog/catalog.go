@@ -355,6 +355,79 @@ func (t *Table) ScanRange(r expr.KeyRange) (*RowIter, error) {
 	return &RowIter{table: t, cur: cur, hi: r.Hi}, nil
 }
 
+// ScanPart is one partition of a partitioned full scan: a page-at-a-time
+// iterator over a contiguous page range, plus the pages it will visit in
+// visit order so workers can hand them to the buffer-pool prefetcher.
+type ScanPart struct {
+	Iter  *RowIter
+	File  storage.FileID
+	Pages []storage.PageID
+}
+
+// ScanPartitions splits a full scan into at most n page-disjoint contiguous
+// partitions, each preserving grouped page access within itself: heap files
+// split into PID ranges, clustered tables into leaf-chain ranges (located
+// via the internal levels only — no data page is read here). Fewer than n
+// partitions are returned when the table has fewer pages. The iterators
+// support only NextPage; each must be closed by its consumer.
+func (t *Table) ScanPartitions(n int) ([]ScanPart, error) {
+	if n < 1 {
+		n = 1
+	}
+	if t.Kind == KindHeap {
+		total := t.heapFile.NumPages()
+		if n > total {
+			n = total
+		}
+		parts := make([]ScanPart, 0, n)
+		for i := 0; i < n; i++ {
+			lo := storage.PageID(total * i / n)
+			hi := storage.PageID(total * (i + 1) / n)
+			if lo == hi {
+				continue
+			}
+			pages := make([]storage.PageID, 0, hi-lo)
+			for pid := lo; pid < hi; pid++ {
+				pages = append(pages, pid)
+			}
+			parts = append(parts, ScanPart{
+				Iter:  &RowIter{table: t, pscan: t.heapFile.ScanPages().Range(lo, hi)},
+				File:  t.heapFile.FileID(),
+				Pages: pages,
+			})
+		}
+		return parts, nil
+	}
+	leaves, err := t.clustered.LeafStarts()
+	if err != nil {
+		return nil, err
+	}
+	total := len(leaves)
+	if n > total {
+		n = total
+	}
+	parts := make([]ScanPart, 0, n)
+	for i := 0; i < n; i++ {
+		chunk := leaves[total*i/n : total*(i+1)/n]
+		if len(chunk) == 0 {
+			continue
+		}
+		cur, err := t.clustered.CursorAtLeaf(chunk[0], len(chunk))
+		if err != nil {
+			for _, p := range parts {
+				p.Iter.Close()
+			}
+			return nil, err
+		}
+		parts = append(parts, ScanPart{
+			Iter:  &RowIter{table: t, cur: cur},
+			File:  t.clustered.File(),
+			Pages: chunk,
+		})
+	}
+	return parts, nil
+}
+
 // Next advances to the next row; false at the end or on error (check Err).
 func (it *RowIter) Next() bool {
 	if it.err != nil {

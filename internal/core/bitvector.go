@@ -60,6 +60,22 @@ func (bv *BitVectorFilter) Add(v tuple.Value) {
 	bv.added++
 }
 
+// Merge folds a sibling filter built over another part of the outer
+// relation into bv by bitwise union. A bit is set iff some outer row's join
+// value bucketed there, so the union is exactly the filter a serial build
+// produces regardless of how the build input was split.
+//
+// dbvet:commutative — bitwise OR and addition; order is irrelevant.
+func (bv *BitVectorFilter) Merge(o *BitVectorFilter) {
+	if bv.numBits != o.numBits {
+		panic("core: merging BitVectorFilters with different widths")
+	}
+	for i, w := range o.words {
+		bv.words[i] |= w
+	}
+	bv.added += o.added
+}
+
 // MayContain reports whether v's bit is set: false means no outer row can
 // join with v (no false negatives; possible false positives).
 func (bv *BitVectorFilter) MayContain(v tuple.Value) bool {

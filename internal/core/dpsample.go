@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"pagefeedback/internal/storage"
 )
@@ -18,6 +17,13 @@ import (
 // bounds, needs no memory beyond one counter, and bounds the cost of
 // disabling short-circuiting to the sampled fraction of rows.
 //
+// Page membership is a pure function of (seed, pid) — a salted hash compared
+// against a fixed threshold — rather than a sequential pseudo-random stream.
+// That keeps the draw Bernoulli(f) per page while making the sample set
+// independent of the order pages are visited in, so a scan split into
+// page-disjoint partitions samples exactly the pages a serial scan would and
+// partition results can be merged without changing the estimate.
+//
 // Usage per scanned row:
 //
 //	if s.StartRow(pid) {        // true iff pid is in the sample
@@ -27,7 +33,8 @@ import (
 //	est := s.Estimate()
 type DPSample struct {
 	f        float64
-	rng      *rand.Rand
+	seedMix  uint64 // hashed seed salting the per-page membership draw
+	thresh   uint64 // f scaled to [0, 2^53]; hash>>11 < thresh ⇔ sampled
 	count    int64
 	sampled  int64 // pages sampled
 	pages    int64 // pages seen
@@ -44,11 +51,32 @@ func NewDPSample(f float64, seed int64) *DPSample {
 	if f <= 0 || f > 1 {
 		panic(fmt.Sprintf("core: sampling fraction %v out of (0,1]", f))
 	}
-	return &DPSample{f: f, rng: rand.New(rand.NewSource(seed))}
+	return &DPSample{
+		f:       f,
+		seedMix: hash64(uint64(seed)),
+		thresh:  uint64(f * (1 << 53)),
+	}
 }
 
 // Fraction returns the sampling fraction.
 func (s *DPSample) Fraction() float64 { return s.f }
+
+// Fork returns a fresh sampler with no observations that draws the
+// identical page sample (same fraction and seed). Partition-parallel scans
+// give each worker a fork; because membership is order-independent, the
+// forks' merged counts equal a serial run's.
+func (s *DPSample) Fork() *DPSample {
+	return &DPSample{f: s.f, seedMix: s.seedMix, thresh: s.thresh}
+}
+
+// inSample reports whether pid belongs to the Bernoulli sample. The decision
+// depends only on the seed and the pid, never on visit order.
+func (s *DPSample) inSample(pid storage.PageID) bool {
+	if s.f >= 1 {
+		return true
+	}
+	return hash64(s.seedMix+uint64(pid)*0x9E3779B97F4A7C15)>>11 < s.thresh
+}
 
 // StartRow declares the page of the next scanned row and reports whether
 // that page is part of the sample — i.e., whether the caller must evaluate
@@ -64,7 +92,7 @@ func (s *DPSample) StartRow(pid storage.PageID) bool {
 		s.curPID = pid
 		s.havePage = true
 		s.pages++
-		s.curIn = s.f >= 1 || s.rng.Float64() < s.f
+		s.curIn = s.inSample(pid)
 		s.curHit = false
 		if s.curIn {
 			s.sampled++
@@ -110,6 +138,24 @@ func (s *DPSample) Finish() {
 		s.closePage()
 		s.finished = true
 	}
+}
+
+// Merge folds a sibling sampler that observed a page-disjoint partition of
+// the same scan into s, finishing both. Because page membership is a pure
+// function of (seed, pid), the union of the partitions' samples is exactly
+// the sample a serial scan draws, so the merged counts — and therefore the
+// estimate — are identical to serial execution.
+//
+// dbvet:commutative — the merge sums partition totals; order is irrelevant.
+func (s *DPSample) Merge(o *DPSample) {
+	if s.f != o.f || s.seedMix != o.seedMix {
+		panic("core: merging DPSamples with different fraction or seed")
+	}
+	s.Finish()
+	o.Finish()
+	s.count += o.count
+	s.sampled += o.sampled
+	s.pages += o.pages
 }
 
 // Estimate returns PageCount / f (step 7 of Fig 4). It finishes the sampler.

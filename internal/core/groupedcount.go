@@ -62,6 +62,19 @@ func (gc *GroupedCounter) Finish() {
 	}
 }
 
+// Merge folds a sibling counter that observed a page-disjoint partition of
+// the same scan into gc, finishing both. Each partition preserves the
+// grouped page access property within itself and no page spans partitions,
+// so the partition counts sum to exactly the serial count.
+//
+// dbvet:commutative — the merge sums partition totals; order is irrelevant.
+func (gc *GroupedCounter) Merge(o *GroupedCounter) {
+	gc.Finish()
+	o.Finish()
+	gc.count += o.count
+	gc.pages += o.pages
+}
+
 // Count returns the exact DPC(T, p). It finishes the counter.
 func (gc *GroupedCounter) Count() int64 {
 	gc.Finish()

@@ -53,6 +53,23 @@ func (lc *LinearCounter) AddPID(pid storage.PageID) {
 	lc.bits[h/64] |= 1 << (h % 64)
 }
 
+// Merge folds a sibling counter over another part of the same stream into
+// lc by bitmap union. Linear counting is a pure set sketch — a bit is set
+// iff some row on a page hashing there was observed — so the union of two
+// bitmaps is exactly the bitmap of the combined stream, whether or not the
+// parts overlapped.
+//
+// dbvet:commutative — bitwise OR and addition; order is irrelevant.
+func (lc *LinearCounter) Merge(o *LinearCounter) {
+	if lc.numBits != o.numBits {
+		panic("core: merging LinearCounters with different widths")
+	}
+	for i, w := range o.bits {
+		lc.bits[i] |= w
+	}
+	lc.observed += o.observed
+}
+
 // Observed returns the number of AddPID calls (rows fetched).
 func (lc *LinearCounter) Observed() int64 { return lc.observed }
 

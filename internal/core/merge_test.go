@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pagefeedback/internal/storage"
+	"pagefeedback/internal/tuple"
+)
+
+// scanRow is one row event of a synthetic scan: the page it lives on and
+// whether it satisfies the monitored predicate.
+type scanRow struct {
+	pid storage.PageID
+	sat bool
+}
+
+// genScan builds a page-ordered stream of rows over npages pages with
+// 1..maxRows rows per page and random predicate outcomes.
+func genScan(rng *rand.Rand, npages, maxRows int) []scanRow {
+	var rows []scanRow
+	for p := 0; p < npages; p++ {
+		n := 1 + rng.Intn(maxRows)
+		for r := 0; r < n; r++ {
+			rows = append(rows, scanRow{pid: storage.PageID(p), sat: rng.Intn(3) == 0})
+		}
+	}
+	return rows
+}
+
+// splitByPage cuts the stream into page-disjoint contiguous partitions at
+// random page boundaries, the way the parallel scan driver partitions a
+// file.
+func splitByPage(rng *rand.Rand, rows []scanRow, nparts int) [][]scanRow {
+	var parts [][]scanRow
+	start := 0
+	for len(parts) < nparts-1 && start < len(rows) {
+		end := start + 1 + rng.Intn(len(rows)-start)
+		// Extend to a page boundary so no page spans partitions.
+		for end < len(rows) && rows[end].pid == rows[end-1].pid {
+			end++
+		}
+		parts = append(parts, rows[start:end])
+		start = end
+	}
+	if start < len(rows) {
+		parts = append(parts, rows[start:])
+	}
+	return parts
+}
+
+// mergeShuffled merges the shards into the first one in random order,
+// exercising the dbvet:commutative claim.
+func mergeShuffled[T any](rng *rand.Rand, shards []T, merge func(dst, src T)) T {
+	rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+	dst := shards[0]
+	for _, s := range shards[1:] {
+		merge(dst, s)
+	}
+	return dst
+}
+
+func TestGroupedCounterMergeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows := genScan(rng, 1+rng.Intn(200), 6)
+		serial := NewGroupedCounter()
+		for _, r := range rows {
+			serial.Observe(r.pid, r.sat)
+		}
+		parts := splitByPage(rng, rows, 2+rng.Intn(6))
+		shards := make([]*GroupedCounter, len(parts))
+		for i, part := range parts {
+			shards[i] = NewGroupedCounter()
+			for _, r := range part {
+				shards[i].Observe(r.pid, r.sat)
+			}
+		}
+		merged := mergeShuffled(rng, shards, func(d, s *GroupedCounter) { d.Merge(s) })
+		if merged.Count() != serial.Count() || merged.PagesSeen() != serial.PagesSeen() {
+			t.Fatalf("trial %d: merged count=%d pages=%d, serial count=%d pages=%d",
+				trial, merged.Count(), merged.PagesSeen(), serial.Count(), serial.PagesSeen())
+		}
+	}
+}
+
+func TestDPSampleMergeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		rows := genScan(rng, 1+rng.Intn(300), 5)
+		seed := rng.Int63()
+		f := []float64{0.1, 0.25, 0.5, 1.0}[rng.Intn(4)]
+		serial := NewDPSample(f, seed)
+		for _, r := range rows {
+			if serial.StartRow(r.pid) {
+				serial.Observe(r.sat)
+			}
+		}
+		parts := splitByPage(rng, rows, 2+rng.Intn(6))
+		shards := make([]*DPSample, len(parts))
+		for i, part := range parts {
+			shards[i] = NewDPSample(f, seed)
+			for _, r := range part {
+				if shards[i].StartRow(r.pid) {
+					shards[i].Observe(r.sat)
+				}
+			}
+		}
+		merged := mergeShuffled(rng, shards, func(d, s *DPSample) { d.Merge(s) })
+		if merged.Estimate() != serial.Estimate() ||
+			merged.SampledPages() != serial.SampledPages() ||
+			merged.PagesSeen() != serial.PagesSeen() {
+			t.Fatalf("trial %d: merged est=%v sampled=%d seen=%d, serial est=%v sampled=%d seen=%d",
+				trial, merged.Estimate(), merged.SampledPages(), merged.PagesSeen(),
+				serial.Estimate(), serial.SampledPages(), serial.PagesSeen())
+		}
+	}
+}
+
+func TestLinearCounterMergeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rows := genScan(rng, 1+rng.Intn(400), 4)
+		serial := NewLinearCounter(2048)
+		for _, r := range rows {
+			if r.sat {
+				serial.AddPID(r.pid)
+			}
+		}
+		// Linear counting is a pure set sketch, so even an interleaved
+		// (non page-disjoint) split must merge exactly.
+		nparts := 2 + rng.Intn(6)
+		shards := make([]*LinearCounter, nparts)
+		for i := range shards {
+			shards[i] = NewLinearCounter(2048)
+		}
+		for _, r := range rows {
+			if r.sat {
+				shards[rng.Intn(nparts)].AddPID(r.pid)
+			}
+		}
+		merged := mergeShuffled(rng, shards, func(d, s *LinearCounter) { d.Merge(s) })
+		if merged.Estimate() != serial.Estimate() || merged.Observed() != serial.Observed() {
+			t.Fatalf("trial %d: merged est=%v obs=%d, serial est=%v obs=%d",
+				trial, merged.Estimate(), merged.Observed(), serial.Estimate(), serial.Observed())
+		}
+	}
+}
+
+func TestSampleDistinctMergeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		rows := genScan(rng, 1+rng.Intn(300), 5)
+		seed := rng.Int63()
+		capacity := 1 + rng.Intn(64)
+		serial := NewSampleDistinct(capacity, seed)
+		for _, r := range rows {
+			serial.AddPID(r.pid)
+		}
+		parts := splitByPage(rng, rows, 2+rng.Intn(6))
+		shards := make([]*SampleDistinct, len(parts))
+		for i, part := range parts {
+			shards[i] = NewSampleDistinct(capacity, seed)
+			for _, r := range part {
+				shards[i].AddPID(r.pid)
+			}
+		}
+		merged := mergeShuffled(rng, shards, func(d, s *SampleDistinct) { d.Merge(s) })
+		if merged.Observed() != serial.Observed() || merged.SampleSize() != serial.SampleSize() {
+			t.Fatalf("trial %d: merged obs=%d n=%d, serial obs=%d n=%d",
+				trial, merged.Observed(), merged.SampleSize(), serial.Observed(), serial.SampleSize())
+		}
+		if got, want := merged.EstimateGEE(), serial.EstimateGEE(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: merged GEE=%v, serial GEE=%v", trial, got, want)
+		}
+	}
+}
+
+func TestBitVectorFilterMergeEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		nvals := 1 + rng.Intn(500)
+		vals := make([]tuple.Value, nvals)
+		for i := range vals {
+			vals[i] = tuple.Int64(rng.Int63n(4096))
+		}
+		serial := NewBitVectorFilter(1024)
+		for _, v := range vals {
+			serial.Add(v)
+		}
+		nparts := 2 + rng.Intn(6)
+		shards := make([]*BitVectorFilter, nparts)
+		for i := range shards {
+			shards[i] = NewBitVectorFilter(1024)
+		}
+		for _, v := range vals {
+			shards[rng.Intn(nparts)].Add(v)
+		}
+		merged := mergeShuffled(rng, shards, func(d, s *BitVectorFilter) { d.Merge(s) })
+		if merged.SetBits() != serial.SetBits() || merged.Added() != serial.Added() {
+			t.Fatalf("trial %d: merged bits=%d added=%d, serial bits=%d added=%d",
+				trial, merged.SetBits(), merged.Added(), serial.SetBits(), serial.Added())
+		}
+		for probe := int64(0); probe < 4096; probe++ {
+			v := tuple.Int64(probe)
+			if merged.MayContain(v) != serial.MayContain(v) {
+				t.Fatalf("trial %d: MayContain(%d) differs", trial, probe)
+			}
+		}
+	}
+}
+
+func TestMergeIncompatiblePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"dpsample-fraction", func() { NewDPSample(0.1, 1).Merge(NewDPSample(0.2, 1)) }},
+		{"dpsample-seed", func() { NewDPSample(0.1, 1).Merge(NewDPSample(0.1, 2)) }},
+		{"linear-width", func() { NewLinearCounter(1024).Merge(NewLinearCounter(2048)) }},
+		{"sample-capacity", func() { NewSampleDistinct(4, 1).Merge(NewSampleDistinct(8, 1)) }},
+		{"bitvector-width", func() { NewBitVectorFilter(64).Merge(NewBitVectorFilter(128)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Merge did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -2,16 +2,22 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
 	"pagefeedback/internal/storage"
 )
 
 // SampleDistinct is the alternative estimator the paper weighs against
 // probabilistic counting in §III-A: draw a uniform row-level sample of the
-// fetched rows with reservoir sampling (Vitter, [19]) and apply a
-// distinct-value estimator to the PIDs in the sample (Charikar, Chaudhuri,
-// Motwani, Narasayya, PODS 2000 [4]).
+// fetched rows and apply a distinct-value estimator to the PIDs in the
+// sample (Charikar, Chaudhuri, Motwani, Narasayya, PODS 2000 [4]).
+//
+// The uniform sample is a bottom-k sketch rather than Vitter's reservoir:
+// every fed row gets a priority — a salted hash of its page id and its
+// per-page occurrence number — and the sketch keeps the k rows with the
+// smallest priorities. Since priorities are i.i.d. uniform, the k smallest
+// form a uniform k-subset of the stream, exactly what reservoir sampling
+// produces; unlike a reservoir, the result is independent of feed order and
+// two sketches over disjoint partitions merge into the sketch of the union.
 //
 // The estimator implemented is GEE (Guaranteed-Error Estimator) from [4]:
 //
@@ -24,52 +30,103 @@ import (
 // experiment reproduces that gap.
 type SampleDistinct struct {
 	capacity int
-	rng      *rand.Rand
+	seedMix  uint64
 	seen     int64
-	sample   []storage.PageID
+	occ      map[storage.PageID]uint64 // per-PID occurrence numbers fed so far
+	entries  []prioEntry               // bottom-k by priority
+	maxIdx   int                       // index of the largest priority in entries
 }
 
-// NewSampleDistinct creates an estimator with the given reservoir capacity.
+type prioEntry struct {
+	prio uint64
+	pid  storage.PageID
+}
+
+// NewSampleDistinct creates an estimator with the given sample capacity.
 func NewSampleDistinct(capacity int, seed int64) *SampleDistinct {
 	if capacity <= 0 {
-		panic("core: reservoir capacity must be positive")
+		panic("core: sample capacity must be positive")
 	}
 	return &SampleDistinct{
 		capacity: capacity,
-		rng:      rand.New(rand.NewSource(seed)),
-		sample:   make([]storage.PageID, 0, capacity),
+		seedMix:  hash64(uint64(seed)),
+		occ:      make(map[storage.PageID]uint64),
+		entries:  make([]prioEntry, 0, capacity),
 	}
 }
 
-// AddPID feeds one fetched row's page id through the reservoir.
+// priority derives the row's sampling priority from its page id and the
+// occurrence number of that page in the stream so far. Two partitions of a
+// page-disjoint split assign every row the same priority a serial feed
+// would, which is what makes Merge exact.
+func (sd *SampleDistinct) priority(pid storage.PageID, occ uint64) uint64 {
+	return hash64(hash64(sd.seedMix+uint64(pid)*0x9E3779B97F4A7C15) + occ)
+}
+
+// AddPID feeds one fetched row's page id through the sketch.
 func (sd *SampleDistinct) AddPID(pid storage.PageID) {
 	sd.seen++
-	if len(sd.sample) < sd.capacity {
-		sd.sample = append(sd.sample, pid)
+	n := sd.occ[pid]
+	sd.occ[pid] = n + 1
+	sd.insert(prioEntry{prio: sd.priority(pid, n), pid: pid})
+}
+
+// insert offers one candidate to the bottom-k set.
+func (sd *SampleDistinct) insert(e prioEntry) {
+	if len(sd.entries) < sd.capacity {
+		sd.entries = append(sd.entries, e)
+		if e.prio > sd.entries[sd.maxIdx].prio {
+			sd.maxIdx = len(sd.entries) - 1
+		}
 		return
 	}
-	// Algorithm R: replace a random element with probability capacity/seen.
-	j := sd.rng.Int63n(sd.seen)
-	if j < int64(sd.capacity) {
-		sd.sample[j] = pid
+	if e.prio >= sd.entries[sd.maxIdx].prio {
+		return
+	}
+	sd.entries[sd.maxIdx] = e
+	for i, cur := range sd.entries {
+		if cur.prio > sd.entries[sd.maxIdx].prio {
+			sd.maxIdx = i
+		}
+	}
+}
+
+// Merge folds a sibling sketch that observed a page-disjoint partition of
+// the same stream into sd. The bottom-k of the union of two bottom-k sets
+// is the bottom-k of the combined stream, and priorities are pure functions
+// of (seed, pid, occurrence), so the merged sketch is identical to the one
+// a serial feed would build.
+//
+// dbvet:commutative — keeps the k smallest priorities of the union; order
+// of merging is irrelevant.
+func (sd *SampleDistinct) Merge(o *SampleDistinct) {
+	if sd.capacity != o.capacity || sd.seedMix != o.seedMix {
+		panic("core: merging SampleDistincts with different capacity or seed")
+	}
+	sd.seen += o.seen
+	for pid, n := range o.occ {
+		sd.occ[pid] += n
+	}
+	for _, e := range o.entries {
+		sd.insert(e)
 	}
 }
 
 // Observed returns the number of rows fed in.
 func (sd *SampleDistinct) Observed() int64 { return sd.seen }
 
-// SampleSize returns the current reservoir occupancy.
-func (sd *SampleDistinct) SampleSize() int { return len(sd.sample) }
+// SampleSize returns the current sample occupancy.
+func (sd *SampleDistinct) SampleSize() int { return len(sd.entries) }
 
 // EstimateGEE returns the GEE distinct-PID estimate.
 func (sd *SampleDistinct) EstimateGEE() float64 {
-	n := int64(len(sd.sample))
+	n := int64(len(sd.entries))
 	if n == 0 {
 		return 0
 	}
 	freq := make(map[storage.PageID]int, n)
-	for _, pid := range sd.sample {
-		freq[pid]++
+	for _, e := range sd.entries {
+		freq[e.pid]++
 	}
 	var f1, rest float64
 	for _, c := range freq {

@@ -21,6 +21,13 @@ type Execution struct {
 	unsat     []DPCResult
 	satisfied map[int]bool // request index -> satisfied
 	seedCtr   int64
+
+	// orderSensitive is true while building a subtree whose row order the
+	// parent depends on (merge-join inputs without an explicit sort, Limit
+	// inputs). Scans in such subtrees stay serial regardless of the
+	// requested parallelism; order-erasing operators (Sort, aggregates)
+	// reset the flag for their inputs.
+	orderSensitive bool
 }
 
 // Build instantiates the plan as an operator tree and attaches monitors per
@@ -66,6 +73,16 @@ func (e *Execution) build(n plan.Node) (Operator, error) {
 	return &guardOp{inner: op}, nil
 }
 
+// buildWith builds a child subtree under the given order sensitivity,
+// restoring the surrounding value afterwards.
+func (e *Execution) buildWith(n plan.Node, ordered bool) (Operator, error) {
+	prev := e.orderSensitive
+	e.orderSensitive = ordered
+	op, err := e.build(n)
+	e.orderSensitive = prev
+	return op, err
+}
+
 func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 	switch node := n.(type) {
 	case *plan.Scan:
@@ -81,7 +98,8 @@ func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 	case *plan.Join:
 		return e.buildJoin(node)
 	case *plan.Sort:
-		in, err := e.build(node.Input)
+		// The sort re-establishes order, so its input may run in any order.
+		in, err := e.buildWith(node.Input, false)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +126,9 @@ func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 		op.Stats().Children = []*OpStats{in.Stats()}
 		return op, nil
 	case *plan.Limit:
-		in, err := e.build(node.Input)
+		// Which rows survive a limit depends on input order: keep the
+		// subtree serial so results stay deterministic.
+		in, err := e.buildWith(node.Input, true)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +140,9 @@ func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 		op.Stats().Children = []*OpStats{in.Stats()}
 		return op, nil
 	case *plan.GroupAgg:
-		in, err := e.build(node.Input)
+		// Hash grouping with commutative aggregates: input order is
+		// irrelevant to the (sorted) output.
+		in, err := e.buildWith(node.Input, false)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +176,7 @@ func (e *Execution) buildInner(n plan.Node) (Operator, error) {
 		op.Stats().Children = []*OpStats{in.Stats()}
 		return op, nil
 	case *plan.Agg:
-		in, err := e.build(node.Input)
+		in, err := e.buildWith(node.Input, false)
 		if err != nil {
 			return nil, err
 		}
@@ -196,16 +218,52 @@ func (e *Execution) setEst(op Operator, n plan.Node) {
 	st.EstDPC = est.DPC
 }
 
+// monitoredScan is the builder's view of an SE-side scan operator that can
+// host DPC monitors and be the inner of a monitored join: the serial SEScan
+// and the partition-parallel ParallelScan.
+type monitoredScan interface {
+	Operator
+	Table() *catalog.Table
+	attach(*scanMonitor)
+}
+
+// parallelDegree returns the worker count for a full scan built at this
+// point, or 0 when the scan must stay serial: parallelism not requested, or
+// the surrounding subtree depends on row order.
+func (e *Execution) parallelDegree() int {
+	if e.Ctx.Parallelism > 1 && !e.orderSensitive {
+		return e.Ctx.Parallelism
+	}
+	return 0
+}
+
 func (e *Execution) buildScan(node *plan.Scan) (Operator, error) {
-	var op *SEScan
+	var op Operator
+	var target monitoredScan
 	if node.ClusterRange != nil {
-		op = NewSEClusterRangeScan(e.Ctx, node.Tab, node.Pred, node.ClusterRange)
+		// Range seeks stay serial: partitioning a key range would need leaf
+		// boundaries inside the range, and ranges are short by design.
+		ss := NewSEClusterRangeScan(e.Ctx, node.Tab, node.Pred, node.ClusterRange)
+		op, target = ss, ss
+	} else if deg := e.parallelDegree(); deg > 1 {
+		ps := NewParallelScan(e.Ctx, node.Tab, node.Pred, deg)
+		op, target = ps, ps
 	} else {
-		op = NewSEScan(e.Ctx, node.Tab, node.Pred)
+		ss := NewSEScan(e.Ctx, node.Tab, node.Pred)
+		op, target = ss, ss
 	}
 	e.setEst(op, node)
+	e.attachScanMonitors(target, node)
+	return op, nil
+}
+
+// attachScanMonitors plants the §II-B scan-side monitors that the scan of
+// node can satisfy. target may be serial or parallel; parallel scans shard
+// each monitor per partition and merge at the barrier, so the attachment
+// rules are identical.
+func (e *Execution) attachScanMonitors(op monitoredScan, node *plan.Scan) {
 	if e.cfg == nil {
-		return op, nil
+		return
 	}
 	for i, req := range e.cfg.Requests {
 		if e.satisfied[i] || req.Join || !sameTable(req.Table, node.Tab.Name) {
@@ -251,7 +309,6 @@ func (e *Execution) buildScan(node *plan.Scan) (Operator, error) {
 		e.scanMons = append(e.scanMons, m)
 		e.satisfied[i] = true
 	}
-	return op, nil
 }
 
 func (e *Execution) newSeekMonitor(req DPCRequest, tab *catalog.Table, mech string) *seekMonitor {
@@ -317,11 +374,21 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 	if node.Method == plan.INLJoin {
 		return e.buildINL(node)
 	}
-	outer, err := e.build(node.Outer)
+	// Merge-join inputs must arrive sorted: a child without an explicit
+	// sort below the join delivers in scan order, which partitioned
+	// parallelism would destroy. Hash-join children inherit the current
+	// sensitivity (the join itself preserves neither input's order).
+	outerOrdered := e.orderSensitive
+	innerOrdered := e.orderSensitive
+	if node.Method == plan.MergeJoin {
+		outerOrdered = !node.SortOuter
+		innerOrdered = !node.SortInner
+	}
+	outer, err := e.buildWith(node.Outer, outerOrdered)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := e.build(node.Inner)
+	inner, err := e.buildWith(node.Inner, innerOrdered)
 	if err != nil {
 		return nil, err
 	}
@@ -337,10 +404,14 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 	// Optional explicit sorts for merge join (guarded like built operators).
 	if node.Method == plan.MergeJoin {
 		if node.SortOuter {
-			outer = &guardOp{inner: NewSort(e.Ctx, outer, []int{outerOrd})}
+			so := NewSort(e.Ctx, outer, []int{outerOrd})
+			so.Stats().Children = []*OpStats{outer.Stats()}
+			outer = &guardOp{inner: so}
 		}
 		if node.SortInner {
-			inner = &guardOp{inner: NewSort(e.Ctx, inner, []int{innerOrd})}
+			si := NewSort(e.Ctx, inner, []int{innerOrd})
+			si.Stats().Children = []*OpStats{inner.Stats()}
+			inner = &guardOp{inner: si}
 		}
 	}
 
@@ -351,7 +422,7 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 	// (with a lazily consumed outer) drains the scan before any outer
 	// value enters the filter, so that shape cannot be monitored (§IV
 	// covers the other three shapes).
-	innerScan := findSEScan(inner)
+	innerScan := findScan(inner)
 	_, innerBlocked := unwrapOp(inner).(*SortOp)
 	_, outerBlocking := unwrapOp(outer).(*SortOp)
 	if node.Method == plan.MergeJoin && innerBlocked && !outerBlocking {
@@ -389,6 +460,11 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 		if sink != nil {
 			hj.SetFilter(sink) // build phase fills it (Fig 5)
 		}
+		if ps, ok := unwrapOp(inner).(*ParallelScan); ok {
+			// The probe input is a bare parallel scan: push the probe
+			// phase into its workers after the build completes.
+			hj.SetParallelProbe(ps)
+		}
 		op = hj
 	case plan.MergeJoin:
 		mj := NewMergeJoin(e.Ctx, outer, inner, outerOrd, innerOrd, node.Schem)
@@ -399,8 +475,10 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 				so.SetFilter(sink, outerOrd)
 			} else {
 				// Partial bit-vector filter, filled as the merge consumes
-				// outer rows; late matches flow back to the scan.
-				mj.SetFilter(sink, innerScan)
+				// outer rows; late matches flow back to the scan. The
+				// inner is unsorted merge input here, hence always serial.
+				ss, _ := innerScan.(*SEScan)
+				mj.SetFilter(sink, ss)
 			}
 		}
 		op = mj
@@ -417,7 +495,7 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 // width at least the join column's domain makes the filter injective on
 // dense domains (the §IV exactness condition); 2 bits/row is ~0.25% of a
 // 100-byte-row table, within the paper's "less than 1% of the table size".
-func (e *Execution) bitvectorBits(innerScan *SEScan) uint64 {
+func (e *Execution) bitvectorBits(innerScan monitoredScan) uint64 {
 	if e.cfg.BitVectorBits > 0 {
 		return e.cfg.BitVectorBits
 	}
@@ -455,20 +533,23 @@ func (e *Execution) buildINL(node *plan.Join) (Operator, error) {
 	return op, nil
 }
 
-// findSEScan digs through RE-side wrappers (and panic guards) to the
-// storage-engine scan, if the subtree bottoms out in one.
-func findSEScan(op Operator) *SEScan {
+// findScan digs through RE-side wrappers (and panic guards) to the
+// storage-engine scan — serial or parallel — if the subtree bottoms out in
+// one.
+func findScan(op Operator) monitoredScan {
 	switch o := unwrapOp(op).(type) {
 	case *SEScan:
 		return o
+	case *ParallelScan:
+		return o
 	case *SortOp:
-		return findSEScan(o.input)
+		return findScan(o.input)
 	case *FilterOp:
-		return findSEScan(o.input)
+		return findScan(o.input)
 	case *ProjectOp:
-		return findSEScan(o.input)
+		return findScan(o.input)
 	case *LimitOp:
-		return findSEScan(o.input)
+		return findScan(o.input)
 	default:
 		return nil
 	}

@@ -34,6 +34,11 @@ type Context struct {
 	// operator; it is added to the disk's simulated I/O time to form the
 	// query's simulated execution time.
 	CPUPerRow time.Duration
+	// Parallelism is the degree of intra-query parallelism: full scans (and
+	// hash-join probes over them) split into that many partitioned workers.
+	// 0 or 1 means serial execution; the builder never parallelizes
+	// order-sensitive subtrees regardless of the setting.
+	Parallelism int
 
 	rowsTouched int64
 
@@ -79,6 +84,18 @@ func (c *Context) interrupted() error {
 		return nil
 	}
 }
+
+// child creates a worker-private context for one partition of a parallel
+// scan. It shares the pool and the cancellation scope but accumulates
+// rowsTouched locally, so workers never contend on (or race over) the parent
+// counter; the barrier absorbs the counts after the workers have exited.
+func (c *Context) child() *Context {
+	return &Context{Pool: c.Pool, CPUPerRow: c.CPUPerRow, goCtx: c.goCtx, done: c.done}
+}
+
+// absorb folds a finished worker context's counters into c. Callers must
+// guarantee the worker goroutine has exited (e.g. via WaitGroup.Wait).
+func (c *Context) absorb(w *Context) { c.rowsTouched += w.rowsTouched }
 
 // touch charges CPU for n rows.
 func (c *Context) touch(n int64) { c.rowsTouched += n }

@@ -111,14 +111,14 @@ func TestFindSEScanThroughFilter(t *testing.T) {
 	pred := mustBind(t, expr.And(expr.NewAtom("id", expr.Lt, tuple.Int64(10))), e.sales.Schema)
 	f := NewFilter(ctx, scan, pred)
 	srt := NewSort(ctx, f, []int{0})
-	if got := findSEScan(srt); got != scan {
-		t.Error("findSEScan failed to dig through Sort(Filter(Scan))")
+	if got := findScan(srt); got != monitoredScan(scan) {
+		t.Error("findScan failed to dig through Sort(Filter(Scan))")
 	}
 	ix, _ := e.sales.IndexByName("ix_c2")
 	cov := NewCoveringScan(ctx, ix, expr.Conjunction{},
 		tuple.NewSchema(tuple.Column{Name: "c2", Kind: tuple.KindInt}))
-	if findSEScan(cov) != nil {
-		t.Error("findSEScan found a table scan in a covering scan")
+	if findScan(cov) != nil {
+		t.Error("findScan found a table scan in a covering scan")
 	}
 }
 

@@ -28,6 +28,11 @@ type HashJoinOp struct {
 	matches []tuple.Row // pending build matches for current probe row
 	curRow  tuple.Row   // current probe row
 	built   bool
+
+	// parProbe is set when the probe input is a parallel scan: after the
+	// build phase the probe is pushed down into the scan workers, which
+	// look up the completed (read-only) hash table and emit joined rows.
+	parProbe *ParallelScan
 }
 
 // NewHashJoin constructs the operator. buildOrd/probeOrd are the join column
@@ -42,6 +47,12 @@ func NewHashJoin(ctx *Context, build, probe Operator, buildOrd, probeOrd int, sc
 
 // SetFilter wires a bit-vector filter to fill during the build phase.
 func (j *HashJoinOp) SetFilter(f *filterSink) { j.filter = f }
+
+// SetParallelProbe marks the probe input as a parallel scan to push the probe
+// phase into (builder only). The push-down happens in Open, after the build
+// phase: the hash table is complete and read-only by the time any worker
+// probes it, so no synchronization is needed beyond the scan's own barrier.
+func (j *HashJoinOp) SetParallelProbe(ps *ParallelScan) { j.parProbe = ps }
 
 // Open implements Operator: drains the build input into the hash table.
 // The build input is always closed before Open returns — even on error —
@@ -72,11 +83,31 @@ func (j *HashJoinOp) Open() error {
 		return err
 	}
 	j.built = true
+	if j.parProbe != nil {
+		// Partitioned probe: each scan worker looks up the now-immutable
+		// hash table and emits the joined rows itself. Per-row CPU is
+		// charged on the worker's context, mirroring the serial probe loop.
+		j.parProbe.SetRowMap(func(wctx *Context, row tuple.Row, emit func(tuple.Row)) {
+			wctx.touch(1)
+			key := string(tuple.EncodeKey(row[j.probeOrd]))
+			for _, b := range j.table[key] {
+				emit(joinRows(b, row))
+			}
+		})
+	}
 	return j.probe.Open()
 }
 
 // Next implements Operator.
 func (j *HashJoinOp) Next() (tuple.Row, bool, error) {
+	if j.parProbe != nil {
+		// Rows arrive pre-joined from the partitioned probe.
+		row, ok, err := j.probe.Next()
+		if ok {
+			j.stats.ActRows++
+		}
+		return row, ok, err
+	}
 	for {
 		if len(j.matches) > 0 {
 			b := j.matches[0]

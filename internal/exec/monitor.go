@@ -142,6 +142,55 @@ type scanMonitor struct {
 	injectFail bool
 }
 
+// shard returns a fresh monitor that observes one page-disjoint partition of
+// the template's scan. Counters are forked (same seed and fraction, no
+// observations); the bit-vector filter is shared by pointer — it is complete
+// and read-only by the time a parallel probe opens, so concurrent MayContain
+// calls are safe. Shards are folded back into the template with absorb at the
+// partition barrier.
+func (m *scanMonitor) shard() *scanMonitor {
+	s := &scanMonitor{
+		req: m.req, kind: m.kind, prefixLen: m.prefixLen, pred: m.pred,
+		filter: m.filter, joinColOrd: m.joinColOrd,
+		disabled: m.disabled, failure: m.failure, injectFail: m.injectFail,
+	}
+	switch m.kind {
+	case monExactPrefix:
+		s.gc = core.NewGroupedCounter()
+	default:
+		s.dps = m.dps.Fork()
+	}
+	return s
+}
+
+// absorb folds a partition shard's observations into the template monitor,
+// behind the quarantine guard. A quarantined shard quarantines the template:
+// a monitor that failed on any partition produced no trustworthy observation,
+// exactly as in serial execution. Because every core counter merge is
+// commutative and the partitions are page-disjoint, the absorbed totals are
+// identical to a serial scan's.
+func (m *scanMonitor) absorb(s *scanMonitor) {
+	if s.disabled && !m.disabled {
+		m.disabled = true
+		m.failure = s.failure
+	}
+	if m.disabled {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantine(r)
+		}
+	}()
+	m.rows += s.rows
+	switch m.kind {
+	case monExactPrefix:
+		m.gc.Merge(s.gc)
+	default:
+		m.dps.Merge(s.dps)
+	}
+}
+
 // mechanism names the monitor's reporting mechanism.
 func (m *scanMonitor) mechanism() string {
 	switch m.kind {

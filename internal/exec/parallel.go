@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+// parFlushRows is how many rows a worker accumulates before shipping a batch
+// to the consumer; large enough to amortize channel traffic, small enough to
+// keep the pipeline moving.
+const parFlushRows = 1024
+
+// parPrefetchChunk is the read-ahead window a worker asks the buffer pool to
+// prefetch as it advances through its page range.
+const parPrefetchChunk = 16
+
+// parBatch is one message from a scan worker to the consumer: either a slice
+// of fully materialized rows (backed by a private arena, never reused) or a
+// terminal error.
+type parBatch struct {
+	rows []tuple.Row
+	err  error
+}
+
+// rowMapFn is a per-row transform pushed down into parallel scan workers — the
+// partitioned probe phase of a parallel hash join. It runs on worker
+// goroutines against read-only shared state and emits zero or more output
+// rows per input row.
+type rowMapFn func(wctx *Context, row tuple.Row, emit func(tuple.Row))
+
+// ParallelScan executes a full table scan as a partition-parallel exchange:
+// the table is split into contiguous page-disjoint partitions (heap PID
+// ranges or clustered leaf-chain ranges), one worker drains each partition
+// with its own row batch and a private shard of every attached monitor, and
+// rows flow to the single consumer over a channel. Monitor shards and
+// per-worker CPU accounting merge exactly once, at the barrier after all
+// workers exit.
+//
+// Because each partition preserves grouped page access and the core counters
+// sample pages by a pure function of (seed, pid), the merged monitor state —
+// DPC estimates, cardinalities, quarantine status — is byte-identical to a
+// serial scan's. Row order is not: partitions interleave at channel
+// granularity, so the builder only plants this operator in order-insensitive
+// subtrees.
+type ParallelScan struct {
+	ctx      *Context
+	tab      *catalog.Table
+	pred     expr.Conjunction // bound
+	degree   int
+	monitors []*scanMonitor // templates; receive merged shard state
+	rowMap   rowMapFn       // optional probe push-down, set before Open
+	stats    OpStats
+
+	out       chan parBatch
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	wctxs     []*Context
+	shards    [][]*scanMonitor // shards[worker][monitor]
+	actRows   []int64          // per-worker rows passing the scan predicate
+	cur       parBatch
+	pos       int
+	stopped   bool
+	finalized bool
+}
+
+// NewParallelScan builds a parallel scan of tab filtered by pred (bound to
+// the table's schema) with the given worker degree (>= 2).
+func NewParallelScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction, degree int) *ParallelScan {
+	return &ParallelScan{
+		ctx: ctx, tab: tab, pred: pred, degree: degree,
+		stats: OpStats{Label: fmt.Sprintf("ParallelScan(%s) x%d", tab.Name, degree)},
+	}
+}
+
+// attach adds a monitor template (called by the builder). Each worker
+// observes through a private shard of it; the template only ever sees merged
+// state.
+func (p *ParallelScan) attach(m *scanMonitor) { p.monitors = append(p.monitors, m) }
+
+// Table returns the scanned table.
+func (p *ParallelScan) Table() *catalog.Table { return p.tab }
+
+// Degree returns the number of partitions the scan was asked to run with.
+func (p *ParallelScan) Degree() int { return p.degree }
+
+// SetRowMap pushes a per-row transform into the workers (parallel hash-join
+// probe). Must be called before Open; the transform's shared state must be
+// read-only by then.
+func (p *ParallelScan) SetRowMap(fn rowMapFn) { p.rowMap = fn }
+
+// Open implements Operator: it partitions the table and starts one worker
+// per partition. A closer goroutine shuts the output channel once every
+// worker has exited, which is the consumer's end-of-stream signal.
+func (p *ParallelScan) Open() error {
+	parts, err := p.tab.ScanPartitions(p.degree)
+	if err != nil {
+		return err
+	}
+	p.stop = make(chan struct{})
+	p.out = make(chan parBatch, 2*p.degree)
+	p.stopped = false
+	p.finalized = false
+	p.wctxs = p.wctxs[:0]
+	p.shards = p.shards[:0]
+	p.actRows = make([]int64, len(parts))
+	for i, part := range parts {
+		wctx := p.ctx.child()
+		shard := make([]*scanMonitor, len(p.monitors))
+		for j, m := range p.monitors {
+			shard[j] = m.shard()
+		}
+		p.wctxs = append(p.wctxs, wctx)
+		p.shards = append(p.shards, shard)
+		p.wg.Add(1)
+		go p.worker(i, wctx, part, shard)
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.out)
+	}()
+	return nil
+}
+
+// worker drains one partition. It owns its iterator, row batch, monitor
+// shard, and context; the only shared mutable state it touches is the output
+// channel. A panic anywhere inside — decode failures, monitor bugs escaping
+// the quarantine guard — is converted to an *OperatorPanic and shipped to the
+// consumer like any other error, so the process-wide panic boundary holds
+// across goroutines.
+func (p *ParallelScan) worker(idx int, wctx *Context, part catalog.ScanPart, mons []*scanMonitor) {
+	defer p.wg.Done()
+	defer part.Iter.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			p.send(parBatch{err: recoveredPanic(p.stats.Label, r)})
+		}
+	}()
+
+	var (
+		batch   catalog.RowBatch
+		failIdx []int
+		arena   []tuple.Value
+		bounds  []int // prefix lengths into arena, one per pending row
+		pages   int
+	)
+	// Arenas are sized for a full batch up front: growing one by append
+	// doubling would allocate (and memcpy) ~2x the final size in discarded
+	// steps on every flush, which on a busy query is most of the exchange
+	// overhead. Flushes happen on page boundaries, so leave headroom for the
+	// last page's overshoot past parFlushRows.
+	arenaCap := 0
+	emit := func(row tuple.Row) {
+		if arena == nil {
+			if arenaCap == 0 {
+				arenaCap = (parFlushRows + parFlushRows/2) * len(row)
+			}
+			arena = make([]tuple.Value, 0, arenaCap)
+		}
+		arena = append(arena, row...)
+		bounds = append(bounds, len(arena))
+	}
+	flush := func() bool {
+		if len(bounds) == 0 {
+			return true
+		}
+		rows := make([]tuple.Row, len(bounds))
+		lo := 0
+		for i, hi := range bounds {
+			rows[i] = tuple.Row(arena[lo:hi:hi])
+			lo = hi
+		}
+		if !p.send(parBatch{rows: rows}) {
+			return false
+		}
+		arena = nil // handed to the consumer; start a fresh arena
+		bounds = bounds[:0]
+		return true
+	}
+
+	p.prefetch(part, 0)
+	for part.Iter.NextPage(&batch) {
+		if err := wctx.interrupted(); err != nil {
+			p.send(parBatch{err: err})
+			return
+		}
+		pages++
+		if pages%parPrefetchChunk == 0 {
+			p.prefetch(part, pages)
+		}
+		wctx.touch(int64(batch.Len()))
+		failIdx = failIdx[:0]
+		for _, row := range batch.Rows {
+			fi := -1
+			for i := range p.pred.Atoms {
+				if !p.pred.Atoms[i].Eval(row) {
+					fi = i
+					break
+				}
+			}
+			failIdx = append(failIdx, fi)
+		}
+		for _, m := range mons {
+			m.safeObservePage(&batch, failIdx)
+		}
+		for i, row := range batch.Rows {
+			if failIdx[i] != -1 {
+				continue
+			}
+			p.actRows[idx]++
+			if p.rowMap != nil {
+				p.rowMap(wctx, row, emit)
+			} else {
+				emit(row)
+			}
+		}
+		if len(bounds) >= parFlushRows {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if err := part.Iter.Err(); err != nil {
+		p.send(parBatch{err: err})
+		return
+	}
+	for _, m := range mons {
+		m.safeFinish()
+	}
+	flush()
+}
+
+// prefetch asks the pool to read ahead the next chunk of the partition's
+// pages. Purely advisory: the pool skips resident pages and drops requests
+// under pressure.
+func (p *ParallelScan) prefetch(part catalog.ScanPart, done int) {
+	lo := done
+	hi := done + parPrefetchChunk
+	if hi > len(part.Pages) {
+		hi = len(part.Pages)
+	}
+	if lo < hi {
+		p.ctx.Pool.Prefetch(part.File, part.Pages[lo:hi])
+	}
+}
+
+// send ships one message to the consumer, giving up if the scan is being
+// torn down. Returns false when the worker should exit.
+func (p *ParallelScan) send(b parBatch) bool {
+	select {
+	case p.out <- b:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// Next implements Operator. The first error shipped by any worker surfaces
+// here; Close then tears the remaining workers down.
+func (p *ParallelScan) Next() (tuple.Row, bool, error) {
+	for {
+		if p.pos < len(p.cur.rows) {
+			row := p.cur.rows[p.pos]
+			p.pos++
+			return row, true, nil
+		}
+		msg, ok := <-p.out
+		if !ok {
+			p.finalize()
+			return nil, false, nil
+		}
+		if msg.err != nil {
+			return nil, false, msg.err
+		}
+		p.cur = msg
+		p.pos = 0
+	}
+}
+
+// Close implements Operator: it signals the workers to stop, drains the
+// channel so none of them blocks on a send, waits for all of them to exit,
+// and merges their state. Safe to call multiple times.
+func (p *ParallelScan) Close() error {
+	if p.stop == nil {
+		return nil // never opened
+	}
+	if !p.stopped {
+		p.stopped = true
+		close(p.stop)
+	}
+	for range p.out {
+	}
+	p.finalize()
+	return nil
+}
+
+// finalize runs once, after every worker has exited (the channel closing or
+// Close's Wait proves it): worker CPU accounting folds into the query
+// context, monitor shards fold into their templates, and per-worker row
+// counts fold into the operator stats. This is the single barrier of the
+// exchange — no merged state is visible until all partitions are done.
+func (p *ParallelScan) finalize() {
+	if p.finalized {
+		return
+	}
+	p.wg.Wait()
+	p.finalized = true
+	for _, wctx := range p.wctxs {
+		p.ctx.absorb(wctx)
+	}
+	for w, shard := range p.shards {
+		for j, s := range shard {
+			p.monitors[j].absorb(s)
+		}
+		p.stats.ActRows += p.actRows[w]
+	}
+}
+
+// Schema implements Operator. With a row map installed the emitted rows are
+// the map's output shape (the parent that installed it reports that schema);
+// without one, the table's.
+func (p *ParallelScan) Schema() *tuple.Schema { return p.tab.Schema }
+
+// Stats implements Operator. ActRows counts rows passing the scan predicate,
+// matching the serial scan's accounting even when a probe push-down changes
+// what the operator physically emits.
+func (p *ParallelScan) Stats() *OpStats { return &p.stats }
+
+// recoveredPanic converts a recovered worker panic into the same
+// *OperatorPanic the single-goroutine boundary produces, so cross-goroutine
+// panics surface to callers exactly like same-goroutine ones.
+func recoveredPanic(label string, r any) error {
+	if op, ok := r.(*OperatorPanic); ok {
+		return op
+	}
+	return &OperatorPanic{Op: label, Value: r, Stack: debug.Stack()}
+}

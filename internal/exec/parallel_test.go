@@ -1,0 +1,300 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/plan"
+	"pagefeedback/internal/tuple"
+)
+
+// runPlanDeg is runPlan at an explicit parallel degree, also returning the
+// context for CPU-accounting comparisons.
+func runPlanDeg(t *testing.T, e *env, node plan.Node, cfg *MonitorConfig, deg int) ([]tuple.Row, *Execution, *Context) {
+	t.Helper()
+	ctx := NewContext(e.pool)
+	ctx.Parallelism = deg
+	ex, err := Build(ctx, node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, ex, ctx
+}
+
+// sortedRowStrings canonicalizes a result set for order-insensitive
+// comparison.
+func sortedRowStrings(rows []tuple.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// heapEnv adds a heap table mirroring sales' integer columns, so both
+// partitioning shapes (PID ranges and leaf chains) run through the same
+// assertions.
+func heapEnv(t *testing.T, e *env) *catalog.Table {
+	t.Helper()
+	schema := tuple.NewSchema(
+		tuple.Column{Name: "id", Kind: tuple.KindInt},
+		tuple.Column{Name: "c5", Kind: tuple.KindInt},
+		tuple.Column{Name: "pad", Kind: tuple.KindString},
+	)
+	h, err := e.cat.CreateHeapTable("hsales", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("y", 60)
+	rows := make([]tuple.Row, envRows)
+	for i := 0; i < envRows; i++ {
+		rows[i] = tuple.Row{tuple.Int64(int64(i)), tuple.Int64(int64((i * 7) % envRows)), tuple.Str(pad)}
+	}
+	if _, err := h.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// assertSameExecution runs node serially and at several parallel degrees and
+// requires identical result multisets, identical DPC feedback (the byte-for-
+// byte acceptance criterion of the parallel mode), and identical CPU
+// accounting.
+func assertSameExecution(t *testing.T, mkEnv func(t *testing.T) (*env, plan.Node, *MonitorConfig)) {
+	t.Helper()
+	eSer, nodeSer, cfgSer := mkEnv(t)
+	serRows, serEx, serCtx := runPlanDeg(t, eSer, nodeSer, cfgSer, 0)
+	serDPC := serEx.DPCResults()
+	serSorted := sortedRowStrings(serRows)
+
+	for _, deg := range []int{2, 4, 7} {
+		ePar, nodePar, cfgPar := mkEnv(t)
+		parRows, parEx, parCtx := runPlanDeg(t, ePar, nodePar, cfgPar, deg)
+		if got, want := sortedRowStrings(parRows), serSorted; !reflect.DeepEqual(got, want) {
+			t.Fatalf("deg=%d: row multiset differs: %d rows vs %d", deg, len(got), len(want))
+		}
+		if got, want := parEx.DPCResults(), serDPC; !reflect.DeepEqual(got, want) {
+			t.Errorf("deg=%d: DPC feedback differs:\n  parallel %+v\n  serial   %+v", deg, got, want)
+		}
+		if got, want := parCtx.RowsTouched(), serCtx.RowsTouched(); got != want {
+			t.Errorf("deg=%d: rowsTouched = %d, serial %d", deg, got, want)
+		}
+	}
+}
+
+func TestParallelScanMatchesSerialClustered(t *testing.T) {
+	assertSameExecution(t, func(t *testing.T) (*env, plan.Node, *MonitorConfig) {
+		e := newEnv(t)
+		p1 := expr.NewAtom("state", expr.Eq, tuple.Str("CA"))
+		p2 := expr.NewAtom("c5", expr.Lt, tuple.Int64(1500))
+		node := &plan.Scan{Tab: e.sales, Pred: mustBind(t, expr.And(p1), e.sales.Schema)}
+		cfg := &MonitorConfig{
+			Requests: []DPCRequest{
+				{Table: "sales", Pred: expr.And(p1)}, // prefix -> grouped counting
+				{Table: "sales", Pred: expr.And(p2)}, // non-prefix -> DPSample
+			},
+			SampleFraction: 0.25,
+			Seed:           7,
+		}
+		return e, node, cfg
+	})
+}
+
+func TestParallelScanMatchesSerialHeap(t *testing.T) {
+	assertSameExecution(t, func(t *testing.T) (*env, plan.Node, *MonitorConfig) {
+		e := newEnv(t)
+		h := heapEnv(t, e)
+		p := expr.NewAtom("c5", expr.Lt, tuple.Int64(900))
+		node := &plan.Scan{Tab: h, Pred: mustBind(t, expr.And(p), h.Schema)}
+		cfg := &MonitorConfig{
+			Requests:       []DPCRequest{{Table: "hsales", Pred: expr.And(p)}},
+			SampleFraction: 0.5,
+			Seed:           11,
+		}
+		return e, node, cfg
+	})
+}
+
+func TestParallelHashJoinMatchesSerial(t *testing.T) {
+	assertSameExecution(t, func(t *testing.T) (*env, plan.Node, *MonitorConfig) {
+		e := newEnv(t)
+		outerBound := mustBind(t, expr.And(expr.NewAtom("val", expr.Lt, tuple.Int64(200))), e.dim.Schema)
+		node := &plan.Join{
+			Method:   plan.HashJoin,
+			Outer:    &plan.Scan{Tab: e.dim, Pred: outerBound},
+			Inner:    &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}},
+			OuterCol: "id", InnerCol: "id", Schem: joinPlanSchema(e),
+		}
+		cfg := &MonitorConfig{
+			Requests:       []DPCRequest{{Table: "sales", Join: true}},
+			SampleFraction: 1.0,
+			Seed:           3,
+		}
+		return e, node, cfg
+	})
+}
+
+func TestParallelGroupAggMatchesSerial(t *testing.T) {
+	assertSameExecution(t, func(t *testing.T) (*env, plan.Node, *MonitorConfig) {
+		e := newEnv(t)
+		scan := &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}}
+		node := &plan.GroupAgg{
+			Input: scan, GroupCol: "state", AggCol: "c5", Func: plan.SumAgg,
+			Schem: tuple.NewSchema(
+				tuple.Column{Name: "state", Kind: tuple.KindString},
+				tuple.Column{Name: "sum", Kind: tuple.KindInt},
+			),
+		}
+		return e, node, nil
+	})
+}
+
+// TestParallelScanUnderSortIsDeterministic: a parallel scan below a Sort is
+// allowed (the sort re-establishes order), and the output must be exactly —
+// not just as a multiset — the serial output.
+func TestParallelScanUnderSortIsDeterministic(t *testing.T) {
+	e := newEnv(t)
+	mkNode := func() plan.Node {
+		return &plan.Sort{
+			Input: &plan.Scan{Tab: e.sales, Pred: mustBind(t,
+				expr.And(expr.NewAtom("c5", expr.Lt, tuple.Int64(700))), e.sales.Schema)},
+			Cols: []string{"c5"},
+		}
+	}
+	serRows, _, _ := runPlanDeg(t, e, mkNode(), nil, 0)
+	parRows, parEx, _ := runPlanDeg(t, e, mkNode(), nil, 4)
+	if len(serRows) != len(parRows) {
+		t.Fatalf("parallel sort returned %d rows, serial %d", len(parRows), len(serRows))
+	}
+	for i := range serRows {
+		if fmt.Sprint(serRows[i]) != fmt.Sprint(parRows[i]) {
+			t.Fatalf("row %d differs after sort: %v vs %v", i, parRows[i], serRows[i])
+		}
+	}
+	if !strings.Contains(opTreeLabels(parEx.Root.Stats()), "ParallelScan") {
+		t.Error("scan under Sort did not parallelize")
+	}
+}
+
+// TestLimitSubtreeStaysSerial: which rows survive a Limit depends on input
+// order, so its subtree must not partition.
+func TestLimitSubtreeStaysSerial(t *testing.T) {
+	e := newEnv(t)
+	node := &plan.Limit{
+		Input: &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}},
+		N:     10,
+	}
+	rows, ex, _ := runPlanDeg(t, e, node, nil, 4)
+	if len(rows) != 10 {
+		t.Fatalf("limit returned %d rows", len(rows))
+	}
+	if labels := opTreeLabels(ex.Root.Stats()); strings.Contains(labels, "ParallelScan") {
+		t.Errorf("scan under Limit parallelized: %s", labels)
+	}
+}
+
+// TestMergeJoinUnsortedInputsStaySerial: merge-join inputs consumed in scan
+// order must not partition; inputs behind an explicit Sort may.
+func TestMergeJoinUnsortedInputsStaySerial(t *testing.T) {
+	e := newEnv(t)
+	mk := func(sortOuter, sortInner bool) *plan.Join {
+		return &plan.Join{
+			Method:   plan.MergeJoin,
+			Outer:    &plan.Scan{Tab: e.dim, Pred: expr.Conjunction{}},
+			Inner:    &plan.Scan{Tab: e.sales, Pred: expr.Conjunction{}},
+			OuterCol: "id", InnerCol: "id",
+			SortOuter: sortOuter, SortInner: sortInner,
+			Schem: joinPlanSchema(e),
+		}
+	}
+	_, ex, _ := runPlanDeg(t, e, mk(false, false), nil, 4)
+	if labels := opTreeLabels(ex.Root.Stats()); strings.Contains(labels, "ParallelScan") {
+		t.Errorf("unsorted merge-join input parallelized: %s", labels)
+	}
+	rows, ex2, _ := runPlanDeg(t, e, mk(true, true), nil, 4)
+	if labels := opTreeLabels(ex2.Root.Stats()); !strings.Contains(labels, "ParallelScan") {
+		t.Errorf("sorted merge-join inputs did not parallelize: %s", labels)
+	}
+	if len(rows) != 500 {
+		t.Errorf("merge join returned %d rows, want 500", len(rows))
+	}
+}
+
+// TestParallelQuarantineMatchesSerial: an injected monitor fault on any
+// partition quarantines the merged monitor exactly as a serial fault would —
+// same degraded flag, same reason, query unaffected.
+func TestParallelQuarantineMatchesSerial(t *testing.T) {
+	assertSameExecution(t, func(t *testing.T) (*env, plan.Node, *MonitorConfig) {
+		e := newEnv(t)
+		p := expr.NewAtom("c5", expr.Lt, tuple.Int64(1200))
+		node := &plan.Scan{Tab: e.sales, Pred: mustBind(t, expr.And(p), e.sales.Schema)}
+		cfg := &MonitorConfig{
+			Requests:       []DPCRequest{{Table: "sales", Pred: expr.And(p)}},
+			SampleFraction: 0.5,
+			Seed:           5,
+			FailMonitors:   []string{MechDPSample},
+		}
+		return e, node, cfg
+	})
+}
+
+// TestParallelWorkerPanicSurfacesAsOperatorPanic: a panic on a worker
+// goroutine crosses the channel as a *OperatorPanic, exactly like the
+// single-goroutine boundary.
+func TestParallelWorkerPanicSurfacesAsOperatorPanic(t *testing.T) {
+	e := newEnv(t)
+	ctx := NewContext(e.pool)
+	ctx.Parallelism = 4
+	ps := NewParallelScan(ctx, e.sales, expr.Conjunction{}, 4)
+	ps.SetRowMap(func(wctx *Context, row tuple.Row, emit func(tuple.Row)) {
+		panic("boom in worker")
+	})
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for {
+		_, ok, e := ps.Next()
+		if e != nil {
+			err = e
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if cerr := ps.Close(); cerr != nil {
+		t.Fatalf("close: %v", cerr)
+	}
+	var op *OperatorPanic
+	if !errors.As(err, &op) {
+		t.Fatalf("worker panic surfaced as %v (%T), want *OperatorPanic", err, err)
+	}
+	if op.Value != "boom in worker" {
+		t.Errorf("panic value = %v", op.Value)
+	}
+	// The pool must be fully unpinned after teardown.
+	if err := e.pool.Reset(); err != nil {
+		t.Errorf("pins leaked after worker panic: %v", err)
+	}
+}
+
+// opTreeLabels flattens the operator-stats tree into one label string.
+func opTreeLabels(s *OpStats) string {
+	out := s.Label
+	for _, c := range s.Children {
+		out += " " + opTreeLabels(c)
+	}
+	return out
+}

@@ -49,6 +49,11 @@ type RuntimeStats struct {
 	// QuarantinedMonitors counts DPC monitors disabled mid-query by the
 	// quarantine guard; their results carry no observation.
 	QuarantinedMonitors int `xml:"quarantinedMonitors,attr,omitempty"`
+	// Parallelism is the effective intra-query parallel degree (0 = serial).
+	Parallelism int `xml:"parallelism,attr,omitempty"`
+	// PrefetchedPages counts pages the buffer pool read ahead of demand on
+	// behalf of parallel scan workers.
+	PrefetchedPages int64 `xml:"prefetchedPages,attr,omitempty"`
 }
 
 // snapshotOpStats converts the live OpStats tree into the XML form.

@@ -233,12 +233,26 @@ func (it *Iterator) Close() {
 type PageScanner struct {
 	f   *File
 	pid storage.PageID
+	end storage.PageID // exclusive upper bound
 	err error
 }
 
 // ScanPages returns a scanner positioned before the first page.
 func (f *File) ScanPages() *PageScanner {
-	return &PageScanner{f: f}
+	return &PageScanner{f: f, end: storage.PageID(f.NumPages())}
+}
+
+// Range restricts the scanner to the contiguous page range [lo, hi) and
+// returns it, for partitioned parallel scans: each worker takes a disjoint
+// range, so together they visit every page exactly once and each partition
+// retains the grouped page access property. hi is clamped to the file size.
+func (ps *PageScanner) Range(lo, hi storage.PageID) *PageScanner {
+	if n := storage.PageID(ps.f.NumPages()); hi > n {
+		hi = n
+	}
+	ps.pid = lo
+	ps.end = hi
+	return ps
 }
 
 // NextPage visits the next page that contains live rows, calling fn once per
@@ -250,7 +264,7 @@ func (ps *PageScanner) NextPage(fn func(rid storage.RID, cell []byte) error) boo
 	if ps.err != nil {
 		return false
 	}
-	for int(ps.pid) < ps.f.NumPages() {
+	for ps.pid < ps.end {
 		visited, err := ps.visitPage(fn)
 		if err != nil {
 			ps.err = err

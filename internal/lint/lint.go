@@ -2,14 +2,17 @@
 // re-implementation of the golang.org/x/tools go/analysis surface, just wide
 // enough for this repository's invariant checkers.
 //
-// The five analyzers (one per file) machine-check the hand-maintained
-// invariants the query-lifecycle and hot-path PRs rely on:
+// The six analyzers (one per file) machine-check the hand-maintained
+// invariants the query-lifecycle, hot-path, and parallel-execution PRs rely
+// on:
 //
-//   - pinleak:     every pinned page reaches Unpin on all control-flow paths
-//   - lockorder:   buffer-pool shard mutexes are acquired in ascending order
-//   - ctxflow:     context.Context flows from the engine entry points
-//   - errkind:     errors crossing the engine boundary are typed *QueryError
-//   - atomicfield: fields touched via sync/atomic are never accessed plainly
+//   - pinleak:      every pinned page reaches Unpin on all control-flow paths
+//   - lockorder:    buffer-pool shard mutexes are acquired in ascending order
+//   - ctxflow:      context.Context flows from the engine entry points
+//   - errkind:      errors crossing the engine boundary are typed *QueryError
+//   - atomicfield:  fields touched via sync/atomic are never accessed plainly
+//   - monitormerge: monitor counting types are mergeable and their Merge
+//     methods carry a reviewed `dbvet:commutative` claim
 //
 // The framework intentionally mirrors go/analysis (Analyzer, Pass, Reportf,
 // analysistest-style fixtures under testdata/src) so the checkers could move
@@ -185,6 +188,7 @@ func All() []*Analyzer {
 		CtxFlowAnalyzer,
 		ErrKindAnalyzer,
 		AtomicFieldAnalyzer,
+		MonitorMergeAnalyzer,
 	}
 }
 

@@ -29,9 +29,18 @@ var LockOrderAnalyzer = &Analyzer{
 }
 
 func runLockOrder(pass *Pass) error {
+	// Function literals the walk reaches at their call site — immediately
+	// invoked closures (which inherit the caller's held locks) and goroutine
+	// bodies (which get a fresh stack) — are analyzed there and skipped in
+	// the funcBodies sweep below, which still catches the rest: assigned
+	// closures, callbacks, and deferred literals, each on a fresh stack.
+	consumed := make(map[*ast.FuncLit]bool)
 	for _, f := range pass.Files {
 		for _, fb := range funcBodies(f) {
-			lo := &lockWalker{pass: pass}
+			if fb.lit != nil && consumed[fb.lit] {
+				continue
+			}
+			lo := &lockWalker{pass: pass, consumed: consumed}
 			lo.walkStmts(fb.body.List)
 		}
 	}
@@ -53,9 +62,10 @@ type lockToken struct {
 // sanctioned patterns and flag everything that cannot be proven, not to be
 // a full may-hold analysis.
 type lockWalker struct {
-	pass  *Pass
-	held  []lockToken
-	loops []*ast.RangeStmt // enclosing range statements, innermost last
+	pass     *Pass
+	held     []lockToken
+	loops    []*ast.RangeStmt      // enclosing range statements, innermost last
+	consumed map[*ast.FuncLit]bool // literals analyzed at their call site
 }
 
 func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
@@ -125,7 +135,19 @@ func (w *lockWalker) walkStmt(s ast.Stmt) {
 			w.visitExpr(r)
 		}
 	case *ast.GoStmt:
-		// A goroutine has its own lock stack.
+		// The call's arguments are evaluated here, in the spawning
+		// goroutine, while the current locks are held; the body runs on its
+		// own lock stack, so it is walked with a fresh walker — holding
+		// shard i while a spawned worker takes shard j is not an ordering
+		// violation, but a misordered pair inside the body still is.
+		for _, arg := range st.Call.Args {
+			w.visitExpr(arg)
+		}
+		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.consumed[fl] = true
+			gw := &lockWalker{pass: w.pass, consumed: w.consumed}
+			gw.walkStmts(fl.Body.List)
+		}
 	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.BranchStmt, *ast.EmptyStmt:
 	}
 }
@@ -154,7 +176,10 @@ func (w *lockWalker) endLoop(before int, rng *ast.RangeStmt, pos token.Pos) {
 	w.held = w.held[:before]
 }
 
-// visitExpr looks for shard Lock/Unlock calls inside an expression.
+// visitExpr looks for shard Lock/Unlock calls inside an expression. An
+// immediately invoked closure executes inline, so its body is walked with the
+// current held set; other function literals run elsewhere and are analyzed on
+// their own stack by the funcBodies sweep.
 func (w *lockWalker) visitExpr(e ast.Expr) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -162,6 +187,11 @@ func (w *lockWalker) visitExpr(e ast.Expr) {
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if fl, ok := call.Fun.(*ast.FuncLit); ok {
+			w.consumed[fl] = true
+			w.walkStmts(fl.Body.List)
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// MonitorMergeAnalyzer enforces the monitor algebra the intra-query parallel
+// mode rests on. Partitioned scan workers observe execution feedback into
+// private monitor shards and the barrier merges them, so every counting
+// structure must satisfy two obligations:
+//
+//   - a type that observes per-page feedback (an Observe/Observe*/AddPID
+//     method) must also define Merge, or a partitioned scan cannot combine
+//     its shards and the type silently under-counts in parallel runs;
+//   - every Merge method must carry the `dbvet:commutative` marker in its
+//     doc comment. The marker is a reviewed claim, not an inference: the
+//     analyzer checks the claim exists, review checks it is true, and the
+//     partition-randomized property tests check it stays true.
+var MonitorMergeAnalyzer = &Analyzer{
+	Name: "monitormerge",
+	Doc:  "check that monitor counting types are mergeable and their Merge methods are declared commutative",
+	Run:  runMonitorMerge,
+}
+
+func runMonitorMerge(pass *Pass) error {
+	// Collect the package's methods by receiver type name.
+	type methodSet struct {
+		observer *ast.FuncDecl // first observation method, for reporting
+		merge    *ast.FuncDecl
+	}
+	methods := make(map[string]*methodSet)
+	get := func(recv string) *methodSet {
+		m := methods[recv]
+		if m == nil {
+			m = &methodSet{}
+			methods[recv] = m
+		}
+		return m
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			switch {
+			case isObservationMethod(fd.Name.Name):
+				m := get(recv)
+				if m.observer == nil {
+					m.observer = fd
+				}
+			case fd.Name.Name == "Merge":
+				get(recv).merge = fd
+			}
+		}
+	}
+
+	for recv, m := range methods {
+		if m.observer != nil && m.merge == nil {
+			pass.Reportf(m.observer.Pos(),
+				"%s observes execution feedback (%s) but has no Merge method: parallel scan shards of it cannot be combined",
+				recv, m.observer.Name.Name)
+		}
+		if m.merge != nil && !commentContains(m.merge.Doc, "dbvet:commutative") {
+			pass.Reportf(m.merge.Pos(),
+				"%s.Merge is not declared commutative: add a `dbvet:commutative` marker to its doc comment once partition-order invariance is reviewed",
+				recv)
+		}
+	}
+	return nil
+}
+
+// isObservationMethod matches the repo's monitor observation vocabulary:
+// Observe, ObserveXxx (but not getters like Observed), and AddPID.
+func isObservationMethod(name string) bool {
+	if name == "AddPID" || name == "Observe" {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(name, "Observe"); ok {
+		r, _ := utf8.DecodeRuneInString(rest)
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// commentContains reports whether any line of the doc comment contains the
+// marker.
+func commentContains(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMonitorMerge(t *testing.T) {
+	runFixture(t, MonitorMergeAnalyzer, "monitormerge")
+}

@@ -111,3 +111,52 @@ func perIterationLock(p *pool) int {
 	}
 	return total
 }
+
+// spawnWorker mirrors the prefetcher: the spawning goroutine holds one shard
+// while the spawned body takes another on its own fresh lock stack — distinct
+// goroutines, so there is no ordering constraint between them.
+func spawnWorker(p *pool, i, j int) {
+	p.shards[i].mu.Lock()
+	go func() {
+		s := p.shards[j]
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+	p.shards[i].mu.Unlock()
+}
+
+// goroutineBodyMisordered: the body itself holds two shards without provable
+// order; running on its own stack does not excuse that.
+func goroutineBodyMisordered(p *pool, i, j int) {
+	go func() {
+		p.shards[i].mu.Lock()
+		p.shards[j].mu.Lock() // want `cannot prove ascending shard order`
+		p.shards[j].mu.Unlock()
+		p.shards[i].mu.Unlock()
+	}()
+}
+
+// inlineClosureInheritsLocks: an immediately invoked closure executes on the
+// caller's stack, so a second shard lock inside it is an unprovable pair.
+func inlineClosureInheritsLocks(p *pool, i, j int) {
+	p.shards[i].mu.Lock()
+	func() {
+		p.shards[j].mu.Lock() // want `cannot prove ascending shard order`
+		p.shards[j].mu.Unlock()
+	}()
+	p.shards[i].mu.Unlock()
+}
+
+// callbackClosureIsIndependent: a closure merely assigned runs who-knows-when
+// on its own analysis stack; creating it while holding a shard is fine.
+func callbackClosureIsIndependent(p *pool, i, j int) func() {
+	p.shards[i].mu.Lock()
+	cb := func() {
+		p.shards[j].mu.Lock()
+		p.shards[j].n++
+		p.shards[j].mu.Unlock()
+	}
+	p.shards[i].mu.Unlock()
+	return cb
+}

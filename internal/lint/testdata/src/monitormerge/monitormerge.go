@@ -1,0 +1,60 @@
+// Package monitormerge exercises the monitormerge analyzer: observation
+// types need a Merge, and every Merge must be declared commutative.
+package monitormerge
+
+// GoodCounter observes pages and merges with a reviewed commutativity claim.
+type GoodCounter struct {
+	pages map[int]bool
+}
+
+func (c *GoodCounter) Observe(pid int, satisfies bool) {
+	if satisfies {
+		c.pages[pid] = true
+	}
+}
+
+// Merge folds a disjoint partition's counts into c.
+//
+// dbvet:commutative — set union; order is irrelevant.
+func (c *GoodCounter) Merge(o *GoodCounter) {
+	for p := range o.pages {
+		c.pages[p] = true
+	}
+}
+
+// NoMergeCounter observes but cannot be combined across scan partitions.
+type NoMergeCounter struct {
+	n int
+}
+
+func (c *NoMergeCounter) ObserveAtPage(pid int) { // want `has no Merge method`
+	c.n++
+}
+
+// UndeclaredMerge has a Merge whose doc makes no commutativity claim.
+type UndeclaredMerge struct {
+	n int
+}
+
+func (c *UndeclaredMerge) AddPID(pid int) {
+	c.n++
+}
+
+// Merge adds the partition totals.
+func (c *UndeclaredMerge) Merge(o *UndeclaredMerge) { // want `not declared commutative`
+	c.n += o.n
+}
+
+// Getter types are not observers: Observed is a read accessor, not an
+// observation, and types that merge without observing carry no obligation
+// beyond the marker.
+type GetterOnly struct {
+	n int
+}
+
+func (g *GetterOnly) Observed() int { return g.n }
+
+// SinkOnly neither observes nor merges: no obligations.
+type SinkOnly struct{}
+
+func (s *SinkOnly) Reset() {}
