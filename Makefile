@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench profile fuzz-smoke
+.PHONY: all vet build test race bench profile fuzz-smoke chaos
 
 all: vet build test
 
@@ -16,6 +16,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The deterministic fault-schedule sweep plus the overload stress tests,
+# always under the race detector: every schedule runs the real engine
+# serially and in parallel, so a pass means typed errors, zero pin leaks,
+# zero goroutine leaks, and an unpoisoned feedback cache across the whole
+# fault matrix.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/
+	$(GO) test -race -count=1 -run 'TestOverload' .
 
 # BENCH_STAMP labels this run's entry in the BENCH_throughput.json trajectory;
 # it defaults to the HEAD commit date so re-runs at the same commit are

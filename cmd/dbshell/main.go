@@ -37,6 +37,7 @@ const helpText = `commands:
   \feedback export F    write learned state (cache/histograms/curves) to file F
   \feedback import F    load learned state from file F
   \tables               list tables with rows/pages
+  \stats                show I/O, buffer-pool, admission, and last-query counters
   \help                 this text
   \quit                 exit`
 
@@ -164,12 +165,49 @@ func (s *shell) meta(line string) bool {
 			fmt.Fprintf(s.out, "  %-12s %9d rows %7d pages  %s  (%d indexes)\n",
 				t.Name, t.NumRows(), t.NumPages(), kind, len(t.Indexes()))
 		}
+	case `\stats`:
+		s.stats()
 	case `\feedback`:
 		s.feedback(fields[1:])
 	default:
 		fmt.Fprintf(s.out, "unknown command %s (\\help for help)\n", fields[0])
 	}
 	return true
+}
+
+// stats prints the session-wide I/O, buffer-pool, and admission counters,
+// plus the robustness telemetry of the last query: how long it queued, what
+// it retried, waited, or shed. This is the operator's view of the overload
+// machinery — the counters the stress and chaos tests assert on.
+func (s *shell) stats() {
+	io := s.eng.Pool().Disk().Stats()
+	fmt.Fprintf(s.out, "disk:      %d physical reads (%d sequential, %d random), %d written\n",
+		io.PhysicalReads, io.SequentialReads, io.RandomReads, io.PagesWritten)
+	fmt.Fprintf(s.out, "           %d read retries, %d checksum errors, simulated I/O %v\n",
+		io.ReadRetries, io.ChecksumErrors, io.SimulatedIO)
+	ps := s.eng.Pool().Stats()
+	fmt.Fprintf(s.out, "pool:      %d logical reads, hit ratio %.1f%%, %d evictions, %d prefetched\n",
+		ps.LogicalReads, 100*ps.HitRatio(), ps.Evictions, ps.Prefetched)
+	fmt.Fprintf(s.out, "           %d frame waits totalling %v (wait budget %v)\n",
+		ps.Waits, ps.WaitTime, s.eng.Pool().WaitBudget())
+	as := s.eng.AdmissionStats()
+	if as.Limit > 0 {
+		fmt.Fprintf(s.out, "admission: limit %d, %d active, %d queued (peak %d)\n",
+			as.Limit, as.Active, as.Queued, as.PeakQueued)
+		fmt.Fprintf(s.out, "           %d admitted, %d rejected, %d timed out, queue wait %v\n",
+			as.Admitted, as.Rejected, as.TimedOut, as.WaitTime)
+	} else {
+		fmt.Fprintln(s.out, "admission: unlimited (no concurrency gate)")
+	}
+	if s.last == nil {
+		fmt.Fprintln(s.out, "last query: none")
+		return
+	}
+	rt := s.last.Stats.Runtime
+	fmt.Fprintf(s.out, "last query: queue wait %v (depth %d), %d read retries, %d pool waits (%v)\n",
+		rt.QueueWait, rt.QueueDepth, rt.ReadRetries, rt.PoolWaits, rt.PoolWaitTime)
+	fmt.Fprintf(s.out, "            mem peak %d bytes, %d monitors shed, %d quarantined\n",
+		rt.MemPeakBytes, rt.ShedMonitors, rt.QuarantinedMonitors)
 }
 
 func (s *shell) feedback(args []string) {

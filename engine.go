@@ -46,15 +46,26 @@ type Config struct {
 	PoolPages int
 	// CPUPerRow is the simulated CPU cost per row processed.
 	CPUPerRow time.Duration
+	// MaxConcurrent bounds how many queries may execute at once; excess
+	// queries wait in a FIFO admission queue. 0 disables admission control.
+	MaxConcurrent int
+	// MaxQueueDepth bounds the admission queue; arrivals beyond it are
+	// rejected immediately with ErrKindOverload. 0 means unbounded.
+	MaxQueueDepth int
+	// PoolWaitBudget is how long a query waits for a buffer-pool frame to
+	// free up before failing with pool exhaustion. 0 fails fast, preserving
+	// the pool's historical behavior.
+	PoolWaitBudget time.Duration
 }
 
-// DefaultConfig returns a 2007-era disk model, a 64 MB buffer pool, and
-// 1 µs/row CPU.
+// DefaultConfig returns a 2007-era disk model, a 64 MB buffer pool,
+// 1 µs/row CPU, no admission limit, and a 25 ms pool-wait budget.
 func DefaultConfig() Config {
 	return Config{
-		IOModel:   storage.DefaultIOModel(),
-		PoolPages: 8192,
-		CPUPerRow: time.Microsecond,
+		IOModel:        storage.DefaultIOModel(),
+		PoolPages:      8192,
+		CPUPerRow:      time.Microsecond,
+		PoolWaitBudget: 25 * time.Millisecond,
 	}
 }
 
@@ -66,6 +77,7 @@ type Engine struct {
 	cat   *catalog.Catalog
 	opt   *opt.Optimizer
 	cache *core.FeedbackCache
+	gate  *admissionGate
 
 	// tracked mirrors the feedback cache with structured predicates (the
 	// cache stores rendered text), for ExportFeedback; histCols and
@@ -88,12 +100,14 @@ func New(cfg Config) *Engine {
 	}
 	disk := storage.NewDiskManager(cfg.IOModel)
 	pool := storage.NewBufferPool(disk, cfg.PoolPages)
+	pool.SetWaitBudget(cfg.PoolWaitBudget)
 	cat := catalog.New(pool)
 	return &Engine{
 		cfg:      cfg,
 		disk:     disk,
 		pool:     pool,
 		cat:      cat,
+		gate:     newAdmissionGate(cfg.MaxConcurrent, cfg.MaxQueueDepth),
 		opt:      opt.New(cat, cfg.IOModel, cfg.CPUPerRow),
 		cache:    core.NewFeedbackCache(),
 		tracked:  make(map[string]trackedEntry),
@@ -203,6 +217,31 @@ type RunOptions struct {
 	// identical to a serial run; only row order of unsorted results may
 	// differ.
 	Parallelism int
+	// MaxConcurrent overrides the engine's admission limit for this call
+	// (Config.MaxConcurrent). 0 inherits the engine limit; with both zero no
+	// admission control applies.
+	MaxConcurrent int
+	// MemBudget bounds the bytes this query's blocking operators may
+	// materialize (hash-join build sides, sorts, group states, parallel-scan
+	// arenas, RID sets). Exceeding it aborts the query with a *QueryError of
+	// kind ErrKindMemory. 0 means unlimited.
+	MemBudget int64
+	// ShedLevel degrades DPC monitoring along the mechanism lattice to cut
+	// observation overhead under load: 0 full monitoring; 1 exact grouped
+	// counting degrades to page sampling and sampling fractions thin 4x;
+	// 2 degrades further to linear counting, thins 16x, and skips join
+	// bit-vector filters; 3 plants nothing. Shed results are marked Degraded
+	// and never reach the feedback cache. Applies to MonitorAll; explicit
+	// Monitor configs carry their own ShedLevel.
+	ShedLevel int
+	// ShedUnderPressure derives the shed level from the admission queue at
+	// submission time (deeper queue, higher level), taking the maximum of it
+	// and ShedLevel. Requires an engine-level Config.MaxConcurrent.
+	ShedUnderPressure bool
+	// MonitorOverheadBudget bounds the wall-clock observation time of each
+	// planted monitor; a monitor exceeding it disables itself mid-query and
+	// reports a shed (Degraded) result. 0 means unbounded.
+	MonitorOverheadBudget time.Duration
 }
 
 // parallelDegree clamps the requested degree to [0, GOMAXPROCS].
@@ -288,7 +327,17 @@ func (e *Engine) monitorConfig(q *opt.Query, opts *RunOptions) *exec.MonitorConf
 	if !opts.MonitorAll || q == nil {
 		return nil
 	}
-	cfg := &exec.MonitorConfig{SampleFraction: opts.SampleFraction, FailMonitors: opts.FailMonitors}
+	cfg := &exec.MonitorConfig{
+		SampleFraction: opts.SampleFraction,
+		FailMonitors:   opts.FailMonitors,
+		ShedLevel:      opts.ShedLevel,
+		OverheadBudget: opts.MonitorOverheadBudget,
+	}
+	if opts.ShedUnderPressure {
+		if p := e.gate.pressureLevel(); p > cfg.ShedLevel {
+			cfg.ShedLevel = p
+		}
+	}
 	addFor := func(table string, pred expr.Conjunction) {
 		if len(pred.Atoms) == 0 {
 			return
@@ -339,6 +388,17 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	if err := goCtx.Err(); err != nil {
 		return nil, classifyQueryError(err)
 	}
+	// Admission: queue wait counts against the query's deadline because the
+	// timeout context above wraps it.
+	effLimit := 0
+	if opts != nil {
+		effLimit = opts.MaxConcurrent
+	}
+	queueWait, queueDepth, err := e.gate.acquire(goCtx, effLimit)
+	if err != nil {
+		return nil, err
+	}
+	defer e.gate.release()
 	if opts == nil || !opts.WarmCache {
 		if err := e.pool.Reset(); err != nil {
 			return nil, classifyQueryError(fmt.Errorf("pagefeedback: cold-cache reset: %w", err))
@@ -347,6 +407,9 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	ctx := exec.NewContext(e.pool)
 	ctx.CPUPerRow = e.cfg.CPUPerRow
 	ctx.Parallelism = opts.parallelDegree()
+	if opts != nil && opts.MemBudget > 0 {
+		ctx.Mem = exec.NewMemTracker(opts.MemBudget)
+	}
 	ctx.BindContext(goCtx)
 	ex, err := exec.Build(ctx, node, mcfg)
 	if err != nil {
@@ -382,6 +445,12 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 			RowsTouched:     ctx.RowsTouched(),
 			Parallelism:     ctx.Parallelism,
 			PrefetchedPages: poolStats.Prefetched,
+			QueueWait:       queueWait,
+			QueueDepth:      queueDepth,
+			ReadRetries:     io.ReadRetries,
+			PoolWaits:       poolStats.Waits,
+			PoolWaitTime:    poolStats.WaitTime,
+			MemPeakBytes:    ctx.Mem.Used(),
 		},
 	}
 	for _, r := range res.DPC {
@@ -390,7 +459,11 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 			expression = "<join predicate>"
 		}
 		if r.Degraded {
-			res.Stats.Runtime.QuarantinedMonitors++
+			if r.Shed {
+				res.Stats.Runtime.ShedMonitors++
+			} else {
+				res.Stats.Runtime.QuarantinedMonitors++
+			}
 		}
 		res.Stats.DPC = append(res.Stats.DPC, exec.PageCountXML{
 			Table:      r.Request.Table,
@@ -399,6 +472,7 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 			Actual:     r.DPC,
 			Exact:      r.Exact,
 			Degraded:   r.Degraded,
+			Shed:       r.Shed,
 			Reason:     r.Reason,
 		})
 	}

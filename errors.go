@@ -28,6 +28,15 @@ const (
 	// (checksum mismatch), unrecovered transient fault, write fault, or
 	// buffer-pool exhaustion.
 	ErrKindStorage ErrorKind = "storage"
+	// ErrKindOverload: admission control turned the query away — the wait
+	// queue was full, or the query's deadline expired while it was still
+	// queued. The query never started executing; retrying later is safe.
+	ErrKindOverload ErrorKind = "overload"
+	// ErrKindMemory: the query exceeded its per-query memory budget
+	// (RunOptions.MemBudget) and was aborted. The budget bounds the bytes
+	// pinned by blocking operators (hash-join build sides, sorts, group
+	// states, parallel-scan arenas, RID sets).
+	ErrKindMemory ErrorKind = "memory"
 	// ErrKindExec: any other execution error.
 	ErrKindExec ErrorKind = "exec"
 )
@@ -74,6 +83,8 @@ func classifyQueryError(err error) error {
 		return &QueryError{Kind: ErrKindCancelled, Err: err}
 	case errors.As(err, &op):
 		return &QueryError{Kind: ErrKindPanic, Op: op.Op, Err: err}
+	case errors.Is(err, exec.ErrMemBudget):
+		return &QueryError{Kind: ErrKindMemory, Err: err}
 	case errors.Is(err, storage.ErrChecksum),
 		errors.Is(err, storage.ErrTransientFault),
 		errors.Is(err, storage.ErrInjectedFault),

@@ -19,6 +19,7 @@ type Execution struct {
 	scanMons  []*scanMonitor
 	seekMons  []*seekMonitor
 	unsat     []DPCResult
+	shedRes   []DPCResult  // placeholder results for monitors never planted under shed
 	satisfied map[int]bool // request index -> satisfied
 	seedCtr   int64
 
@@ -52,6 +53,25 @@ func Build(ctx *Context, root plan.Node, cfg *MonitorConfig) (*Execution, error)
 		}
 	}
 	return e, nil
+}
+
+// shedLevel returns the configured plant-time shed level.
+func (e *Execution) shedLevel() int {
+	if e.cfg == nil {
+		return 0
+	}
+	return e.cfg.ShedLevel
+}
+
+// shedPlaceholder marks request i satisfied with a degraded no-observation
+// result: under heavy shedding the monitor is not planted at all, but the
+// request still surfaces in the results (Degraded, Shed) so callers can see
+// what was dropped.
+func (e *Execution) shedPlaceholder(i int, req DPCRequest, mech, reason string) {
+	e.shedRes = append(e.shedRes, DPCResult{
+		Request: req, Mechanism: mech, Degraded: true, Shed: true, Reason: reason,
+	})
+	e.satisfied[i] = true
 }
 
 func (e *Execution) nextSeed() int64 {
@@ -275,6 +295,7 @@ func (e *Execution) attachScanMonitors(op monitoredScan, node *plan.Scan) {
 			e.satisfied[i] = true
 			continue
 		}
+		lvl := e.shedLevel()
 		if node.ClusterRange != nil {
 			// A range scan only sees pages inside the range: the sole
 			// observable DPC is that of the plan's own full predicate
@@ -282,29 +303,81 @@ func (e *Execution) attachScanMonitors(op monitoredScan, node *plan.Scan) {
 			if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
 				continue
 			}
+			if lvl >= 3 {
+				e.shedPlaceholder(i, req, MechExactScan,
+					"load-shed: monitoring disabled under overload (level 3)")
+				continue
+			}
+			// Range-scan counting is already free (the scan predicate's
+			// truth falls out of the range bounds), so levels 1-2 keep it.
 			m := &scanMonitor{req: req, kind: monExactPrefix,
 				prefixLen: len(node.Pred.Atoms), gc: core.NewGroupedCounter()}
 			m.injectFail = e.cfg.failInjected(m.mechanism())
+			m.overheadBudget = e.cfg.OverheadBudget
 			op.attach(m)
 			e.scanMons = append(e.scanMons, m)
 			e.satisfied[i] = true
+			continue
+		}
+		if lvl >= 3 {
+			mech := MechDPSample
+			if req.Pred.IsPrefixOf(node.Pred) {
+				mech = MechExactScan
+			}
+			e.shedPlaceholder(i, req, mech,
+				"load-shed: monitoring disabled under overload (level 3)")
 			continue
 		}
 		m := &scanMonitor{req: req}
 		if req.Pred.IsPrefixOf(node.Pred) {
 			// A prefix of the scan predicate: its truth value falls out of
 			// short-circuited evaluation — exact counting at no extra cost.
-			m.kind = monExactPrefix
-			m.prefixLen = len(req.Pred.Atoms)
-			m.gc = core.NewGroupedCounter()
+			// Under shedding the monitor walks down the lattice: page
+			// sampling at level 1, linear counting over the same free
+			// prefix hits at level 2.
+			switch {
+			case lvl <= 0:
+				m.kind = monExactPrefix
+				m.prefixLen = len(req.Pred.Atoms)
+				m.gc = core.NewGroupedCounter()
+			case lvl == 1:
+				m.kind = monSampled
+				m.pred = bound
+				m.dps = core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed())
+				m.shed = true
+				m.shedReason = "load-shed: exact grouped counting degraded to page sampling (level 1)"
+			default: // lvl == 2
+				m.kind = monLinear
+				m.prefixLen = len(req.Pred.Atoms)
+				m.lcBits = e.cfg.LinearBits
+				if m.lcBits == 0 {
+					m.lcBits = core.DefaultLinearCounterBits(node.Tab.NumPages())
+				}
+				m.lc = core.NewLinearCounter(m.lcBits)
+				m.shed = true
+				m.shedReason = "load-shed: exact grouped counting degraded to linear counting (level 2)"
+			}
 		} else {
 			// Not a prefix: evaluating it needs short-circuiting turned
-			// off, so bound the cost with page sampling (Fig 4).
+			// off, so bound the cost with page sampling (Fig 4). Shedding
+			// thins the sampling fraction instead of changing mechanism.
 			m.kind = monSampled
 			m.pred = bound
-			m.dps = core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed())
+			f := e.cfg.sampleFraction()
+			switch {
+			case lvl == 1:
+				f /= 4
+				m.shed = true
+				m.shedReason = "load-shed: sampling fraction thinned 4x (level 1)"
+			case lvl >= 2:
+				f /= 16
+				m.shed = true
+				m.shedReason = "load-shed: sampling fraction thinned 16x (level 2)"
+			}
+			m.dps = core.NewDPSample(f, e.nextSeed())
 		}
 		m.injectFail = e.cfg.failInjected(m.mechanism())
+		m.overheadBudget = e.cfg.OverheadBudget
 		op.attach(m)
 		e.scanMons = append(e.scanMons, m)
 		e.satisfied[i] = true
@@ -316,7 +389,23 @@ func (e *Execution) newSeekMonitor(req DPCRequest, tab *catalog.Table, mech stri
 	if bits == 0 {
 		bits = core.DefaultLinearCounterBits(tab.NumPages())
 	}
+	var shedReason string
+	if e.shedLevel() >= 2 {
+		// Seek monitors already sit at the linear-counting rung; level 2
+		// thins their bitmap to an eighth (floor 1024 bits).
+		if bits/8 >= 1024 {
+			bits /= 8
+		} else if bits > 1024 {
+			bits = 1024
+		}
+		shedReason = "load-shed: linear-counting bitmap thinned under overload (level 2)"
+	}
 	m := &seekMonitor{req: req, mech: mech, lc: core.NewLinearCounter(bits)}
+	if shedReason != "" {
+		m.shed = true
+		m.shedReason = shedReason
+	}
+	m.overheadBudget = e.cfg.OverheadBudget
 	m.injectFail = e.cfg.failInjected(mech)
 	if e.cfg.CompareSamplingEstimator {
 		size := e.cfg.ReservoirSize
@@ -345,6 +434,11 @@ func (e *Execution) buildSeek(node *plan.Seek) (Operator, error) {
 		if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
 			continue
 		}
+		if e.shedLevel() >= 3 {
+			e.shedPlaceholder(i, req, MechLinearCount,
+				"load-shed: monitoring disabled under overload (level 3)")
+			continue
+		}
 		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
 		e.satisfied[i] = true
 	}
@@ -362,6 +456,11 @@ func (e *Execution) buildIntersect(node *plan.Intersect) (Operator, error) {
 			continue
 		}
 		if core.Key(req.Table, req.Pred) != core.Key(node.Tab.Name, node.Pred) {
+			continue
+		}
+		if e.shedLevel() >= 3 {
+			e.shedPlaceholder(i, req, MechLinearCount,
+				"load-shed: monitoring disabled under overload (level 3)")
 			continue
 		}
 		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
@@ -438,12 +537,31 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 			if !ok {
 				continue
 			}
+			if e.shedLevel() >= 2 {
+				// The bit-vector filter costs per-row insertions on the RE
+				// side plus filter memory; under heavy shedding it is not
+				// planted at all.
+				e.shedPlaceholder(i, req, MechBitVector,
+					"load-shed: join bit-vector filter not planted under overload (level 2+)")
+				break
+			}
+			f := e.cfg.sampleFraction()
+			var shedReason string
+			if e.shedLevel() == 1 {
+				f /= 4
+				shedReason = "load-shed: sampling fraction thinned 4x (level 1)"
+			}
 			filter := core.NewBitVectorFilter(e.bitvectorBits(innerScan))
 			m := &scanMonitor{
 				req: req, kind: monJoinFilter,
 				filter: filter, joinColOrd: joinOrd,
-				dps: core.NewDPSample(e.cfg.sampleFraction(), e.nextSeed()),
+				dps: core.NewDPSample(f, e.nextSeed()),
 			}
+			if shedReason != "" {
+				m.shed = true
+				m.shedReason = shedReason
+			}
+			m.overheadBudget = e.cfg.OverheadBudget
 			m.injectFail = e.cfg.failInjected(m.mechanism())
 			sink = &filterSink{m: m, f: filter}
 			innerScan.attach(m)
@@ -521,6 +639,11 @@ func (e *Execution) buildINL(node *plan.Join) (Operator, error) {
 	if e.cfg != nil {
 		for i, req := range e.cfg.Requests {
 			if e.satisfied[i] || !req.Join || !sameTable(req.Table, node.InnerTab.Name) {
+				continue
+			}
+			if e.shedLevel() >= 3 {
+				e.shedPlaceholder(i, req, MechINLFetch,
+					"load-shed: monitoring disabled under overload (level 3)")
 				continue
 			}
 			// The INL fetch stream is exactly the pages relevant to
@@ -607,6 +730,7 @@ func (e *Execution) DPCResults() []DPCResult {
 	for _, m := range e.seekMons {
 		out = append(out, m.result())
 	}
+	out = append(out, e.shedRes...)
 	out = append(out, e.unsat...)
 	return out
 }

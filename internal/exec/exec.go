@@ -39,6 +39,10 @@ type Context struct {
 	// 0 or 1 means serial execution; the builder never parallelizes
 	// order-sensitive subtrees regardless of the setting.
 	Parallelism int
+	// Mem, when non-nil, accounts bytes materialized by allocating operators
+	// against a per-query budget; exceeding it aborts the query with an
+	// error wrapping ErrMemBudget.
+	Mem *MemTracker
 
 	rowsTouched int64
 
@@ -90,7 +94,7 @@ func (c *Context) interrupted() error {
 // rowsTouched locally, so workers never contend on (or race over) the parent
 // counter; the barrier absorbs the counts after the workers have exited.
 func (c *Context) child() *Context {
-	return &Context{Pool: c.Pool, CPUPerRow: c.CPUPerRow, goCtx: c.goCtx, done: c.done}
+	return &Context{Pool: c.Pool, CPUPerRow: c.CPUPerRow, Mem: c.Mem, goCtx: c.goCtx, done: c.done}
 }
 
 // absorb folds a finished worker context's counters into c. Callers must

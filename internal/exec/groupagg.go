@@ -29,6 +29,10 @@ type groupState struct {
 	seen       bool
 }
 
+// groupStateMemSize approximates one groupState's footprint for the memory
+// tracker (three Values plus the counters).
+const groupStateMemSize = 3*valueMemSize + 24
+
 // NewGroupAgg builds the operator. fn is one of "count","sum","min","max".
 func NewGroupAgg(ctx *Context, input Operator, groupOrd int, fn string, aggOrd int, schema *tuple.Schema) (*GroupAggOp, error) {
 	var code byte
@@ -76,6 +80,10 @@ func (g *GroupAggOp) Open() error {
 		key := string(tuple.EncodeKey(gv))
 		st := groups[key]
 		if st == nil {
+			if err := g.ctx.Mem.Grow(groupStateMemSize + int64(len(key)) + mapEntryOverhead); err != nil {
+				g.input.Close()
+				return err
+			}
 			st = &groupState{key: gv}
 			groups[key] = st
 		}

@@ -74,6 +74,10 @@ func (j *HashJoinOp) Open() error {
 		j.ctx.touch(1)
 		v := row[j.buildOrd]
 		key := string(tuple.EncodeKey(v))
+		if err := j.ctx.Mem.Grow(rowMemSize(row) + mapEntryOverhead); err != nil {
+			j.build.Close()
+			return err
+		}
 		j.table[key] = append(j.table[key], row.Clone())
 		if j.filter != nil {
 			j.filter.Add(v)

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"pagefeedback/internal/catalog"
 	"pagefeedback/internal/core"
@@ -35,6 +36,25 @@ type MonitorConfig struct {
 	// mechanism appears here panic on their first observation, exercising
 	// the quarantine path. Production callers leave it empty.
 	FailMonitors []string
+
+	// ShedLevel degrades monitors at plant time along the paper's mechanism
+	// lattice (exact grouped counting → DPSample → linear counting →
+	// disabled), trading observation quality for overhead under load:
+	//   0  full fidelity (default);
+	//   1  exact prefix counters become DPSample, sampled monitors thin
+	//      their fraction;
+	//   2  prefix monitors fall to linear counting, sampling thins further,
+	//      join filters are not planted;
+	//   3  no monitors are planted at all.
+	// Every monitor degraded relative to level 0 reports Degraded (with
+	// Shed set), so its observation never reaches the feedback cache —
+	// mirroring the quarantine contract.
+	ShedLevel int
+	// OverheadBudget, when > 0, caps each monitor's cumulative observation
+	// wall time; a monitor that exceeds it sheds itself mid-query — the
+	// §III-B short-circuit disable generalized from per-page sampling cost
+	// to measured overhead.
+	OverheadBudget time.Duration
 }
 
 // failInjected reports whether fault injection is armed for mechanism mech.
@@ -98,11 +118,17 @@ type DPCResult struct {
 	Cardinality int64
 	// SamplingEstimate is the GEE comparison estimate, when enabled.
 	SamplingEstimate int64
-	// Degraded is true when the monitor failed mid-query and was
-	// quarantined: the query finished normally but produced no trustworthy
-	// observation for this request, and ApplyFeedback ignores it.
+	// Degraded is true when the monitor produced no trustworthy observation
+	// — it failed mid-query and was quarantined, or it was load-shed to a
+	// cheaper mechanism under overload. The query finished normally, but
+	// ApplyFeedback ignores this result.
 	Degraded bool
-	// Reason explains an unsatisfiable request or a quarantined monitor.
+	// Shed distinguishes load-shedding (deliberate degradation under
+	// pressure; the estimate may still be present) from quarantine (the
+	// monitor crashed; no observation at all).
+	Shed bool `xml:"shed,attr,omitempty"`
+	// Reason explains an unsatisfiable request, a quarantined monitor, or a
+	// shed monitor.
 	Reason string
 }
 
@@ -113,6 +139,7 @@ const (
 	monExactPrefix scanMonitorKind = iota // predicate is a prefix of the scan predicate
 	monSampled                            // DPSample; full evaluation on sampled pages
 	monJoinFilter                         // bit-vector semi-join predicate
+	monLinear                             // linear counting over prefix page hits (shed rung)
 )
 
 // scanMonitor is one DPC monitor attached to an SE-side scan.
@@ -134,12 +161,28 @@ type scanMonitor struct {
 	filter     *core.BitVectorFilter
 	joinColOrd int
 
+	// monLinear: probabilistic counting of prefix-satisfying pages — the
+	// third rung of the shed lattice; prefix hits still come free from the
+	// scan's short-circuit evaluation, only the counter is cheaper.
+	lc     *core.LinearCounter
+	lcBits uint64
+
 	// quarantine state: a monitor that panics is disabled for the rest of
 	// the query and reports a degraded result; the host query is unaffected.
 	disabled bool
 	failure  string
 	// injectFail makes the first observation panic (test hook).
 	injectFail bool
+
+	// shed state: a load-shed monitor estimates at a cheaper lattice rung
+	// (or not at all) and reports Degraded with this reason, keeping its
+	// observation out of the feedback cache.
+	shed       bool
+	shedReason string
+	// overheadBudget arms mid-query self-shedding: once obsTime (cumulative
+	// wall time spent observing) crosses it, the monitor disables itself.
+	overheadBudget time.Duration
+	obsTime        time.Duration
 }
 
 // shard returns a fresh monitor that observes one page-disjoint partition of
@@ -153,10 +196,14 @@ func (m *scanMonitor) shard() *scanMonitor {
 		req: m.req, kind: m.kind, prefixLen: m.prefixLen, pred: m.pred,
 		filter: m.filter, joinColOrd: m.joinColOrd,
 		disabled: m.disabled, failure: m.failure, injectFail: m.injectFail,
+		shed: m.shed, shedReason: m.shedReason, overheadBudget: m.overheadBudget,
+		lcBits: m.lcBits,
 	}
 	switch m.kind {
 	case monExactPrefix:
 		s.gc = core.NewGroupedCounter()
+	case monLinear:
+		s.lc = core.NewLinearCounter(m.lcBits)
 	default:
 		s.dps = m.dps.Fork()
 	}
@@ -173,6 +220,8 @@ func (m *scanMonitor) absorb(s *scanMonitor) {
 	if s.disabled && !m.disabled {
 		m.disabled = true
 		m.failure = s.failure
+		m.shed = s.shed
+		m.shedReason = s.shedReason
 	}
 	if m.disabled {
 		return
@@ -183,9 +232,12 @@ func (m *scanMonitor) absorb(s *scanMonitor) {
 		}
 	}()
 	m.rows += s.rows
+	m.obsTime += s.obsTime
 	switch m.kind {
 	case monExactPrefix:
 		m.gc.Merge(s.gc)
+	case monLinear:
+		m.lc.Merge(s.lc)
 	default:
 		m.dps.Merge(s.dps)
 	}
@@ -198,6 +250,8 @@ func (m *scanMonitor) mechanism() string {
 		return MechExactScan
 	case monSampled:
 		return MechDPSample
+	case monLinear:
+		return MechLinearCount
 	default:
 		return MechBitVector
 	}
@@ -207,6 +261,14 @@ func (m *scanMonitor) mechanism() string {
 func (m *scanMonitor) quarantine(v any) {
 	m.disabled = true
 	m.failure = fmt.Sprint(v)
+}
+
+// shedOff disables the monitor as a deliberate load-shedding decision; the
+// result is Degraded with Shed set, distinguishing it from a quarantine.
+func (m *scanMonitor) shedOff(reason string) {
+	m.disabled = true
+	m.shed = true
+	m.shedReason = reason
 }
 
 // safeObservePage is observePage behind the quarantine guard: a panic inside
@@ -224,6 +286,16 @@ func (m *scanMonitor) safeObservePage(b *catalog.RowBatch, failIdx []int) {
 	}()
 	if m.injectFail {
 		panic("exec: injected monitor fault (" + m.mechanism() + ")")
+	}
+	if m.overheadBudget > 0 {
+		start := time.Now()
+		m.observePage(b, failIdx)
+		m.obsTime += time.Since(start)
+		if m.obsTime > m.overheadBudget {
+			m.shedOff(fmt.Sprintf("load-shed: observation overhead %v exceeded budget %v",
+				m.obsTime, m.overheadBudget))
+		}
+		return
 	}
 	m.observePage(b, failIdx)
 }
@@ -255,6 +327,8 @@ func (m *scanMonitor) safeFinish() {
 	switch m.kind {
 	case monExactPrefix:
 		m.gc.Finish()
+	case monLinear:
+		// Linear counting has no per-page carry state to close out.
 	default:
 		m.dps.Finish()
 	}
@@ -278,6 +352,17 @@ func (m *scanMonitor) observePage(b *catalog.RowBatch, failIdx []int) {
 			}
 		}
 		m.gc.Observe(b.PID, hit)
+	case monLinear:
+		hit := false
+		for _, fi := range failIdx {
+			if fi == -1 || fi >= m.prefixLen {
+				m.rows++
+				hit = true
+			}
+		}
+		if hit {
+			m.lc.AddPID(b.PID)
+		}
 	case monSampled:
 		// One sampling decision per page; rows are evaluated (with
 		// short-circuiting off) only when the page is in the sample.
@@ -348,16 +433,26 @@ func (m *scanMonitor) lateMatch(rid storage.RID) {
 // feedback consumers skip it.
 func (m *scanMonitor) result() DPCResult {
 	if m.disabled {
-		return DPCResult{
-			Request: m.req, Mechanism: m.mechanism(), Degraded: true,
+		r := DPCResult{
+			Request: m.req, Mechanism: m.mechanism(), Degraded: true, Shed: m.shed,
 			Reason: "monitor quarantined: " + m.failure,
 		}
+		if m.shed {
+			r.Reason = m.shedReason
+		}
+		return r
 	}
+	var r DPCResult
 	switch m.kind {
 	case monExactPrefix:
-		return DPCResult{
+		r = DPCResult{
 			Request: m.req, Mechanism: MechExactScan,
 			DPC: m.gc.Count(), Exact: true, Cardinality: m.rows,
+		}
+	case monLinear:
+		r = DPCResult{
+			Request: m.req, Mechanism: MechLinearCount,
+			DPC: m.lc.EstimateInt(), Exact: false, Cardinality: m.rows,
 		}
 	case monSampled:
 		exact := m.dps.Fraction() >= 1
@@ -365,15 +460,23 @@ func (m *scanMonitor) result() DPCResult {
 		if !exact {
 			card = int64(math.Round(float64(m.rows) / m.dps.Fraction()))
 		}
-		return DPCResult{
+		r = DPCResult{
 			Request: m.req, Mechanism: MechDPSample,
 			DPC: m.dps.EstimateInt(), Exact: exact, Cardinality: card,
 		}
 	default:
 		card := int64(math.Round(float64(m.rows) / m.dps.Fraction()))
-		return DPCResult{
+		r = DPCResult{
 			Request: m.req, Mechanism: MechBitVector,
 			DPC: m.dps.EstimateInt(), Exact: false, Cardinality: card,
 		}
 	}
+	if m.shed {
+		// Planted at a cheaper rung than requested: the estimate is present
+		// but untrusted; it must not feed the cache.
+		r.Degraded = true
+		r.Shed = true
+		r.Reason = m.shedReason
+	}
+	return r
 }

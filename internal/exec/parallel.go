@@ -154,10 +154,19 @@ func (p *ParallelScan) worker(idx int, wctx *Context, part catalog.ScanPart, mon
 	// overhead. Flushes happen on page boundaries, so leave headroom for the
 	// last page's overshoot past parFlushRows.
 	arenaCap := 0
+	var memErr error
 	emit := func(row tuple.Row) {
+		if memErr != nil {
+			return
+		}
 		if arena == nil {
 			if arenaCap == 0 {
 				arenaCap = (parFlushRows + parFlushRows/2) * len(row)
+			}
+			// Arenas are retained by the consumer, so each one is charged
+			// against the query's memory budget when allocated.
+			if memErr = wctx.Mem.Grow(int64(arenaCap) * valueMemSize); memErr != nil {
+				return
 			}
 			arena = make([]tuple.Value, 0, arenaCap)
 		}
@@ -217,6 +226,10 @@ func (p *ParallelScan) worker(idx int, wctx *Context, part catalog.ScanPart, mon
 			} else {
 				emit(row)
 			}
+		}
+		if memErr != nil {
+			p.send(parBatch{err: memErr})
+			return
 		}
 		if len(bounds) >= parFlushRows {
 			if !flush() {

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pagefeedback/internal/catalog"
 	"pagefeedback/internal/core"
@@ -25,6 +26,14 @@ type seekMonitor struct {
 	disabled   bool
 	failure    string
 	injectFail bool
+
+	// shed state; see scanMonitor. Seek monitors already sit at the linear
+	// counting rung, so plant-time shedding only thins their bitmap; the
+	// overhead budget can still disable them mid-query.
+	shed           bool
+	shedReason     string
+	overheadBudget time.Duration
+	obsTime        time.Duration
 }
 
 func (m *seekMonitor) observe(pid storage.PageID) {
@@ -40,19 +49,36 @@ func (m *seekMonitor) observe(pid storage.PageID) {
 	if m.injectFail {
 		panic("exec: injected monitor fault (" + m.mech + ")")
 	}
+	var start time.Time
+	if m.overheadBudget > 0 {
+		start = time.Now()
+	}
 	m.rows++
 	m.lc.AddPID(pid)
 	if m.sd != nil {
 		m.sd.AddPID(pid)
 	}
+	if m.overheadBudget > 0 {
+		m.obsTime += time.Since(start)
+		if m.obsTime > m.overheadBudget {
+			m.disabled = true
+			m.shed = true
+			m.shedReason = fmt.Sprintf("load-shed: observation overhead %v exceeded budget %v",
+				m.obsTime, m.overheadBudget)
+		}
+	}
 }
 
 func (m *seekMonitor) result() DPCResult {
 	if m.disabled {
-		return DPCResult{
-			Request: m.req, Mechanism: m.mech, Degraded: true,
+		r := DPCResult{
+			Request: m.req, Mechanism: m.mech, Degraded: true, Shed: m.shed,
 			Reason: "monitor quarantined: " + m.failure,
 		}
+		if m.shed {
+			r.Reason = m.shedReason
+		}
+		return r
 	}
 	r := DPCResult{
 		Request: m.req, Mechanism: m.mech,
@@ -60,6 +86,11 @@ func (m *seekMonitor) result() DPCResult {
 	}
 	if m.sd != nil {
 		r.SamplingEstimate = m.sd.EstimateInt()
+	}
+	if m.shed {
+		r.Degraded = true
+		r.Shed = true
+		r.Reason = m.shedReason
 	}
 	return r
 }
@@ -213,6 +244,10 @@ func (s *IndexIntersect) collect(ix *catalog.Index, ranges []expr.KeyRange) (map
 				lastLeaf = leaf
 			}
 			s.ctx.touch(1)
+			if err := s.ctx.Mem.Grow(8 + mapEntryOverhead); err != nil {
+				it.Close()
+				return nil, err
+			}
 			set[it.RID().AsInt64()] = struct{}{}
 		}
 		err = it.Err()

@@ -64,6 +64,10 @@ func (s *SortOp) Open() error {
 		if s.filter != nil {
 			s.filter.Add(row[s.filterOrd])
 		}
+		if err := s.ctx.Mem.Grow(rowMemSize(row)); err != nil {
+			s.input.Close()
+			return err
+		}
 		s.rows = append(s.rows, row.Clone())
 	}
 	if err := s.input.Close(); err != nil {

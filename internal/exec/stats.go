@@ -33,7 +33,8 @@ type PageCountXML struct {
 	Estimated  int64  `xml:"estimated,attr"` // the optimizer's analytical estimate
 	Actual     int64  `xml:"actual,attr"`    // the fed-back observation
 	Exact      bool   `xml:"exact,attr"`
-	Degraded   bool   `xml:"degraded,attr,omitempty"` // monitor quarantined mid-query
+	Degraded   bool   `xml:"degraded,attr,omitempty"` // monitor quarantined or shed mid-query
+	Shed       bool   `xml:"shed,attr,omitempty"`     // degradation was load-shedding, not a fault
 	Reason     string `xml:"reason,attr,omitempty"`
 }
 
@@ -54,6 +55,26 @@ type RuntimeStats struct {
 	// PrefetchedPages counts pages the buffer pool read ahead of demand on
 	// behalf of parallel scan workers.
 	PrefetchedPages int64 `xml:"prefetchedPages,attr,omitempty"`
+	// QueueWait is the time the query spent in the admission queue before
+	// starting; QueueDepth is how many queries were already queued when it
+	// arrived.
+	QueueWait  time.Duration `xml:"queueWait,attr,omitempty"`
+	QueueDepth int           `xml:"queueDepth,attr,omitempty"`
+	// ReadRetries counts transient storage faults absorbed by the backoff
+	// policy during this query.
+	ReadRetries int64 `xml:"readRetries,attr,omitempty"`
+	// PoolWaits / PoolWaitTime report bounded waits on exhausted buffer-pool
+	// shards (graceful degradation instead of instant exhaustion errors).
+	PoolWaits    int64         `xml:"poolWaits,attr,omitempty"`
+	PoolWaitTime time.Duration `xml:"poolWaitTime,attr,omitempty"`
+	// MemPeakBytes is the high-water mark of bytes materialized by the
+	// query's allocating operators, when a memory tracker was attached.
+	MemPeakBytes int64 `xml:"memPeakBytes,attr,omitempty"`
+	// ShedMonitors counts DPC monitors degraded by load-shedding (planted at
+	// a cheaper rung of the mechanism lattice, or disabled under pressure);
+	// like quarantined monitors, their results never reach the feedback
+	// cache.
+	ShedMonitors int `xml:"shedMonitors,attr,omitempty"`
 }
 
 // snapshotOpStats converts the live OpStats tree into the XML form.

@@ -11,10 +11,11 @@ import (
 // (the package containing engine.go/facade.go and the QueryError type):
 //
 //   - An error produced by a call into internal/exec or internal/storage
-//     must not be returned from an exported function in engine.go/facade.go
-//     without passing through classifyQueryError (which wraps it in a
-//     *QueryError of the right kind). Callers pattern-match on the kind;
-//     a naked storage error would silently skip their handling.
+//     must not be returned from an exported function in
+//     engine.go/facade.go/admission.go without passing through
+//     classifyQueryError (which wraps it in a *QueryError of the right
+//     kind). Callers pattern-match on the kind; a naked storage error would
+//     silently skip their handling.
 //   - Every QueryError composite literal must set Kind to one of the
 //     ErrKind* constants — an empty or ad-hoc kind defeats classification.
 //   - The boundary package must not panic: panics belong below the recover
@@ -40,7 +41,7 @@ func runErrKind(pass *Pass) error {
 	anyBoundary := false
 	for _, f := range pass.Files {
 		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
-		if base == "engine.go" || base == "facade.go" {
+		if base == "engine.go" || base == "facade.go" || base == "admission.go" {
 			boundaryFiles[f] = true
 			anyBoundary = true
 		}

@@ -1,0 +1,29 @@
+package errkind
+
+import "storage"
+
+// admission.go is a boundary file: the admission gate hands out typed
+// overload errors, so raw internal errors must not escape from it either.
+
+// Acquire leaks a raw storage error from the admission path.
+func Acquire(pool *storage.BufferPool) error {
+	err := storage.FlushAll(pool)
+	if err != nil {
+		return err // want `error from internal/storage returned across the engine boundary`
+	}
+	return nil
+}
+
+// AcquireClassified wraps the error before it crosses the boundary.
+func AcquireClassified(pool *storage.BufferPool) error {
+	if err := storage.FlushAll(pool); err != nil {
+		return classifyQueryError(err)
+	}
+	return nil
+}
+
+// rejectUntyped builds the overload rejection with a string kind instead of
+// an ErrKind* constant.
+func rejectUntyped() error {
+	return &QueryError{Kind: "overload"} // want `QueryError.Kind must be one of the ErrKind\* constants`
+}

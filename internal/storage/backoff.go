@@ -1,0 +1,80 @@
+package storage
+
+import "time"
+
+// BackoffPolicy is the single retry/backoff policy for transient storage
+// faults. Every layer that retries a transiently failing operation — today
+// the DiskManager's page-read retry — charges delays from one policy instead
+// of hard-coding its own, so the retry budget and the backoff curve are
+// tunable (and observable) in one place.
+//
+// Delays grow exponentially from Base up to Max, with a deterministic jitter:
+// the jitter for a given (Seed, sequence, attempt) triple is a pure function,
+// so a seeded run — the chaos harness, a reproduced bug — sees byte-identical
+// timing charges on every execution.
+type BackoffPolicy struct {
+	// MaxRetries bounds how many times an operation is retried before the
+	// transient fault is reported as hard. Zero or negative disables retry.
+	MaxRetries int
+	// Base is the delay charged for the first retry.
+	Base time.Duration
+	// Max caps the exponentially growing delay. Zero means no cap.
+	Max time.Duration
+	// Jitter is the fraction of each delay that is randomized away: the
+	// charged delay is uniform in [(1-Jitter)·d, d]. Zero disables jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+}
+
+// DefaultBackoffPolicy matches the historical retry behavior of the disk
+// manager under the given timing model: up to maxReadRetries retries, each
+// charged about one random read (the device re-seeks after an aborted
+// transfer), growing to a small multiple under repeated faults.
+func DefaultBackoffPolicy(model IOModel) BackoffPolicy {
+	return BackoffPolicy{
+		MaxRetries: maxReadRetries,
+		Base:       model.RandomRead,
+		Max:        4 * model.RandomRead,
+		Jitter:     0.25,
+		Seed:       1,
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-distributed hash
+// used to derive deterministic jitter from (seed, seq, attempt).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Delay returns the backoff before retry `attempt` (1-based), where seq is a
+// monotone per-device retry sequence number. The result is a pure function of
+// (policy, attempt, seq): no global randomness, so seeded runs reproduce.
+func (p BackoffPolicy) Delay(attempt int, seq uint64) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			d = p.Max
+			break
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 && d > 0 {
+		h := splitmix64(p.Seed ^ seq*0x9e3779b97f4a7c15 ^ uint64(attempt)<<48)
+		frac := float64(h>>11) / float64(uint64(1)<<53) // uniform in [0,1)
+		d = time.Duration(float64(d) * (1 - p.Jitter*frac))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

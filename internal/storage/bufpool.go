@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrPoolExhausted is returned when a page must be brought in but every
@@ -22,6 +23,11 @@ type PoolStats struct {
 	Hits         int64
 	Evictions    int64
 	Prefetched   int64
+	// Waits counts fetches that found their shard exhausted and blocked for
+	// a frame; WaitTime is the total time spent blocked. Merged across
+	// shards on read.
+	Waits    int64
+	WaitTime time.Duration
 }
 
 // Sub returns s - o.
@@ -31,6 +37,8 @@ func (s PoolStats) Sub(o PoolStats) PoolStats {
 		Hits:         s.Hits - o.Hits,
 		Evictions:    s.Evictions - o.Evictions,
 		Prefetched:   s.Prefetched - o.Prefetched,
+		Waits:        s.Waits - o.Waits,
+		WaitTime:     s.WaitTime - o.WaitTime,
 	}
 }
 
@@ -86,6 +94,12 @@ type poolShard struct {
 	free      []*frame // frames whose read failed; reused before growing
 	evictions int64
 
+	// cond wakes fetchers blocked on an exhausted shard; it is signalled
+	// whenever a frame's pin count drops to zero or a frame is freed.
+	cond     *sync.Cond
+	waits    int64
+	waitTime time.Duration
+
 	// inflight counts prefetch reads admitted for this shard but not yet
 	// completed; Prefetch refuses new work past prefetchWindow so a fast
 	// producer cannot flood a shard and evict the working set.
@@ -117,6 +131,28 @@ type BufferPool struct {
 	logicalReads atomic.Int64
 	hits         atomic.Int64
 	prefetched   atomic.Int64
+
+	// waitBudget (nanoseconds) bounds how long a fetch may block waiting for
+	// a frame when its shard is exhausted. Zero keeps the historical
+	// fail-fast behavior: exhaustion errors immediately.
+	waitBudget atomic.Int64
+}
+
+// SetWaitBudget bounds how long FetchPage blocks for a free frame when every
+// frame of the target shard is pinned, converting pool exhaustion from an
+// instant error into a bounded wait: once a concurrent query unpins, the
+// blocked fetch proceeds. Zero (the default) fails fast. The budget applies
+// per fetch; waits show up as Waits/WaitTime in Stats.
+func (bp *BufferPool) SetWaitBudget(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	bp.waitBudget.Store(int64(d))
+}
+
+// WaitBudget returns the current frame-wait budget.
+func (bp *BufferPool) WaitBudget() time.Duration {
+	return time.Duration(bp.waitBudget.Load())
 }
 
 // NewBufferPool creates a pool holding up to capacity pages, sharded as wide
@@ -145,10 +181,12 @@ func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
 		if i < capacity%n {
 			c++
 		}
-		bp.shards[i] = &poolShard{
+		sh := &poolShard{
 			capacity: c,
 			frames:   make(map[frameKey]*frame, c),
 		}
+		sh.cond = sync.NewCond(&sh.mu)
+		bp.shards[i] = sh
 	}
 	return bp
 }
@@ -181,23 +219,26 @@ func (pp *PinnedPage) Unpin(dirty bool) {
 	pp.fr.shard.unpin(pp.fr, dirty)
 }
 
-// FetchPage pins page pid of the file, reading it from disk on a miss.
+// FetchPage pins page pid of the file, reading it from disk on a miss. When
+// the target shard is exhausted (every frame pinned) and a wait budget is
+// configured, the fetch blocks up to that budget for a concurrent unpin
+// instead of failing immediately.
 func (bp *BufferPool) FetchPage(file FileID, pid PageID) (*PinnedPage, error) {
 	bp.logicalReads.Add(1)
 	key := frameKey{file, pid}
 	s := bp.shardFor(key)
 	s.mu.Lock()
-	if fr, ok := s.frames[key]; ok {
+	fr, resident, err := s.acquireFrameLocked(bp, key)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if resident {
 		fr.pins++
 		fr.ref = true
 		s.mu.Unlock()
 		bp.hits.Add(1)
 		return &PinnedPage{fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
-	}
-	fr, err := s.allocFrameLocked(bp.disk, key)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
 	}
 	if err := bp.disk.ReadPage(file, pid, fr.buf); err != nil {
 		s.releaseFrameLocked(fr)
@@ -208,6 +249,45 @@ func (bp *BufferPool) FetchPage(file FileID, pid PageID) (*PinnedPage, error) {
 	fr.ref = true
 	s.mu.Unlock()
 	return &PinnedPage{fr: fr, Page: pageFromBuf(fr.buf), File: file, ID: pid}, nil
+}
+
+// acquireFrameLocked returns the resident frame for key (resident=true) or a
+// fresh frame registered for key (resident=false). On shard exhaustion it
+// waits, up to the pool's wait budget, for a pin to drop or a frame to free;
+// the deadline is enforced by a timer broadcast so an expired waiter wakes
+// even if no unpin ever arrives. Caller holds s.mu throughout (Wait releases
+// it while blocked).
+func (s *poolShard) acquireFrameLocked(bp *BufferPool, key frameKey) (*frame, bool, error) {
+	if fr, ok := s.frames[key]; ok {
+		return fr, true, nil
+	}
+	fr, err := s.allocFrameLocked(bp.disk, key)
+	if err == nil || !errors.Is(err, ErrPoolExhausted) {
+		return fr, false, err
+	}
+	budget := time.Duration(bp.waitBudget.Load())
+	if budget <= 0 {
+		return nil, false, err
+	}
+	s.waits++
+	start := time.Now()
+	timer := time.AfterFunc(budget, s.cond.Broadcast)
+	defer timer.Stop()
+	defer func() { s.waitTime += time.Since(start) }()
+	for {
+		s.cond.Wait()
+		// A concurrent fetch may have brought the page in while we slept.
+		if fr, ok := s.frames[key]; ok {
+			return fr, true, nil
+		}
+		fr, err = s.allocFrameLocked(bp.disk, key)
+		if err == nil || !errors.Is(err, ErrPoolExhausted) {
+			return fr, false, err
+		}
+		if time.Since(start) >= budget {
+			return nil, false, fmt.Errorf("storage: frame wait timed out after %v: %w", budget, err)
+		}
+	}
 }
 
 // prefetchWindow caps the prefetch reads in flight per shard. The window
@@ -345,6 +425,7 @@ func (s *poolShard) releaseFrameLocked(fr *frame) {
 	fr.dirty = false
 	fr.ref = false
 	s.free = append(s.free, fr)
+	s.cond.Signal()
 }
 
 // evictLocked runs the CLOCK hand until it finds an unpinned frame with a
@@ -387,6 +468,11 @@ func (s *poolShard) unpin(fr *frame, dirty bool) {
 	fr.pins--
 	if dirty {
 		fr.dirty = true
+	}
+	if fr.pins == 0 {
+		// A fetcher may be blocked on shard exhaustion; this frame is now an
+		// eviction candidate.
+		s.cond.Signal()
 	}
 }
 
@@ -476,6 +562,8 @@ func (bp *BufferPool) Stats() PoolStats {
 	for _, s := range bp.shards {
 		s.mu.Lock()
 		st.Evictions += s.evictions
+		st.Waits += s.waits
+		st.WaitTime += s.waitTime
 		s.mu.Unlock()
 	}
 	return st
@@ -489,6 +577,8 @@ func (bp *BufferPool) ResetStats() {
 	for _, s := range bp.shards {
 		s.mu.Lock()
 		s.evictions = 0
+		s.waits = 0
+		s.waitTime = 0
 		s.mu.Unlock()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -106,6 +107,46 @@ type DiskManager struct {
 	// transient is the number of upcoming read attempts that fail
 	// transiently (each attempt, including retries, consumes one).
 	transient int64
+	// transientDelay defers the transient burst: that many ReadPage calls
+	// succeed before the burst starts (InjectTransientFaultsAt).
+	transientDelay int64
+	// backoff is the retry policy for transient read faults; retrySeq is the
+	// monotone sequence feeding its deterministic jitter.
+	backoff  BackoffPolicy
+	retrySeq uint64
+
+	// readSeq numbers ReadPage calls when a read hook is installed; the hook
+	// is invoked outside the lock with the 1-based sequence number before the
+	// read is served. The chaos harness uses it to cancel or expire a query
+	// context at an exact read position, deterministically.
+	readSeq  atomic.Int64
+	readHook atomic.Value // readHookBox
+}
+
+type readHookBox struct{ fn func(seq int64) }
+
+// SetReadHook installs fn to be called before every ReadPage with the
+// 1-based sequence number of the call, and resets the sequence counter.
+// Pass nil to remove the hook. The hook runs outside the manager's lock, so
+// it may call back into the engine (e.g. cancel a context) without deadlock.
+func (d *DiskManager) SetReadHook(fn func(seq int64)) {
+	d.readSeq.Store(0)
+	d.readHook.Store(readHookBox{fn})
+}
+
+// SetBackoff replaces the transient-fault retry policy. A MaxRetries of zero
+// disables retry entirely (every transient fault surfaces immediately).
+func (d *DiskManager) SetBackoff(p BackoffPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.backoff = p
+}
+
+// Backoff returns the current retry policy.
+func (d *DiskManager) Backoff() BackoffPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.backoff
 }
 
 // FailReadsAfter arms fault injection: the next n reads succeed, every
@@ -140,6 +181,28 @@ func (d *DiskManager) InjectTransientFaults(n int64) {
 		n = 0
 	}
 	d.transient = n
+	d.transientDelay = 0
+	d.retrySeq = 0
+}
+
+// InjectTransientFaultsAt positions a transient burst: the next `after`
+// ReadPage calls succeed, then the following n read attempts fail
+// transiently. The chaos harness sweeps `after` across a query's read
+// sequence to probe every retry path deterministically.
+func (d *DiskManager) InjectTransientFaultsAt(after, n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if n < 0 {
+		n = 0
+	}
+	d.transientDelay = after
+	d.transient = n
+	// Restarting the jitter sequence makes an identical schedule reproduce
+	// identical backoff delays — the determinism the chaos sweep relies on.
+	d.retrySeq = 0
 }
 
 // CorruptPage simulates a torn write: the tail half of the stored page is
@@ -175,9 +238,14 @@ type fileData struct {
 	hasLast  bool
 }
 
-// NewDiskManager creates an empty disk with the given timing model.
+// NewDiskManager creates an empty disk with the given timing model and the
+// default transient-fault backoff policy.
 func NewDiskManager(model IOModel) *DiskManager {
-	return &DiskManager{model: model, files: make(map[FileID]*fileData)}
+	return &DiskManager{
+		model:   model,
+		files:   make(map[FileID]*fileData),
+		backoff: DefaultBackoffPolicy(model),
+	}
 }
 
 // Model returns the timing model.
@@ -234,6 +302,9 @@ func (d *DiskManager) AllocPage(id FileID) (PageID, error) {
 // maxReadRetries retries (each charged a random-read backoff); checksum
 // mismatches and hard faults are returned immediately.
 func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
+	if box, ok := d.readHook.Load().(readHookBox); ok && box.fn != nil {
+		box.fn(d.readSeq.Add(1))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	f := d.files[id]
@@ -249,23 +320,25 @@ func (d *DiskManager) ReadPage(id FileID, pid PageID, dst []byte) error {
 		}
 		d.failAfter--
 	}
-	// First attempt plus bounded retries for transient faults. Each retry
-	// charges one random-read worth of simulated backoff: the device has to
-	// re-seek after an aborted transfer.
-	attempts := 0
-	for {
-		attempts++
-		if d.transient > 0 {
+	if d.transientDelay > 0 {
+		d.transientDelay--
+	} else {
+		// First attempt plus bounded retries for transient faults, the
+		// delays charged from the central backoff policy (the device has to
+		// re-seek after an aborted transfer, then back off further under
+		// repeated faults).
+		attempts := 0
+		for d.transient > 0 {
 			d.transient--
-			if attempts > maxReadRetries {
+			attempts++
+			if attempts > d.backoff.MaxRetries {
 				return fmt.Errorf("storage: file %d page %d failed after %d retries: %w",
-					id, pid, maxReadRetries, ErrTransientFault)
+					id, pid, d.backoff.MaxRetries, ErrTransientFault)
 			}
+			d.retrySeq++
 			d.stats.ReadRetries++
-			d.stats.SimulatedIO += d.model.RandomRead
-			continue
+			d.stats.SimulatedIO += d.backoff.Delay(attempts, d.retrySeq)
 		}
-		break
 	}
 	if crc32.Checksum(f.pages[pid], crcTable) != f.sums[pid] {
 		d.stats.ChecksumErrors++

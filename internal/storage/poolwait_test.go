@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillPool pins fresh pages until every frame of every shard is pinned.
+// Exhaustion is per-shard, so a single ErrPoolExhausted only means one shard
+// is full — keep allocating (page ids scatter across shards by hash) until
+// the pin count reaches the pool capacity.
+func fillPool(t *testing.T, bp *BufferPool, file FileID) []*PinnedPage {
+	t.Helper()
+	var pins []*PinnedPage
+	for attempts := 0; len(pins) < bp.Capacity(); attempts++ {
+		if attempts > 64*bp.Capacity() {
+			t.Fatalf("could not fill the pool: %d/%d pinned", len(pins), bp.Capacity())
+		}
+		pp, err := bp.NewPage(file, 0x7f)
+		if err != nil {
+			if errors.Is(err, ErrPoolExhausted) {
+				continue // this shard is full; later page ids hash elsewhere
+			}
+			t.Fatal(err)
+		}
+		pins = append(pins, pp)
+	}
+	return pins
+}
+
+// missFetch returns a fetch of a page that exists on disk but is not
+// resident, so it needs a frame. NewPage never waits for a frame; only the
+// FetchPage path does, which is what these tests exercise.
+func missFetch(t *testing.T, bp *BufferPool, file FileID) (FileID, PageID) {
+	t.Helper()
+	pid, err := bp.Disk().AllocPage(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, pid
+}
+
+// TestPoolWaitTimeout: with a wait budget set, a fetch against a fully
+// pinned pool blocks for about the budget, then fails wrapping
+// ErrPoolExhausted, and the wait is visible in the pool stats.
+func TestPoolWaitTimeout(t *testing.T) {
+	disk := NewDiskManager(DefaultIOModel())
+	bp := NewBufferPool(disk, 16)
+	file := disk.CreateFile()
+	pins := fillPool(t, bp, file)
+	defer func() {
+		for _, pp := range pins {
+			pp.Unpin(true)
+		}
+	}()
+
+	const budget = 30 * time.Millisecond
+	bp.SetWaitBudget(budget)
+	f, pid := missFetch(t, bp, file)
+	start := time.Now()
+	_, err := bp.FetchPage(f, pid)
+	waited := time.Since(start)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("error = %v, want wrapped ErrPoolExhausted", err)
+	}
+	if waited < budget/2 {
+		t.Errorf("failed after %v, expected to wait about %v", waited, budget)
+	}
+	st := bp.Stats()
+	if st.Waits == 0 {
+		t.Error("no pool wait recorded")
+	}
+	if st.WaitTime <= 0 {
+		t.Error("no pool wait time recorded")
+	}
+}
+
+// TestPoolWaitSucceeds: a fetch that blocks on an exhausted pool completes
+// as soon as a pin is released within the budget — graceful degradation
+// instead of an instant exhaustion error.
+func TestPoolWaitSucceeds(t *testing.T) {
+	disk := NewDiskManager(DefaultIOModel())
+	bp := NewBufferPool(disk, 16)
+	file := disk.CreateFile()
+	pins := fillPool(t, bp, file)
+
+	bp.SetWaitBudget(2 * time.Second)
+	f, pid := missFetch(t, bp, file)
+	var wg sync.WaitGroup
+	var fetchErr error
+	var got *PinnedPage
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, fetchErr = bp.FetchPage(f, pid)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	for _, pp := range pins {
+		pp.Unpin(true)
+	}
+	wg.Wait()
+	if fetchErr != nil {
+		t.Fatalf("waiting fetch failed despite released pins: %v", fetchErr)
+	}
+	got.Unpin(true)
+	if st := bp.Stats(); st.Waits == 0 {
+		t.Error("ride-through wait not recorded")
+	}
+	if n := bp.Pinned(); n != 0 {
+		t.Errorf("%d pins left", n)
+	}
+}
+
+// TestPoolWaitDefaultOff: the zero-value pool keeps the historical fail-fast
+// contract.
+func TestPoolWaitDefaultOff(t *testing.T) {
+	disk := NewDiskManager(DefaultIOModel())
+	bp := NewBufferPool(disk, 16)
+	if bp.WaitBudget() != 0 {
+		t.Fatalf("default wait budget = %v, want 0", bp.WaitBudget())
+	}
+	file := disk.CreateFile()
+	pins := fillPool(t, bp, file)
+	f, pid := missFetch(t, bp, file)
+	start := time.Now()
+	_, err := bp.FetchPage(f, pid)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("error = %v", err)
+	}
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Errorf("fail-fast path took %v", waited)
+	}
+	for _, pp := range pins {
+		pp.Unpin(true)
+	}
+}
+
+// TestBackoffDelayDeterministic: the jittered backoff schedule is a pure
+// function of (policy, attempt, sequence) — two identical fault runs cost
+// identical simulated time.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	p := DefaultBackoffPolicy(DefaultIOModel())
+	for attempt := 1; attempt <= p.MaxRetries; attempt++ {
+		for seq := uint64(0); seq < 8; seq++ {
+			d1 := p.Delay(attempt, seq)
+			d2 := p.Delay(attempt, seq)
+			if d1 != d2 {
+				t.Fatalf("Delay(%d,%d) nondeterministic: %v vs %v", attempt, seq, d1, d2)
+			}
+			if d1 <= 0 || d1 > p.Max {
+				t.Fatalf("Delay(%d,%d) = %v outside (0, %v]", attempt, seq, d1, p.Max)
+			}
+		}
+	}
+	// Jitter must actually vary across the sequence (not a constant).
+	base := p.Delay(1, 0)
+	varied := false
+	for seq := uint64(1); seq < 16; seq++ {
+		if p.Delay(1, seq) != base {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("jitter never varies across the retry sequence")
+	}
+}
+
+// TestBackoffGrowsToCap: with jitter off, delays grow exponentially from
+// Base and saturate at Max.
+func TestBackoffGrowsToCap(t *testing.T) {
+	p := BackoffPolicy{MaxRetries: 6, Base: time.Millisecond, Max: 4 * time.Millisecond}
+	if d := p.Delay(1, 0); d != time.Millisecond {
+		t.Errorf("attempt 1 delay = %v, want %v", d, time.Millisecond)
+	}
+	if d := p.Delay(2, 0); d != 2*time.Millisecond {
+		t.Errorf("attempt 2 delay = %v, want %v", d, 2*time.Millisecond)
+	}
+	for attempt := 3; attempt <= 6; attempt++ {
+		if d := p.Delay(attempt, 0); d != 4*time.Millisecond {
+			t.Errorf("attempt %d delay = %v, want the %v cap", attempt, d, 4*time.Millisecond)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package pagefeedback
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"pagefeedback/internal/core"
 	"pagefeedback/internal/expr"
@@ -166,7 +168,10 @@ func (e *Engine) ImportFeedbackFromFile(path string) (int, error) {
 
 // writeFileAtomic streams write's output into a temp file next to path and
 // renames it into place only after a successful write and sync. On any
-// failure the temp file is removed and path is left as it was.
+// failure the temp file is removed and path is left as it was. After the
+// rename the parent directory is synced too: the rename itself lives in the
+// directory, and without the directory fsync a crash can durably keep the
+// old file, the new file, or — on some filesystems — neither name.
 func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -188,7 +193,25 @@ func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable. Platforms
+// whose directory handles reject Sync (it is optional in POSIX) degrade to
+// the pre-sync guarantee rather than failing the export.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("pagefeedback: sync %s: %w", dir, err)
+	}
+	return nil
 }
 
 // histDumpSources snapshots the learned histograms by walking the columns
@@ -206,6 +229,11 @@ func (e *Engine) histDumpSources() map[[2]string][]core.DPCObservation {
 // ImportFeedback loads a JSON dump produced by ExportFeedback, storing the
 // entries in the cache, injecting their page counts, and replaying the
 // histogram observations. It returns the number of entries loaded.
+//
+// The import is two-phase: the whole dump is decoded and validated before
+// anything touches the engine, so a malformed dump — unknown operator or
+// value kind, negative counts, duplicate keys, a version from the future —
+// is rejected wholesale and never half-poisons the cache or the optimizer.
 func (e *Engine) ImportFeedback(r io.Reader) (int, error) {
 	var dump feedbackDump
 	if err := json.NewDecoder(r).Decode(&dump); err != nil {
@@ -214,43 +242,95 @@ func (e *Engine) ImportFeedback(r io.Reader) (int, error) {
 	if dump.Version != 1 {
 		return 0, fmt.Errorf("pagefeedback: unsupported feedback dump version %d", dump.Version)
 	}
-	n := 0
-	for _, ej := range dump.Entries {
+	// Phase 1: validate and build, touching no engine state.
+	type pendingEntry struct {
+		table string
+		pred  expr.Conjunction
+		entry core.FeedbackEntry
+	}
+	pending := make([]pendingEntry, 0, len(dump.Entries))
+	seen := make(map[string]bool, len(dump.Entries))
+	for i, ej := range dump.Entries {
+		if ej.Table == "" {
+			return 0, fmt.Errorf("pagefeedback: entry %d has no table", i)
+		}
+		if len(ej.Atoms) == 0 {
+			return 0, fmt.Errorf("pagefeedback: entry %d (%s) has no predicate", i, ej.Table)
+		}
+		if ej.DPC < 0 || ej.Cardinality < 0 {
+			return 0, fmt.Errorf("pagefeedback: entry %d (%s) has negative counts (dpc=%d, cardinality=%d)",
+				i, ej.Table, ej.DPC, ej.Cardinality)
+		}
 		var pred expr.Conjunction
 		for _, aj := range ej.Atoms {
 			op, err := opFromString(aj.Op)
 			if err != nil {
-				return n, err
+				return 0, err
 			}
 			v, err := valueFromJSON(aj.Val)
 			if err != nil {
-				return n, err
+				return 0, err
 			}
 			a := expr.Atom{Col: aj.Col, Op: op, Val: v}
+			if op == expr.Between {
+				if aj.Val2 == nil {
+					return 0, fmt.Errorf("pagefeedback: entry %d (%s): BETWEEN without an upper bound", i, ej.Table)
+				}
+			}
 			if aj.Val2 != nil {
 				v2, err := valueFromJSON(*aj.Val2)
 				if err != nil {
-					return n, err
+					return 0, err
 				}
 				a.Val2 = v2
 			}
 			for _, lv := range aj.List {
 				v, err := valueFromJSON(lv)
 				if err != nil {
-					return n, err
+					return 0, err
 				}
 				a.List = append(a.List, v)
 			}
 			pred.Atoms = append(pred.Atoms, a)
 		}
-		entry := core.FeedbackEntry{
-			Cardinality: ej.Cardinality, DPC: ej.DPC,
-			Mechanism: ej.Mechanism, Exact: ej.Exact,
+		key := core.Key(ej.Table, pred)
+		if seen[key] {
+			return 0, fmt.Errorf("pagefeedback: duplicate entry for %s", key)
 		}
-		e.cache.Store(ej.Table, pred, entry)
-		e.opt.InjectDPC(ej.Table, pred, float64(ej.DPC))
-		e.track(ej.Table, pred, entry)
-		n++
+		seen[key] = true
+		pending = append(pending, pendingEntry{
+			table: ej.Table, pred: pred,
+			entry: core.FeedbackEntry{
+				Cardinality: ej.Cardinality, DPC: ej.DPC,
+				Mechanism: ej.Mechanism, Exact: ej.Exact,
+			},
+		})
+	}
+	for _, hd := range dump.Histograms {
+		if hd.Table == "" || hd.Column == "" {
+			return 0, fmt.Errorf("pagefeedback: histogram dump without table/column")
+		}
+		for _, o := range hd.Observations {
+			if o.Rows < 0 || o.DPC < 0 || o.Hi < o.Lo {
+				return 0, fmt.Errorf("pagefeedback: invalid observation for %s.%s: %+v", hd.Table, hd.Column, o)
+			}
+		}
+	}
+	for _, cd := range dump.JoinCurves {
+		if cd.Table == "" || cd.JoinCol == "" {
+			return 0, fmt.Errorf("pagefeedback: join curve dump without table/column")
+		}
+		for _, p := range cd.Points {
+			if p.Rows < 0 || p.DPC < 0 {
+				return 0, fmt.Errorf("pagefeedback: invalid join point for %s.%s: %+v", cd.Table, cd.JoinCol, p)
+			}
+		}
+	}
+	// Phase 2: apply. Nothing below can fail.
+	for _, p := range pending {
+		e.cache.Store(p.table, p.pred, p.entry)
+		e.opt.InjectDPC(p.table, p.pred, float64(p.entry.DPC))
+		e.track(p.table, p.pred, p.entry)
 	}
 	for _, hd := range dump.Histograms {
 		for _, o := range hd.Observations {
@@ -264,5 +344,5 @@ func (e *Engine) ImportFeedback(r io.Reader) (int, error) {
 		}
 		e.joinCols[[2]string{cd.Table, cd.JoinCol}] = true
 	}
-	return n, nil
+	return len(pending), nil
 }

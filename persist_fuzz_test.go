@@ -1,0 +1,41 @@
+package pagefeedback
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzImportFeedback drives ImportFeedback with arbitrary bytes. Whatever
+// the input — truncated JSON, hostile numbers, duplicate keys, version skew
+// — the importer must never panic, and a rejected dump must leave the
+// engine exactly as it was (empty cache, no injections): import is all or
+// nothing.
+func FuzzImportFeedback(f *testing.F) {
+	f.Add(`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"<","val":{"kind":"int","int":5}}],"dpc":3,"cardinality":10}]}`)
+	f.Add(`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"BETWEEN","val":{"kind":"int","int":1},"val2":{"kind":"int","int":9}}],"dpc":2}]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`{"version":1,"entries":[{"table":"","atoms":[]}]}`)
+	f.Add(`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"<","val":{"kind":"int","int":5}}],"dpc":-1}]}`)
+	f.Add(`{"version":1,"histograms":[{"table":"t","column":"c2","observations":[{"Lo":9,"Hi":1,"Rows":5,"DPC":2}]}]}`)
+	f.Add(`{"version":1,"joinCurves":[{"table":"t","joinCol":"c2","points":[{"Rows":-4,"DPC":1}]}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"IN","val":{"kind":"int"},"list":[{"kind":"str","str":"x"},{"kind":"date","int":9}]}],"dpc":1}]}`)
+
+	f.Fuzz(func(t *testing.T, dump string) {
+		eng := New(Config{PoolPages: 64})
+		n, err := eng.ImportFeedback(strings.NewReader(dump))
+		if err != nil {
+			// Rejected: nothing may have been applied.
+			if n != 0 {
+				t.Fatalf("failed import reported %d entries", n)
+			}
+			if got := eng.FeedbackCache().Len(); got != 0 {
+				t.Fatalf("failed import stored %d cache entries", got)
+			}
+			return
+		}
+		if n != eng.FeedbackCache().Len() {
+			t.Fatalf("import reported %d entries, cache holds %d", n, eng.FeedbackCache().Len())
+		}
+	})
+}

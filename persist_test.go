@@ -106,6 +106,42 @@ func TestImportFeedbackErrors(t *testing.T) {
 		`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"=","val":{"kind":"blob"}}]}]}`)); err == nil {
 		t.Error("unknown value kind imported")
 	}
+	if _, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"<","val":{"kind":"int","int":5}}],"dpc":-3}]}`)); err == nil {
+		t.Error("negative DPC imported")
+	}
+	if _, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[{"table":"t","atoms":[{"col":"c2","op":"BETWEEN","val":{"kind":"int","int":1}}]}]}`)); err == nil {
+		t.Error("BETWEEN without upper bound imported")
+	}
+	dup := `{"table":"t","atoms":[{"col":"c2","op":"<","val":{"kind":"int","int":9}}],"dpc":4,"cardinality":9}`
+	if _, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[` + dup + `,` + dup + `]}`)); err == nil {
+		t.Error("duplicate entries imported")
+	}
+}
+
+// TestImportFeedbackAtomicity: a dump whose tail is invalid must be rejected
+// wholesale — the valid leading entries never reach the cache or the
+// optimizer (the half-poisoned-import failure mode).
+func TestImportFeedbackAtomicity(t *testing.T) {
+	eng := buildTestDB(t, 5000)
+	good := `{"table":"t","atoms":[{"col":"c2","op":"<","val":{"kind":"int","int":123}}],"dpc":7,"cardinality":123}`
+	bad := `{"table":"t","atoms":[{"col":"c5","op":"??","val":{"kind":"int","int":1}}],"dpc":1}`
+	n, err := eng.ImportFeedback(strings.NewReader(
+		`{"version":1,"entries":[` + good + `,` + bad + `]}`))
+	if err == nil {
+		t.Fatal("invalid dump imported")
+	}
+	if n != 0 {
+		t.Errorf("partial import reported %d entries", n)
+	}
+	if got := eng.FeedbackCache().Len(); got != 0 {
+		t.Errorf("failed import left %d cache entries behind", got)
+	}
+	if est, _ := eng.Optimizer().EstimateDPC("t", And(NewAtom("c2", Lt, Int64(123)))); est == 7 {
+		t.Error("failed import injected a DPC into the optimizer")
+	}
 }
 
 func TestExplainShowsProvenance(t *testing.T) {

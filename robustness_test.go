@@ -345,6 +345,7 @@ func TestMonitorQuarantinePerMechanism(t *testing.T) {
 func TestBufferPoolExhaustion(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.PoolPages = 64
+	cfg.PoolWaitBudget = 0 // fail-fast: this test pins frames and never releases mid-query
 	eng := New(cfg)
 	h := NewSchema(
 		Column{Name: "k", Kind: KindInt},
