@@ -33,7 +33,7 @@ BENCH_STAMP ?= $(shell git log -1 --format=%cI 2>/dev/null || date -u +%Y-%m-%dT
 
 bench:
 	BENCH_STAMP=$(BENCH_STAMP) $(GO) test \
-		-bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention|BenchmarkParallelScan|BenchmarkParallelHashJoin' \
+		-bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention|BenchmarkParallelScan|BenchmarkParallelHashJoin|BenchmarkPreparedThroughput|BenchmarkPlanCache' \
 		-benchmem -run xxx .
 
 # Profile the hot path: runs the parallel throughput benchmark under the CPU

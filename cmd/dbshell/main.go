@@ -30,6 +30,8 @@ import (
 const helpText = `commands:
   SELECT ...            run a query (monitoring per \monitor; default on)
   \explain SELECT ...   show the plan and page-count provenance, don't run
+  \prepare NAME SQL     prepare a parameterized statement (? or $n placeholders)
+  \exec NAME ARG...     execute a prepared statement ('str', 2007-06-01, or int args)
   \monitor on|off       toggle DPC monitoring for subsequent queries
   \parallel N           set intra-query parallelism (0/1 = serial)
   \feedback apply       inject the page counts observed by the last query
@@ -115,6 +117,7 @@ type shell struct {
 	timeout  time.Duration
 	parallel int
 	last     *pagefeedback.Result
+	prepared map[string]*pagefeedback.Stmt
 	out      *os.File
 }
 
@@ -165,6 +168,10 @@ func (s *shell) meta(line string) bool {
 			fmt.Fprintf(s.out, "  %-12s %9d rows %7d pages  %s  (%d indexes)\n",
 				t.Name, t.NumRows(), t.NumPages(), kind, len(t.Indexes()))
 		}
+	case `\prepare`:
+		s.prepare(line, fields)
+	case `\exec`:
+		s.exec(fields[1:])
 	case `\stats`:
 		s.stats()
 	case `\feedback`:
@@ -199,6 +206,11 @@ func (s *shell) stats() {
 	} else {
 		fmt.Fprintln(s.out, "admission: unlimited (no concurrency gate)")
 	}
+	pc := s.eng.PlanCacheStats()
+	fmt.Fprintf(s.out, "plancache: %d entries, %d hits, %d misses, %d stale, %d evicted\n",
+		pc.Entries, pc.Hits, pc.Misses, pc.Stale, pc.Evictions)
+	fmt.Fprintf(s.out, "           %d invalidations (feedback epochs), %d instantiation fallbacks\n",
+		pc.Invalidations, pc.Fallbacks)
 	if s.last == nil {
 		fmt.Fprintln(s.out, "last query: none")
 		return
@@ -208,6 +220,64 @@ func (s *shell) stats() {
 		rt.QueueWait, rt.QueueDepth, rt.ReadRetries, rt.PoolWaits, rt.PoolWaitTime)
 	fmt.Fprintf(s.out, "            mem peak %d bytes, %d monitors shed, %d quarantined\n",
 		rt.MemPeakBytes, rt.ShedMonitors, rt.QuarantinedMonitors)
+	fmt.Fprintf(s.out, "            plan cache hit: %v, %d compiled predicates\n",
+		rt.PlanCacheHit, rt.CompiledPredicates)
+}
+
+// prepare handles \prepare NAME SELECT ... — the SQL is everything after the
+// name, placeholders included.
+func (s *shell) prepare(line string, fields []string) {
+	if len(fields) < 3 {
+		fmt.Fprintln(s.out, `usage: \prepare NAME SELECT ... WHERE col < ?`)
+		return
+	}
+	name := fields[1]
+	sql := strings.TrimSpace(line[strings.Index(line, name)+len(name):])
+	stmt, err := s.eng.Prepare(sql)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if s.prepared == nil {
+		s.prepared = make(map[string]*pagefeedback.Stmt)
+	}
+	s.prepared[name] = stmt
+	fmt.Fprintf(s.out, "prepared %s (%d parameter(s))\n", name, stmt.NumParams())
+}
+
+// exec handles \exec NAME ARG... — arguments are coerced by the statement's
+// parameter kinds: integers stay integers, everything else binds as a string
+// (dates in YYYY-MM-DD form are parsed by the binder).
+func (s *shell) exec(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(s.out, `usage: \exec NAME ARG...`)
+		return
+	}
+	stmt, ok := s.prepared[args[0]]
+	if !ok {
+		fmt.Fprintf(s.out, "no prepared statement %q (\\prepare first)\n", args[0])
+		return
+	}
+	vals := make([]pagefeedback.Value, 0, len(args)-1)
+	for _, a := range args[1:] {
+		if unq := strings.Trim(a, `'"`); unq != a {
+			vals = append(vals, pagefeedback.Str(unq))
+		} else if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+			vals = append(vals, pagefeedback.Int64(n))
+		} else {
+			vals = append(vals, pagefeedback.Str(a))
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	res, err := stmt.QueryContext(ctx, vals,
+		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel})
+	stop()
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	s.last = res
+	s.printResult(res)
 }
 
 func (s *shell) feedback(args []string) {
@@ -270,12 +340,20 @@ func (s *shell) runQuery(sql string) {
 		return
 	}
 	s.last = res
+	s.printResult(res)
+}
+
+func (s *shell) printResult(res *pagefeedback.Result) {
 	fmt.Fprint(s.out, plan.Format(res.Plan))
 	for _, row := range res.Rows {
 		fmt.Fprintf(s.out, "  -> %s\n", row)
 	}
-	fmt.Fprintf(s.out, "simulated time %v  (%d physical reads, %d random)\n",
-		res.SimulatedTime, res.Stats.Runtime.PhysicalReads, res.Stats.Runtime.RandomReads)
+	cached := ""
+	if res.PlanCacheHit {
+		cached = ", plan cached"
+	}
+	fmt.Fprintf(s.out, "simulated time %v  (%d physical reads, %d random%s)\n",
+		res.SimulatedTime, res.Stats.Runtime.PhysicalReads, res.Stats.Runtime.RandomReads, cached)
 	for i, x := range res.Stats.DPC {
 		if res.DPC[i].Mechanism == pagefeedback.MechUnsatisfiable {
 			continue

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"pagefeedback/internal/catalog"
@@ -56,6 +57,10 @@ type Config struct {
 	// free up before failing with pool exhaustion. 0 fails fast, preserving
 	// the pool's historical behavior.
 	PoolWaitBudget time.Duration
+	// PlanCacheSize bounds the plan cache (optimized plan templates keyed by
+	// query shape and selectivity bucket, invalidated by feedback epochs).
+	// 0 uses the default capacity; negative disables plan caching.
+	PlanCacheSize int
 }
 
 // DefaultConfig returns a 2007-era disk model, a 64 MB buffer pool,
@@ -79,6 +84,16 @@ type Engine struct {
 	cache *core.FeedbackCache
 	gate  *admissionGate
 
+	// epochs tracks per-table feedback epochs; plans caches optimized plan
+	// templates validated against them. plans is nil when caching is
+	// disabled.
+	epochs *core.EpochTracker
+	plans  *planCache
+
+	// fmu guards tracked, histCols, and joinCols: ApplyFeedback,
+	// InvalidateFeedback, ImportFeedback, and ExportFeedback may run
+	// concurrently with each other and with queries.
+	fmu sync.Mutex
 	// tracked mirrors the feedback cache with structured predicates (the
 	// cache stores rendered text), for ExportFeedback; histCols and
 	// joinCols record which histograms/curves have received observations.
@@ -102,7 +117,7 @@ func New(cfg Config) *Engine {
 	pool := storage.NewBufferPool(disk, cfg.PoolPages)
 	pool.SetWaitBudget(cfg.PoolWaitBudget)
 	cat := catalog.New(pool)
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		disk:     disk,
 		pool:     pool,
@@ -110,15 +125,30 @@ func New(cfg Config) *Engine {
 		gate:     newAdmissionGate(cfg.MaxConcurrent, cfg.MaxQueueDepth),
 		opt:      opt.New(cat, cfg.IOModel, cfg.CPUPerRow),
 		cache:    core.NewFeedbackCache(),
+		epochs:   core.NewEpochTracker(),
 		tracked:  make(map[string]trackedEntry),
 		histCols: make(map[[2]string]bool),
 		joinCols: make(map[[2]string]bool),
 	}
+	if cfg.PlanCacheSize >= 0 {
+		size := cfg.PlanCacheSize
+		if size == 0 {
+			size = defaultPlanCacheSize
+		}
+		e.plans = newPlanCache(size)
+	}
+	// Every feedback mutation in the optimizer — injections, Analyze,
+	// DropTableFeedback, histogram/curve observations — bumps the affected
+	// table's epoch, invalidating cached plans built from the old state.
+	e.opt.SetInvalidationHook(e.bumpPlanEpoch)
+	return e
 }
 
 // track records a structured copy of a cache entry for ExportFeedback.
 func (e *Engine) track(table string, pred expr.Conjunction, entry core.FeedbackEntry) {
+	e.fmu.Lock()
 	e.tracked[core.Key(table, pred)] = trackedEntry{table: table, pred: pred, entry: entry}
+	e.fmu.Unlock()
 }
 
 // tableVersion returns the modification counter of the named table (0 if
@@ -137,6 +167,8 @@ func (e *Engine) tableVersion(name string) int64 {
 func (e *Engine) InvalidateFeedback(table string) {
 	e.cache.DropTable(table)
 	e.opt.DropTableFeedback(table)
+	e.fmu.Lock()
+	defer e.fmu.Unlock()
 	lower := strings.ToLower(table)
 	for k, te := range e.tracked {
 		if strings.EqualFold(te.table, table) {
@@ -274,6 +306,9 @@ type Result struct {
 	// WallTime is the real time spent executing (for monitoring-overhead
 	// measurements).
 	WallTime time.Duration
+	// PlanCacheHit reports whether the plan came from the engine's plan
+	// cache (instantiated from a template, optimizer skipped).
+	PlanCacheHit bool
 }
 
 // Query parses, optimizes, and executes SQL in one call. It is
@@ -300,18 +335,29 @@ func (e *Engine) RunQuery(q *opt.Query, opts *RunOptions) (*Result, error) {
 	return e.RunQueryContext(context.Background(), q, opts)
 }
 
-// RunQueryContext optimizes and executes a parsed query under ctx.
+// RunQueryContext optimizes and executes a parsed query under ctx. When the
+// plan cache holds a valid template for the query's shape and selectivity
+// bucket, the optimizer is skipped: the template is instantiated with the
+// query's constants and executed directly.
 func (e *Engine) RunQueryContext(ctx context.Context, q *opt.Query, opts *RunOptions) (res *Result, err error) {
 	defer recoverQueryPanic(&err)
-	node, err := e.PlanQuery(q)
+	node, skel, hit, err := e.planForQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	res, err = e.ExecuteContext(ctx, node, e.monitorConfig(q, opts), opts)
+	var mcfg *exec.MonitorConfig
+	if hit {
+		mcfg = e.monitorFromSkeleton(skel, q, opts)
+	} else {
+		mcfg = e.monitorConfig(q, opts)
+	}
+	res, err = e.ExecuteContext(ctx, node, mcfg, opts)
 	if err != nil {
 		return nil, err
 	}
 	res.Query = q
+	res.PlanCacheHit = hit
+	res.Stats.Runtime.PlanCacheHit = hit
 	e.fillEstimates(q, res)
 	return res, nil
 }
@@ -436,21 +482,22 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	res.Stats = exec.ExecutionStats{
 		Plan: ex.StatsSnapshot(),
 		Runtime: exec.RuntimeStats{
-			SimulatedIO:     io.SimulatedIO,
-			SimulatedCPU:    ctx.SimCPU(),
-			SimulatedTotal:  res.SimulatedTime,
-			PhysicalReads:   io.PhysicalReads,
-			RandomReads:     io.RandomReads,
-			LogicalReads:    poolStats.LogicalReads,
-			RowsTouched:     ctx.RowsTouched(),
-			Parallelism:     ctx.Parallelism,
-			PrefetchedPages: poolStats.Prefetched,
-			QueueWait:       queueWait,
-			QueueDepth:      queueDepth,
-			ReadRetries:     io.ReadRetries,
-			PoolWaits:       poolStats.Waits,
-			PoolWaitTime:    poolStats.WaitTime,
-			MemPeakBytes:    ctx.Mem.Used(),
+			SimulatedIO:        io.SimulatedIO,
+			SimulatedCPU:       ctx.SimCPU(),
+			SimulatedTotal:     res.SimulatedTime,
+			PhysicalReads:      io.PhysicalReads,
+			RandomReads:        io.RandomReads,
+			LogicalReads:       poolStats.LogicalReads,
+			RowsTouched:        ctx.RowsTouched(),
+			Parallelism:        ctx.Parallelism,
+			PrefetchedPages:    poolStats.Prefetched,
+			QueueWait:          queueWait,
+			QueueDepth:         queueDepth,
+			ReadRetries:        io.ReadRetries,
+			PoolWaits:          poolStats.Waits,
+			PoolWaitTime:       poolStats.WaitTime,
+			MemPeakBytes:       ctx.Mem.Used(),
+			CompiledPredicates: ctx.CompiledPredicates(),
 		},
 	}
 	for _, r := range res.DPC {
@@ -553,7 +600,9 @@ func (e *Engine) ApplyFeedback(res *Result) {
 					// its own operating point and interpolates between
 					// points elsewhere (§VI).
 					e.opt.RecordJoinDPCObservation(r.Request.Table, innerCol, r.Cardinality, r.DPC)
+					e.fmu.Lock()
 					e.joinCols[[2]string{r.Request.Table, innerCol}] = true
+					e.fmu.Unlock()
 				}
 			}
 			continue
@@ -577,7 +626,9 @@ func (e *Engine) ApplyFeedback(res *Result) {
 				a := r.Request.Pred.Atoms[0]
 				if lo, hi, ok := core.ObservationFromAtomRange(a.Op.String(), a.Val, a.Val2); ok {
 					e.opt.RecordDPCObservation(r.Request.Table, cols[0], lo, hi, r.Cardinality, r.DPC)
+					e.fmu.Lock()
 					e.histCols[[2]string{r.Request.Table, cols[0]}] = true
+					e.fmu.Unlock()
 				}
 			}
 		}

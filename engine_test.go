@@ -15,6 +15,13 @@ func buildTestDB(t *testing.T, n int) *Engine {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.PoolPages = 8192
+	return buildTestDBCfg(t, n, cfg)
+}
+
+// buildTestDBCfg is buildTestDB with an explicit engine configuration (the
+// plan-cache tests need cache-disabled engines over identical data).
+func buildTestDBCfg(t *testing.T, n int, cfg Config) *Engine {
+	t.Helper()
 	eng := New(cfg)
 	schema := NewSchema(
 		Column{Name: "c1", Kind: KindInt},

@@ -103,13 +103,18 @@ func (e *Engine) CreateClusteredTable(name string, schema *Schema, clusterCols [
 	return e.cat.CreateClusteredTable(name, schema, clusterCols)
 }
 
-// CreateIndex builds a secondary index over cols.
+// CreateIndex builds a secondary index over cols. A new index changes the
+// available access paths, so cached plans for the table are invalidated.
 func (e *Engine) CreateIndex(name, table string, cols ...string) (*Index, error) {
 	tab, ok := e.cat.Table(table)
 	if !ok {
 		return nil, errNoTable(table)
 	}
-	return e.cat.CreateIndex(name, tab, cols)
+	ix, err := e.cat.CreateIndex(name, tab, cols)
+	if err == nil {
+		e.bumpPlanEpoch(table)
+	}
+	return ix, err
 }
 
 // Load bulk-loads rows into a table (clustered tables require rows sorted

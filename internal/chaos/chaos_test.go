@@ -305,3 +305,67 @@ func TestChaosBackoffDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosPlanCacheParity runs one fault-schedule sweep against two engines
+// over identical data — plan cache enabled vs disabled — with feedback
+// application interleaved so cached entries go stale mid-sweep. Every
+// schedule must produce the same outcome on both: same rows on success, an
+// error of the same rendering on failure. A divergence means the cache
+// changed semantics under faults (served a stale plan, leaked a fault into
+// the template, or altered the read sequence a schedule pins faults to).
+func TestChaosPlanCacheParity(t *testing.T) {
+	const n = 1500
+	offCfg := pagefeedback.DefaultConfig()
+	offCfg.PlanCacheSize = -1
+	cached := chaosEnv(t, pagefeedback.DefaultConfig(), n)
+	uncached := chaosEnv(t, offCfg, n)
+
+	reads := make([]int64, len(cached.Queries))
+	for q := range cached.Queries {
+		reads[q] = cached.CountReads(q)
+	}
+	schedules := GenerateSchedules(reads)
+	for i, s := range schedules {
+		a, b := cached.Run(s), uncached.Run(s)
+		// Wall-clock-bounded schedules are exempt from outcome parity: the
+		// cache legitimately makes the cached engine faster, so it can beat
+		// a deadline the uncached engine misses. The invariant Check below
+		// still applies to both outcomes.
+		parity := s.Timeout == 0
+		switch {
+		case !parity:
+		case (a.Err == nil) != (b.Err == nil):
+			t.Fatalf("%s: cached err=%v, uncached err=%v", s, a.Err, b.Err)
+		case a.Err != nil:
+			if a.Err.Error() != b.Err.Error() {
+				t.Errorf("%s: error diverges: %q vs %q", s, a.Err, b.Err)
+			}
+		case !equalStrings(a.Rows, b.Rows):
+			t.Errorf("%s: rows diverge", s)
+		}
+		if err := cached.Check(s, a); err != nil {
+			t.Errorf("cached: %v", err)
+		}
+		// Every 40 schedules, land fresh feedback on both engines: the
+		// cached engine's entries all go stale and must be re-optimized
+		// while the sweep keeps injecting faults.
+		if i%40 == 39 {
+			for q := range cached.Queries {
+				oa := cached.Run(Schedule{Name: "refeed", Query: q})
+				ob := uncached.Run(Schedule{Name: "refeed", Query: q})
+				if oa.Err != nil || ob.Err != nil {
+					t.Fatalf("refeed failed: %v / %v", oa.Err, ob.Err)
+				}
+				cached.Eng.ApplyFeedback(oa.Res)
+				uncached.Eng.ApplyFeedback(ob.Res)
+			}
+		}
+	}
+	st := cached.Eng.PlanCacheStats()
+	if st.Hits == 0 || st.Stale == 0 {
+		t.Errorf("sweep did not exercise the cache (hits and staleness both required): %+v", st)
+	}
+	if st := uncached.Eng.PlanCacheStats(); st != (pagefeedback.PlanCacheStats{}) {
+		t.Errorf("cache-off engine has non-zero stats: %+v", st)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochTrackerBasics(t *testing.T) {
+	et := NewEpochTracker()
+	if et.Table("t") != 0 || et.Global() != 0 {
+		t.Fatal("fresh tracker not at epoch 0")
+	}
+	et.Bump("t")
+	et.Bump("T") // case-insensitive: same counter
+	if got := et.Table("t"); got != 2 {
+		t.Fatalf("Table(t) = %d, want 2", got)
+	}
+	if got := et.Table("other"); got != 0 {
+		t.Fatalf("Table(other) = %d, want 0", got)
+	}
+	et.BumpAll()
+	if et.Global() != 1 {
+		t.Fatalf("Global() = %d, want 1", et.Global())
+	}
+	if et.Table("t") != 2 {
+		t.Fatal("BumpAll changed a per-table epoch")
+	}
+}
+
+// TestEpochTrackerConcurrent hammers Bump/Table from many goroutines; run
+// with -race. The final count must equal the number of bumps.
+func TestEpochTrackerConcurrent(t *testing.T) {
+	et := NewEpochTracker()
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				et.Bump("tab")
+				et.BumpAll()
+				_ = et.Table("tab")
+				_ = et.Global()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := et.Table("tab"); got != workers*perWorker {
+		t.Fatalf("Table(tab) = %d, want %d", got, workers*perWorker)
+	}
+	if got := et.Global(); got != workers*perWorker {
+		t.Fatalf("Global() = %d, want %d", got, workers*perWorker)
+	}
+}

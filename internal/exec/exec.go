@@ -45,6 +45,11 @@ type Context struct {
 	Mem *MemTracker
 
 	rowsTouched int64
+	// compiledPreds counts operators that evaluate their predicate through
+	// a type-specialized expr.Compiled instead of the generic per-atom
+	// dispatch. Operators increment it at construction time (single-
+	// threaded), so no synchronization is needed.
+	compiledPreds int64
 
 	// goCtx is the query's cancellation scope; nil means uncancellable.
 	goCtx     context.Context
@@ -103,6 +108,13 @@ func (c *Context) absorb(w *Context) { c.rowsTouched += w.rowsTouched }
 
 // touch charges CPU for n rows.
 func (c *Context) touch(n int64) { c.rowsTouched += n }
+
+// noteCompiled records that one operator compiled its predicate.
+func (c *Context) noteCompiled() { c.compiledPreds++ }
+
+// CompiledPredicates returns the number of operators in this execution that
+// run a compiled (type-specialized) predicate evaluator.
+func (c *Context) CompiledPredicates() int64 { return c.compiledPreds }
 
 // RowsTouched returns the total rows processed by all operators so far.
 func (c *Context) RowsTouched() int64 { return c.rowsTouched }

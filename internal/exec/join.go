@@ -342,6 +342,7 @@ type INLJoinOp struct {
 	innerTab  *catalog.Table
 	innerIx   *catalog.Index
 	innerPred expr.Conjunction // residual, bound to inner schema
+	innerCC   expr.Compiled    // type-specialized residual, when compilable
 	schema    *tuple.Schema
 	monitors  []*seekMonitor
 	stats     OpStats
@@ -356,7 +357,8 @@ func NewINLJoin(ctx *Context, outer Operator, outerOrd int, innerTab *catalog.Ta
 	innerIx *catalog.Index, innerPred expr.Conjunction, schema *tuple.Schema) *INLJoinOp {
 	return &INLJoinOp{
 		ctx: ctx, outer: outer, outerOrd: outerOrd,
-		innerTab: innerTab, innerIx: innerIx, innerPred: innerPred, schema: schema,
+		innerTab: innerTab, innerIx: innerIx, innerPred: innerPred,
+		innerCC: compilePred(ctx, innerPred), schema: schema,
 		stats: OpStats{Label: "INLJoin(" + innerTab.Name + "." + innerIx.Name + ")"},
 	}
 }
@@ -387,7 +389,13 @@ func (j *INLJoinOp) Next() (tuple.Row, bool, error) {
 				for _, m := range j.monitors {
 					m.observe(rid.Page)
 				}
-				if j.innerPred.Eval(row) {
+				var sat bool
+				if j.innerCC.OK() {
+					sat = j.innerCC.Eval(row)
+				} else {
+					sat = j.innerPred.Eval(row)
+				}
+				if sat {
 					j.stats.ActRows++
 					return joinRows(j.outerRow, row), true, nil
 				}

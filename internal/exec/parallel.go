@@ -51,6 +51,7 @@ type ParallelScan struct {
 	ctx      *Context
 	tab      *catalog.Table
 	pred     expr.Conjunction // bound
+	cc       expr.Compiled    // type-specialized pred; workers share it read-only
 	degree   int
 	monitors []*scanMonitor // templates; receive merged shard state
 	rowMap   rowMapFn       // optional probe push-down, set before Open
@@ -72,7 +73,7 @@ type ParallelScan struct {
 // the table's schema) with the given worker degree (>= 2).
 func NewParallelScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction, degree int) *ParallelScan {
 	return &ParallelScan{
-		ctx: ctx, tab: tab, pred: pred, degree: degree,
+		ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred), degree: degree,
 		stats: OpStats{Label: fmt.Sprintf("ParallelScan(%s) x%d", tab.Name, degree)},
 	}
 }
@@ -203,15 +204,21 @@ func (p *ParallelScan) worker(idx int, wctx *Context, part catalog.ScanPart, mon
 		}
 		wctx.touch(int64(batch.Len()))
 		failIdx = failIdx[:0]
-		for _, row := range batch.Rows {
-			fi := -1
-			for i := range p.pred.Atoms {
-				if !p.pred.Atoms[i].Eval(row) {
-					fi = i
-					break
-				}
+		if p.cc.OK() {
+			for _, row := range batch.Rows {
+				failIdx = append(failIdx, p.cc.FirstFail(row))
 			}
-			failIdx = append(failIdx, fi)
+		} else {
+			for _, row := range batch.Rows {
+				fi := -1
+				for i := range p.pred.Atoms {
+					if !p.pred.Atoms[i].Eval(row) {
+						fi = i
+						break
+					}
+				}
+				failIdx = append(failIdx, fi)
+			}
 		}
 		for _, m := range mons {
 			m.safeObservePage(&batch, failIdx)

@@ -16,6 +16,7 @@ type SEScan struct {
 	ctx      *Context
 	tab      *catalog.Table
 	pred     expr.Conjunction // bound
+	cc       expr.Compiled    // type-specialized pred, when compilable
 	krange   *expr.KeyRange   // clustered range seek, nil = full scan
 	monitors []*scanMonitor
 	stats    OpStats
@@ -31,14 +32,25 @@ type SEScan struct {
 // NewSEScan builds a scan of tab filtered by pred (already bound to the
 // table's schema).
 func NewSEScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction) *SEScan {
-	return &SEScan{ctx: ctx, tab: tab, pred: pred, stats: OpStats{Label: "Scan(" + tab.Name + ")"}}
+	return &SEScan{ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred),
+		stats: OpStats{Label: "Scan(" + tab.Name + ")"}}
 }
 
 // NewSEClusterRangeScan builds a clustered index range seek over krange,
 // still applying the full pred to each scanned row.
 func NewSEClusterRangeScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction, krange *expr.KeyRange) *SEScan {
-	return &SEScan{ctx: ctx, tab: tab, pred: pred, krange: krange,
+	return &SEScan{ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred), krange: krange,
 		stats: OpStats{Label: "RangeScan(" + tab.Name + ")"}}
+}
+
+// compilePred compiles pred at operator-construction time (single-threaded)
+// and records the use in the execution context's statistics.
+func compilePred(ctx *Context, pred expr.Conjunction) expr.Compiled {
+	cc := expr.Compile(pred)
+	if cc.OK() && ctx != nil {
+		ctx.noteCompiled()
+	}
+	return cc
 }
 
 // attach adds a monitor (called by the builder).
@@ -99,15 +111,21 @@ func (s *SEScan) Next() (tuple.Row, bool, error) {
 		}
 		s.ctx.touch(int64(s.batch.Len()))
 		s.failIdx = s.failIdx[:0]
-		for _, row := range s.batch.Rows {
-			fi := -1
-			for i := range s.pred.Atoms {
-				if !s.pred.Atoms[i].Eval(row) {
-					fi = i
-					break
-				}
+		if s.cc.OK() {
+			for _, row := range s.batch.Rows {
+				s.failIdx = append(s.failIdx, s.cc.FirstFail(row))
 			}
-			s.failIdx = append(s.failIdx, fi)
+		} else {
+			for _, row := range s.batch.Rows {
+				fi := -1
+				for i := range s.pred.Atoms {
+					if !s.pred.Atoms[i].Eval(row) {
+						fi = i
+						break
+					}
+				}
+				s.failIdx = append(s.failIdx, fi)
+			}
 		}
 		for _, m := range s.monitors {
 			m.safeObservePage(&s.batch, s.failIdx)
@@ -149,6 +167,7 @@ type CoveringScan struct {
 	ctx    *Context
 	ix     *catalog.Index
 	pred   expr.Conjunction // bound to the index schema
+	cc     expr.Compiled    // type-specialized pred, when compilable
 	schema *tuple.Schema
 	stats  OpStats
 
@@ -162,7 +181,7 @@ type CoveringScan struct {
 // index-column schema.
 func NewCoveringScan(ctx *Context, ix *catalog.Index, pred expr.Conjunction, schema *tuple.Schema) *CoveringScan {
 	return &CoveringScan{
-		ctx: ctx, ix: ix, pred: pred, schema: schema,
+		ctx: ctx, ix: ix, pred: pred, cc: compilePred(ctx, pred), schema: schema,
 		stats: OpStats{Label: "CoveringScan(" + ix.Table.Name + "." + ix.Name + ")"},
 	}
 }
@@ -191,7 +210,13 @@ func (s *CoveringScan) Next() (tuple.Row, bool, error) {
 		}
 		s.ctx.touch(1)
 		s.rowBuf = append(s.rowBuf[:0], s.it.Values()...)
-		if s.pred.Eval(s.rowBuf) {
+		sat := false
+		if s.cc.OK() {
+			sat = s.cc.Eval(s.rowBuf)
+		} else {
+			sat = s.pred.Eval(s.rowBuf)
+		}
+		if sat {
 			s.stats.ActRows++
 			return s.rowBuf, true, nil
 		}

@@ -104,6 +104,7 @@ type IndexSeek struct {
 	ix       *catalog.Index
 	ranges   []expr.KeyRange
 	pred     expr.Conjunction // full predicate, bound
+	cc       expr.Compiled    // type-specialized pred, when compilable
 	monitors []*seekMonitor
 	stats    OpStats
 
@@ -115,7 +116,7 @@ type IndexSeek struct {
 // NewIndexSeek builds the operator. pred must be bound to tab.Schema.
 func NewIndexSeek(ctx *Context, tab *catalog.Table, ix *catalog.Index, ranges []expr.KeyRange, pred expr.Conjunction) *IndexSeek {
 	return &IndexSeek{
-		ctx: ctx, tab: tab, ix: ix, ranges: ranges, pred: pred,
+		ctx: ctx, tab: tab, ix: ix, ranges: ranges, pred: pred, cc: compilePred(ctx, pred),
 		stats: OpStats{Label: "IndexSeek(" + tab.Name + "." + ix.Name + ")"},
 	}
 }
@@ -156,7 +157,12 @@ func (s *IndexSeek) Next() (tuple.Row, bool, error) {
 				return nil, false, err
 			}
 			s.rowBuf = row
-			sat := s.pred.Eval(row)
+			var sat bool
+			if s.cc.OK() {
+				sat = s.cc.Eval(row)
+			} else {
+				sat = s.pred.Eval(row)
+			}
 			for _, m := range s.monitors {
 				if sat {
 					m.observe(rid.Page)
@@ -204,6 +210,7 @@ type IndexIntersect struct {
 	rngA     []expr.KeyRange
 	rngB     []expr.KeyRange
 	pred     expr.Conjunction
+	cc       expr.Compiled // type-specialized pred, when compilable
 	monitors []*seekMonitor
 	stats    OpStats
 
@@ -216,7 +223,8 @@ type IndexIntersect struct {
 func NewIndexIntersect(ctx *Context, tab *catalog.Table, ixA *catalog.Index, rngA []expr.KeyRange,
 	ixB *catalog.Index, rngB []expr.KeyRange, pred expr.Conjunction) *IndexIntersect {
 	return &IndexIntersect{
-		ctx: ctx, tab: tab, ixA: ixA, ixB: ixB, rngA: rngA, rngB: rngB, pred: pred,
+		ctx: ctx, tab: tab, ixA: ixA, ixB: ixB, rngA: rngA, rngB: rngB,
+		pred: pred, cc: compilePred(ctx, pred),
 		stats: OpStats{Label: "IndexIntersect(" + tab.Name + ")"},
 	}
 }
@@ -302,7 +310,12 @@ func (s *IndexIntersect) Next() (tuple.Row, bool, error) {
 			return nil, false, err
 		}
 		s.rowBuf = row
-		sat := s.pred.Eval(row)
+		var sat bool
+		if s.cc.OK() {
+			sat = s.cc.Eval(row)
+		} else {
+			sat = s.pred.Eval(row)
+		}
 		for _, m := range s.monitors {
 			if sat {
 				m.observe(rid.Page)

@@ -75,6 +75,13 @@ type RuntimeStats struct {
 	// like quarantined monitors, their results never reach the feedback
 	// cache.
 	ShedMonitors int `xml:"shedMonitors,attr,omitempty"`
+	// CompiledPredicates counts operators in this execution that evaluated
+	// their predicate through a type-specialized compiled evaluator instead
+	// of the generic per-atom dispatch.
+	CompiledPredicates int64 `xml:"compiledPredicates,attr,omitempty"`
+	// PlanCacheHit reports whether the plan was instantiated from the
+	// engine's feedback-epoch plan cache instead of being optimized anew.
+	PlanCacheHit bool `xml:"planCacheHit,attr,omitempty"`
 }
 
 // snapshotOpStats converts the live OpStats tree into the XML form.

@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"pagefeedback/internal/tuple"
+)
+
+// Compiled predicate evaluation: the per-row hot path of every scan, seek,
+// and join operator evaluates a Conjunction by switching on the operator and
+// value kind for every atom of every row. Compile resolves that dispatch
+// once — at plan-build time — into a slice of type-specialized closures, so
+// the steady state is a direct call per atom with no switch, no Value.Compare
+// kind checks, and no interface traffic. The closures are immutable after
+// Compile and safe to share across concurrent executions of a cached plan.
+
+// atomFn reports whether one atom accepts the row.
+type atomFn func(tuple.Row) bool
+
+// Compiled is a type-specialized evaluator for one bound Conjunction. The
+// zero value is invalid; obtain one from Compile and check OK.
+type Compiled struct {
+	fns []atomFn
+}
+
+// OK reports whether the compilation produced a usable evaluator. Callers
+// fall back to Conjunction.Eval when it is false.
+func (c Compiled) OK() bool { return c.fns != nil }
+
+// Len returns the number of compiled atoms.
+func (c Compiled) Len() int { return len(c.fns) }
+
+// Eval evaluates the conjunction with short-circuiting, equivalently to
+// Conjunction.Eval on the source predicate.
+func (c Compiled) Eval(row tuple.Row) bool {
+	for _, fn := range c.fns {
+		if !fn(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstFail returns the index of the first atom the row fails, or -1 when
+// every atom accepts it. This mirrors the first-failing-atom loop the scan
+// operators feed to prefix monitors, so compiled evaluation preserves their
+// observation semantics exactly.
+func (c Compiled) FirstFail(row tuple.Row) int {
+	for i, fn := range c.fns {
+		if !fn(row) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compile specializes every atom of a bound conjunction. It returns a
+// Compiled with OK()==false when the predicate is empty (evaluation is
+// already trivial) or when any atom cannot be specialized; callers then use
+// the generic evaluator, so compilation is always safe to attempt.
+func Compile(c Conjunction) Compiled {
+	if len(c.Atoms) == 0 {
+		return Compiled{}
+	}
+	fns := make([]atomFn, len(c.Atoms))
+	for i, a := range c.Atoms {
+		fn := compileAtom(a)
+		if fn == nil {
+			return Compiled{}
+		}
+		fns[i] = fn
+	}
+	return Compiled{fns: fns}
+}
+
+// compileAtom builds the specialized closure for one atom, or nil when the
+// atom's shape is not compilable (unbound, or mixed-kind constants).
+func compileAtom(a Atom) atomFn {
+	if !a.bound {
+		return nil
+	}
+	ord := a.ord
+	switch a.Op {
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		if numericKind(a.Val.Kind) {
+			return compileNumericCmp(ord, a.Op, a.Val.Int)
+		}
+		if a.Val.Kind == tuple.KindString {
+			return compileStringCmp(ord, a.Op, a.Val.Str)
+		}
+		return nil
+	case Between:
+		// Value.Compare treats Int and Date interchangeably, so a mixed
+		// numeric pair is fine; a numeric/string mix is a planner bug the
+		// generic evaluator reports by panicking, so refuse to compile it.
+		if numericKind(a.Val.Kind) && numericKind(a.Val2.Kind) {
+			lo, hi := a.Val.Int, a.Val2.Int
+			return func(row tuple.Row) bool {
+				v := row[ord].Int
+				return v >= lo && v <= hi
+			}
+		}
+		if a.Val.Kind == tuple.KindString && a.Val2.Kind == tuple.KindString {
+			lo, hi := a.Val.Str, a.Val2.Str
+			return func(row tuple.Row) bool {
+				v := row[ord].Str
+				return v >= lo && v <= hi
+			}
+		}
+		return nil
+	case In:
+		return compileIn(ord, a.List)
+	default:
+		return nil
+	}
+}
+
+// numericKind reports whether the kind compares through Value.Int.
+func numericKind(k tuple.Kind) bool {
+	return k == tuple.KindInt || k == tuple.KindDate
+}
+
+func compileNumericCmp(ord int, op CmpOp, c int64) atomFn {
+	switch op {
+	case Eq:
+		return func(row tuple.Row) bool { return row[ord].Int == c }
+	case Ne:
+		return func(row tuple.Row) bool { return row[ord].Int != c }
+	case Lt:
+		return func(row tuple.Row) bool { return row[ord].Int < c }
+	case Le:
+		return func(row tuple.Row) bool { return row[ord].Int <= c }
+	case Gt:
+		return func(row tuple.Row) bool { return row[ord].Int > c }
+	case Ge:
+		return func(row tuple.Row) bool { return row[ord].Int >= c }
+	}
+	return nil
+}
+
+func compileStringCmp(ord int, op CmpOp, c string) atomFn {
+	switch op {
+	case Eq:
+		return func(row tuple.Row) bool { return row[ord].Str == c }
+	case Ne:
+		return func(row tuple.Row) bool { return row[ord].Str != c }
+	case Lt:
+		return func(row tuple.Row) bool { return row[ord].Str < c }
+	case Le:
+		return func(row tuple.Row) bool { return row[ord].Str <= c }
+	case Gt:
+		return func(row tuple.Row) bool { return row[ord].Str > c }
+	case Ge:
+		return func(row tuple.Row) bool { return row[ord].Str >= c }
+	}
+	return nil
+}
+
+// compileIn specializes membership tests. IN lists are uniform-kind by
+// construction (the parser coerces every element to the column kind); a
+// mixed list is left to the generic evaluator. Larger integer lists get a
+// hash set, small ones a linear probe — IN lists in this engine are tiny,
+// so the cutoff only matters for hand-built predicates.
+func compileIn(ord int, list []tuple.Value) atomFn {
+	if len(list) == 0 {
+		return func(tuple.Row) bool { return false }
+	}
+	allNumeric, allString := true, true
+	for _, v := range list {
+		if !numericKind(v.Kind) {
+			allNumeric = false
+		}
+		if v.Kind != tuple.KindString {
+			allString = false
+		}
+	}
+	switch {
+	case allNumeric:
+		if len(list) > 8 {
+			set := make(map[int64]struct{}, len(list))
+			for _, v := range list {
+				set[v.Int] = struct{}{}
+			}
+			return func(row tuple.Row) bool {
+				_, ok := set[row[ord].Int]
+				return ok
+			}
+		}
+		vals := make([]int64, len(list))
+		for i, v := range list {
+			vals[i] = v.Int
+		}
+		return func(row tuple.Row) bool {
+			v := row[ord].Int
+			for _, c := range vals {
+				if v == c {
+					return true
+				}
+			}
+			return false
+		}
+	case allString:
+		vals := make([]string, len(list))
+		for i, v := range list {
+			vals[i] = v.Str
+		}
+		return func(row tuple.Row) bool {
+			v := row[ord].Str
+			for _, c := range vals {
+				if v == c {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return nil
+}

@@ -2,9 +2,9 @@
 // re-implementation of the golang.org/x/tools go/analysis surface, just wide
 // enough for this repository's invariant checkers.
 //
-// The six analyzers (one per file) machine-check the hand-maintained
-// invariants the query-lifecycle, hot-path, and parallel-execution PRs rely
-// on:
+// The seven analyzers (one per file) machine-check the hand-maintained
+// invariants the query-lifecycle, hot-path, parallel-execution, and
+// plan-cache PRs rely on:
 //
 //   - pinleak:      every pinned page reaches Unpin on all control-flow paths
 //   - lockorder:    buffer-pool shard mutexes are acquired in ascending order
@@ -13,6 +13,8 @@
 //   - atomicfield:  fields touched via sync/atomic are never accessed plainly
 //   - monitormerge: monitor counting types are mergeable and their Merge
 //     methods carry a reviewed `dbvet:commutative` claim
+//   - planshare:    plan-node fields are written only by the plan and opt
+//     packages, keeping cached plan templates immutable
 //
 // The framework intentionally mirrors go/analysis (Analyzer, Pass, Reportf,
 // analysistest-style fixtures under testdata/src) so the checkers could move
@@ -189,6 +191,7 @@ func All() []*Analyzer {
 		ErrKindAnalyzer,
 		AtomicFieldAnalyzer,
 		MonitorMergeAnalyzer,
+		PlanShareAnalyzer,
 	}
 }
 

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PlanShareAnalyzer guards the plan-cache sharing contract: cached plan
+// templates (plan.Node trees stored in the engine's plan cache) are read
+// concurrently by every goroutine that hits the cache, so plan-node fields
+// must be immutable once the optimizer hands a tree over. New trees are
+// built with composite literals; the only packages allowed to write a
+// plan-node field after construction are the plan package itself (methods
+// on the nodes) and the optimizer, which assembles trees before they are
+// published.
+//
+// The analyzer flags any assignment, compound assignment, or ++/-- whose
+// target is a field of a struct defined in a package whose import path ends
+// in "/plan" (or is "plan" in fixtures), from any other package except the
+// optimizer ("/opt").
+var PlanShareAnalyzer = &Analyzer{
+	Name: "planshare",
+	Doc:  "check that plan-node fields are never written outside the plan and opt packages, keeping cached plan templates immutable",
+	Run:  runPlanShare,
+}
+
+func runPlanShare(pass *Pass) error {
+	if planWriterPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkPlanWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkPlanWrite(pass, st.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPlanWrite reports expr when it selects a field declared in the plan
+// package.
+func checkPlanWrite(pass *Pass, expr ast.Expr) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := selectedField(pass.Info, sel)
+	if field == nil || field.Pkg() == nil || !planPkgPath(field.Pkg().Path()) {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"write to plan node field %s outside the plan/opt packages; cached plan templates are shared across goroutines and must stay immutable — build a new node with a composite literal instead",
+		fieldOwnerName(pass.Info, sel, field))
+}
+
+// fieldOwnerName renders "Type.Field" when the receiver type is resolvable,
+// else just the field name.
+func fieldOwnerName(info *types.Info, sel *ast.SelectorExpr, field types.Object) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return field.Name()
+	}
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name() + "." + field.Name()
+	}
+	return field.Name()
+}
+
+// planPkgPath reports whether path is the plan package (real tree:
+// pagefeedback/internal/plan; fixtures: plan).
+func planPkgPath(path string) bool {
+	return path == "plan" || strings.HasSuffix(path, "/plan")
+}
+
+// planWriterPkg reports whether path may legitimately write plan-node
+// fields: the plan package itself and the optimizer.
+func planWriterPkg(path string) bool {
+	return planPkgPath(path) || path == "opt" || strings.HasSuffix(path, "/opt")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPlanShare(t *testing.T) {
+	runFixture(t, PlanShareAnalyzer, "planshare", "plan", "opt")
+}

@@ -1,0 +1,18 @@
+// Package opt mirrors the optimizer for the planshare fixture: it assembles
+// plan trees before they are published to the cache, so its writes to
+// plan-node fields are sanctioned.
+package opt
+
+import "plan"
+
+// Finish fills in a node under construction: allowed.
+func Finish(s *plan.Scan, rows int) {
+	s.N = rows
+}
+
+// Wrap builds a parent and patches the child: allowed.
+func Wrap(s *plan.Scan) *plan.Limit {
+	l := &plan.Limit{Input: s}
+	l.N = 10
+	return l
+}

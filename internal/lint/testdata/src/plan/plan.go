@@ -1,0 +1,22 @@
+// Package plan mirrors the real internal/plan package's shape for the
+// planshare fixture: its structs are the shared, cached plan templates whose
+// fields outside packages must never write.
+package plan
+
+// Scan is a leaf plan node.
+type Scan struct {
+	Table string
+	N     int
+}
+
+// Limit wraps another node.
+type Limit struct {
+	Input *Scan
+	N     int
+}
+
+// Reset writes its own fields: the plan package may do this.
+func (s *Scan) Reset() {
+	s.N = 0
+	s.Table = ""
+}

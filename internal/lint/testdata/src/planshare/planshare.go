@@ -1,0 +1,37 @@
+// Package planshare exercises the planshare analyzer: it stands in for the
+// engine, which shares cached plan templates across goroutines and must
+// therefore instantiate fresh nodes with composite literals instead of
+// mutating the cached tree.
+package planshare
+
+import "plan"
+
+type engine struct {
+	cached *plan.Scan
+	hits   int
+}
+
+// instantiate builds a fresh node from the template: the sanctioned pattern.
+func instantiate(e *engine) *plan.Scan {
+	e.hits++ // non-plan field: fine
+	return &plan.Scan{Table: e.cached.Table, N: e.cached.N}
+}
+
+// mutateCached writes the shared template in place: the bug this analyzer
+// exists to catch.
+func mutateCached(e *engine) {
+	e.cached.N = 7 // want `write to plan node field Scan\.N`
+}
+
+// mutateVariants covers compound assignment and inc/dec forms.
+func mutateVariants(s *plan.Scan, l *plan.Limit) {
+	s.Table = "orders" // want `Scan\.Table .* must stay immutable`
+	s.N += 2           // want `write to plan node field Scan\.N`
+	l.N++              // want `write to plan node field Limit\.N`
+	(l.Input) = nil    // want `write to plan node field Limit\.Input`
+}
+
+// readOnly never writes: fine.
+func readOnly(s *plan.Scan) int {
+	return s.N + len(s.Table)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"pagefeedback/internal/catalog"
@@ -42,6 +43,12 @@ type Query struct {
 	Pred2    expr.Conjunction // selection on Table2
 	JoinCol  string           // column of Table
 	JoinCol2 string           // column of Table2
+
+	// TemplateKey memoizes the query's structural key (sql.QueryKey) when
+	// the query came from a prepared template: the shape never changes
+	// across bindings, so per-execution consumers (the plan cache) can skip
+	// re-rendering it. Empty means not memoized.
+	TemplateKey string
 }
 
 // IsJoin reports whether the query joins two tables.
@@ -61,10 +68,22 @@ func (q *Query) IsGrouped() bool { return q.GroupBy != "" }
 // Injected cardinalities and page counts override the analytical estimates —
 // the interface through which execution feedback re-enters optimization
 // (§V-A).
+//
+// Concurrency: mu guards every map. Exported methods lock (planning and
+// estimation take the read lock, feedback mutations the write lock);
+// unexported helpers assume the caller holds it. Every feedback mutation
+// also fires the invalidation hook, so the engine's plan cache learns that
+// plans costed under the old statistics are stale.
 type Optimizer struct {
 	cat       *catalog.Catalog
 	io        storage.IOModel
 	cpuPerRow time.Duration
+
+	mu sync.RWMutex
+	// hook, when set, is called (with mu held) after each feedback
+	// mutation with the affected table name, or "" for whole-optimizer
+	// mutations that invalidate everything.
+	hook func(table string)
 
 	stats   map[string]*TableStats
 	cardInj map[string]float64 // canonical (table, pred) -> rows
@@ -94,22 +113,49 @@ func New(cat *catalog.Catalog, io storage.IOModel, cpuPerRow time.Duration) *Opt
 	}
 }
 
+// SetInvalidationHook registers fn to be called after every feedback
+// mutation with the affected table name ("" = everything). The engine uses
+// it to bump plan-cache epochs; the hook must not call back into the
+// optimizer (it runs under the optimizer's lock).
+func (o *Optimizer) SetInvalidationHook(fn func(table string)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.hook = fn
+}
+
+// invalidate fires the hook. Callers hold mu; the hook runs after the
+// mutation it reports, so a concurrent planner either sees the old state
+// with the old epoch (and its entry is invalidated by the bump) or the new
+// state — never new-epoch-with-old-state.
+func (o *Optimizer) invalidate(table string) {
+	if o.hook != nil {
+		o.hook(table)
+	}
+}
+
 // AnalyzeTable builds (or rebuilds) statistics for a table.
 func (o *Optimizer) AnalyzeTable(name string) error {
 	tab, ok := o.cat.Table(name)
 	if !ok {
 		return fmt.Errorf("opt: no table %q", name)
 	}
+	// The statistics scan is slow; run it before taking the lock.
 	ts, err := Analyze(tab)
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.stats[strings.ToLower(name)] = ts
+	o.invalidate(name)
 	return nil
 }
 
-// TableStats returns the statistics for a table, if analyzed.
+// TableStats returns the statistics for a table, if analyzed. The returned
+// statistics are immutable (AnalyzeTable replaces the pointer wholesale).
 func (o *Optimizer) TableStats(name string) (*TableStats, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	ts, ok := o.stats[strings.ToLower(name)]
 	return ts, ok
 }
@@ -118,24 +164,35 @@ func (o *Optimizer) TableStats(name string) (*TableStats, bool) {
 // paper's methodology injects exact cardinalities first, isolating DPC as
 // the variable (§V-B).
 func (o *Optimizer) InjectCardinality(table string, pred expr.Conjunction, rows float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.cardInj[core.Key(table, pred)] = rows
+	o.invalidate(table)
 }
 
 // InjectDPC forces the distinct-page-count estimate for (table, pred),
 // typically with a value obtained from execution feedback.
 func (o *Optimizer) InjectDPC(table string, pred expr.Conjunction, pages float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.dpcInj[core.Key(table, pred)] = pages
+	o.invalidate(table)
 }
 
 // InjectJoinDPC forces the distinct page count of (table, join column) for
 // INL-join costing with table as the inner relation.
 func (o *Optimizer) InjectJoinDPC(table, joinCol string, pages float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.joinDPC[strings.ToLower(table)+"|"+strings.ToLower(joinCol)] = pages
+	o.invalidate(table)
 }
 
 // HasInjectedDPC reports whether an exact fed-back page count is currently
 // injected for (table, pred).
 func (o *Optimizer) HasInjectedDPC(table string, pred expr.Conjunction) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	_, ok := o.dpcInj[core.Key(table, pred)]
 	return ok
 }
@@ -143,16 +200,22 @@ func (o *Optimizer) HasInjectedDPC(table string, pred expr.Conjunction) bool {
 // ClearInjections drops all injected values. Self-tuning DPC histograms
 // survive: they are learned statistics, not per-query hints.
 func (o *Optimizer) ClearInjections() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.cardInj = make(map[string]float64)
 	o.dpcInj = make(map[string]float64)
 	o.joinDPC = make(map[string]float64)
+	o.invalidate("")
 }
 
 // ClearDPCHistograms drops the learned page-count histograms and join
 // curves.
 func (o *Optimizer) ClearDPCHistograms() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.dpcHist = make(map[string]*core.DPCHistogram)
 	o.joinCurve = make(map[string]*core.JoinDPCCurve)
+	o.invalidate("")
 }
 
 // DropTableFeedback removes every learned statistic and injection for the
@@ -160,6 +223,9 @@ func (o *Optimizer) ClearDPCHistograms() {
 // when the table's data changes — stale page counts are worse than the
 // analytical model, because they carry false confidence.
 func (o *Optimizer) DropTableFeedback(table string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	defer o.invalidate(table)
 	prefix := strings.ToLower(table) + "|"
 	for _, m := range []map[string]float64{o.cardInj, o.dpcInj, o.joinDPC} {
 		for k := range m {
@@ -183,6 +249,9 @@ func (o *Optimizer) DropTableFeedback(table string) {
 // RecordJoinDPCObservation feeds one observed (matching inner rows, DPC)
 // point into the join curve for (inner table, join column).
 func (o *Optimizer) RecordJoinDPCObservation(table, joinCol string, matchRows, dpc int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	defer o.invalidate(table)
 	key := strings.ToLower(table) + "|" + strings.ToLower(joinCol)
 	c := o.joinCurve[key]
 	if c == nil {
@@ -194,6 +263,8 @@ func (o *Optimizer) RecordJoinDPCObservation(table, joinCol string, matchRows, d
 
 // JoinDPCCurve returns the learned curve for (table, joinCol), if any.
 func (o *Optimizer) JoinDPCCurve(table, joinCol string) (*core.JoinDPCCurve, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	c, ok := o.joinCurve[strings.ToLower(table)+"|"+strings.ToLower(joinCol)]
 	return c, ok
 }
@@ -205,7 +276,8 @@ func (o *Optimizer) joinPages(table, joinCol string, matchRows float64, ts *Tabl
 	if v, ok := o.joinDPC[strings.ToLower(table)+"|"+strings.ToLower(joinCol)]; ok {
 		return v
 	}
-	if c, ok := o.JoinDPCCurve(table, joinCol); ok {
+	// Direct map access, not JoinDPCCurve: the caller holds mu.
+	if c, ok := o.joinCurve[strings.ToLower(table)+"|"+strings.ToLower(joinCol)]; ok {
 		if est, eok := c.Estimate(matchRows, ts.Pages); eok {
 			return est
 		}
@@ -218,6 +290,9 @@ func (o *Optimizer) joinPages(table, joinCol string, matchRows float64, ts *Tabl
 // ranges are clipped to the column's observed min/max so overlap weighting
 // stays meaningful.
 func (o *Optimizer) RecordDPCObservation(table, col string, lo, hi int64, rows, dpc int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	defer o.invalidate(table)
 	ts, ok := o.stats[strings.ToLower(table)]
 	if ok {
 		if cs, err := ts.Column(col); err == nil && cs.Hist != nil && cs.Hist.Total > 0 &&
@@ -241,6 +316,8 @@ func (o *Optimizer) RecordDPCObservation(table, col string, lo, hi int64, rows, 
 
 // DPCHistogram returns the learned histogram for (table, col), if any.
 func (o *Optimizer) DPCHistogram(table, col string) (*core.DPCHistogram, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	h, ok := o.dpcHist[strings.ToLower(table)+"|"+strings.ToLower(col)]
 	return h, ok
 }
@@ -249,6 +326,8 @@ func (o *Optimizer) DPCHistogram(table, col string) (*core.DPCHistogram, bool) {
 // pred), honoring injections. It is the value a DBA compares against the
 // actual cardinality in the statistics output.
 func (o *Optimizer) EstimateCardinality(table string, pred expr.Conjunction) (float64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	ts, ok := o.stats[strings.ToLower(table)]
 	if !ok {
 		return 0, fmt.Errorf("opt: table %q not analyzed", table)
@@ -260,6 +339,8 @@ func (o *Optimizer) EstimateCardinality(table string, pred expr.Conjunction) (fl
 // (table, pred), honoring injections — the "estimated" half of the paper's
 // estimated-vs-actual diagnostic.
 func (o *Optimizer) EstimateDPC(table string, pred expr.Conjunction) (float64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	ts, ok := o.stats[strings.ToLower(table)]
 	if !ok {
 		return 0, fmt.Errorf("opt: table %q not analyzed", table)
@@ -272,6 +353,8 @@ func (o *Optimizer) EstimateDPC(table string, pred expr.Conjunction) (float64, e
 // inner fetched by an INL join probing with outerRows rows, honoring an
 // injected join DPC.
 func (o *Optimizer) EstimateINLDPC(inner, innerCol string, outerRows float64) (float64, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	ts, ok := o.stats[strings.ToLower(inner)]
 	if !ok {
 		return 0, fmt.Errorf("opt: table %q not analyzed", inner)
@@ -298,7 +381,8 @@ func (o *Optimizer) estimateDPC(table string, ts *TableStats, pred expr.Conjunct
 		return v
 	}
 	if col, lo, hi, ok := predValueRange(pred); ok {
-		if h, hok := o.DPCHistogram(table, col); hok {
+		// Direct map access, not DPCHistogram: the caller holds mu.
+		if h, hok := o.dpcHist[strings.ToLower(table)+"|"+strings.ToLower(col)]; hok {
 			if est, eok := h.EstimateRange(lo, hi, rows, ts.RowsPerPage, ts.Pages); eok {
 				return est
 			}
@@ -379,6 +463,12 @@ type candidate struct {
 // and wraps it in the query's output shape (aggregate, or
 // projection/order/limit).
 func (o *Optimizer) OptimizeSingle(q *Query) (plan.Node, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.optimizeSingle(q)
+}
+
+func (o *Optimizer) optimizeSingle(q *Query) (plan.Node, error) {
 	need, err := o.neededColumns(q)
 	if err != nil {
 		return nil, err
@@ -627,6 +717,12 @@ func (o *Optimizer) accessPath(table string, pred expr.Conjunction) (plan.Node, 
 // index on the join column exists), or Merge Join (when both sides are
 // clustered on their join columns, or with explicit sorts).
 func (o *Optimizer) OptimizeJoin(q *Query) (plan.Node, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.optimizeJoin(q)
+}
+
+func (o *Optimizer) optimizeJoin(q *Query) (plan.Node, error) {
 	if !q.IsJoin() {
 		return nil, fmt.Errorf("opt: OptimizeJoin on single-table query")
 	}
@@ -754,10 +850,12 @@ func (o *Optimizer) OptimizeJoin(q *Query) (plan.Node, error) {
 
 // Optimize dispatches on the query shape.
 func (o *Optimizer) Optimize(q *Query) (plan.Node, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	if q.IsJoin() {
-		return o.OptimizeJoin(q)
+		return o.optimizeJoin(q)
 	}
-	return o.OptimizeSingle(q)
+	return o.optimizeSingle(q)
 }
 
 // indexOn returns an index whose leading column is col, or nil.

@@ -25,6 +25,7 @@ const (
 	tokString
 	tokSymbol // ( ) , * .
 	tokOp     // = <> < <= > >=
+	tokParam  // ? or $n — prepared-statement parameter placeholder
 )
 
 type token struct {
@@ -60,6 +61,13 @@ func lex(src string) ([]token, error) {
 			l.pos++
 		case c == '=' || c == '<' || c == '>':
 			l.op()
+		case c == '?':
+			l.toks = append(l.toks, token{tokParam, "?", l.pos})
+			l.pos++
+		case c == '$':
+			if err := l.param(); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
 		}
@@ -111,6 +119,20 @@ func (l *lexer) str() error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+// param lexes a numbered placeholder: '$' followed by one or more digits.
+func (l *lexer) param() error {
+	start := l.pos
+	l.pos++ // '$'
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos == start+1 {
+		return fmt.Errorf("sql: expected parameter number after '$' at %d", start)
+	}
+	l.toks = append(l.toks, token{tokParam, l.src[start:l.pos], start})
+	return nil
 }
 
 func (l *lexer) op() {

@@ -37,6 +37,22 @@ type parser struct {
 	tables       []*catalog.Table
 	selectRefs   []columnRef // deferred validation (FROM parses after SELECT)
 	sawAggInList bool        // "SELECT g, AGG(c)" form: GROUP BY required
+
+	// Prepared-statement support (ParseTemplate only).
+	allowParams   bool
+	params        []ParamSite    // every placeholder site, in source order
+	pending       []pendingParam // sites of the atom currently being parsed
+	nextOrdinal   int            // next ordinal for '?' placeholders
+	sawPositional bool
+	sawNumbered   bool
+}
+
+// pendingParam is a placeholder seen while parsing one atom's literals; it
+// becomes a ParamSite once addAtom knows the atom's side and index.
+type pendingParam struct {
+	ordinal int
+	slot    int
+	kind    tuple.Kind
 }
 
 func (p *parser) cur() token {
@@ -365,14 +381,14 @@ func (p *parser) parseConjunct(q *opt.Query) error {
 
 	// BETWEEN / IN forms.
 	if p.acceptIdent("between") {
-		lo, err := p.parseLiteral(ltab, left.name)
+		lo, err := p.parseLiteral(ltab, left.name, slotVal)
 		if err != nil {
 			return err
 		}
 		if err := p.expectIdent("and"); err != nil {
 			return err
 		}
-		hi, err := p.parseLiteral(ltab, left.name)
+		hi, err := p.parseLiteral(ltab, left.name, slotVal2)
 		if err != nil {
 			return err
 		}
@@ -385,7 +401,7 @@ func (p *parser) parseConjunct(q *opt.Query) error {
 		}
 		var vals []tuple.Value
 		for {
-			v, err := p.parseLiteral(ltab, left.name)
+			v, err := p.parseLiteral(ltab, left.name, slotList+len(vals))
 			if err != nil {
 				return err
 			}
@@ -450,7 +466,7 @@ func (p *parser) parseConjunct(q *opt.Query) error {
 		}
 		return nil
 	}
-	val, err := p.parseLiteral(ltab, left.name)
+	val, err := p.parseLiteral(ltab, left.name, slotVal)
 	if err != nil {
 		return err
 	}
@@ -459,20 +475,81 @@ func (p *parser) parseConjunct(q *opt.Query) error {
 }
 
 func (p *parser) addAtom(q *opt.Query, tab *catalog.Table, a expr.Atom) {
-	if strings.EqualFold(tab.Name, q.Table) {
-		q.Pred.Atoms = append(q.Pred.Atoms, a)
-	} else {
+	table2 := !strings.EqualFold(tab.Name, q.Table)
+	var atomIdx int
+	if table2 {
 		q.Pred2.Atoms = append(q.Pred2.Atoms, a)
+		atomIdx = len(q.Pred2.Atoms) - 1
+	} else {
+		q.Pred.Atoms = append(q.Pred.Atoms, a)
+		atomIdx = len(q.Pred.Atoms) - 1
 	}
+	for _, pp := range p.pending {
+		p.params = append(p.params, ParamSite{
+			Ordinal: pp.ordinal,
+			Table2:  table2,
+			Atom:    atomIdx,
+			Slot:    pp.slot,
+			Col:     a.Col,
+			Kind:    pp.kind,
+		})
+	}
+	p.pending = p.pending[:0]
 }
 
-// parseLiteral reads a literal and coerces it to the column's type.
-func (p *parser) parseLiteral(tab *catalog.Table, col string) (tuple.Value, error) {
+// Literal slots within one atom, for parameter-site bookkeeping: Val, Val2
+// (the BETWEEN upper bound), and slotList+i for the i-th IN-list element.
+const (
+	slotVal  = 0
+	slotVal2 = 1
+	slotList = 2
+)
+
+// paramOrdinal resolves a placeholder token to its 0-based argument index,
+// enforcing that '?' and '$n' styles are not mixed.
+func (p *parser) paramOrdinal(t token) (int, error) {
+	if t.text == "?" {
+		if p.sawNumbered {
+			return 0, fmt.Errorf("sql: cannot mix ? and $n placeholders")
+		}
+		p.sawPositional = true
+		ord := p.nextOrdinal
+		p.nextOrdinal++
+		return ord, nil
+	}
+	if p.sawPositional {
+		return 0, fmt.Errorf("sql: cannot mix ? and $n placeholders")
+	}
+	p.sawNumbered = true
+	n, err := strconv.Atoi(t.text[1:])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("sql: bad parameter %q", t.text)
+	}
+	return n - 1, nil
+}
+
+// parseLiteral reads a literal and coerces it to the column's type. In a
+// template (ParseTemplate), a placeholder is accepted instead: the site is
+// recorded for Bind and the atom gets a typed zero value so the template
+// query stays structurally complete.
+func (p *parser) parseLiteral(tab *catalog.Table, col string, slot int) (tuple.Value, error) {
 	ord, ok := tab.Schema.Ordinal(col)
 	if !ok {
 		return tuple.Value{}, fmt.Errorf("sql: no column %q in %s", col, tab.Name)
 	}
 	kind := tab.Schema.Column(ord).Kind
+	if p.cur().kind == tokParam {
+		t := p.next()
+		if !p.allowParams {
+			return tuple.Value{}, fmt.Errorf("sql: parameter %q outside a prepared statement", t.text)
+		}
+		o, err := p.paramOrdinal(t)
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		p.pending = append(p.pending, pendingParam{ordinal: o, slot: slot, kind: kind})
+		return tuple.Value{Kind: kind}, nil
+	}
 	t := p.next()
 	switch t.kind {
 	case tokNumber:

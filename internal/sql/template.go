@@ -1,0 +1,236 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pagefeedback/internal/catalog"
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/opt"
+	"pagefeedback/internal/tuple"
+)
+
+// Prepared-statement templates: ParseTemplate accepts the same SELECT
+// grammar as Parse plus parameter placeholders — '?' (positional) or '$n'
+// (numbered, 1-based) — in literal positions of the WHERE clause. The result
+// is parsed and resolved once; Bind then substitutes arguments into a fresh
+// query without re-lexing or re-parsing, which is the entry point of the
+// engine's plan cache.
+
+// ParamSite locates one placeholder inside a template's predicate tree.
+type ParamSite struct {
+	Ordinal int  // 0-based argument index
+	Table2  bool // site lives in Query.Pred2 (else Query.Pred)
+	Atom    int  // index into that conjunction's Atoms
+	// Slot selects the value within the atom: slotVal, slotVal2 (BETWEEN
+	// upper bound), or slotList+i for the i-th IN-list element.
+	Slot int
+	Col  string     // column name, for error messages
+	Kind tuple.Kind // column kind arguments are coerced to
+}
+
+// Template is a parsed parameterized query.
+type Template struct {
+	SQL       string
+	Query     *opt.Query // placeholder values are typed zeros
+	Sites     []ParamSite
+	NumParams int
+}
+
+// ParseTemplate parses a parameterized SELECT against the catalog. A query
+// with no placeholders is a valid (zero-parameter) template.
+func ParseTemplate(cat *catalog.Catalog, src string) (*Template, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{cat: cat, toks: toks, allowParams: true}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, fmt.Errorf("%w (near %q)", err, p.near())
+	}
+	n := 0
+	for _, s := range p.params {
+		if s.Ordinal+1 > n {
+			n = s.Ordinal + 1
+		}
+	}
+	// Numbered placeholders must be contiguous: a gap means an argument
+	// that can never be bound.
+	used := make([]bool, n)
+	for _, s := range p.params {
+		used[s.Ordinal] = true
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("sql: parameter $%d is never used", i+1)
+		}
+	}
+	// The structural key is binding-invariant (placeholders only stand in
+	// for predicate constants, which QueryKey excludes), so render it once
+	// here; Bind's clone carries it to every execution.
+	q.TemplateKey = QueryKey(q)
+	return &Template{SQL: src, Query: q, Sites: p.params, NumParams: n}, nil
+}
+
+// ParamKinds returns the column kind each argument must coerce to, indexed
+// by ordinal. An argument bound at several sites takes the first site's kind
+// (Bind checks every site independently).
+func (t *Template) ParamKinds() []tuple.Kind {
+	kinds := make([]tuple.Kind, t.NumParams)
+	seen := make([]bool, t.NumParams)
+	for _, s := range t.Sites {
+		if !seen[s.Ordinal] {
+			kinds[s.Ordinal] = s.Kind
+			seen[s.Ordinal] = true
+		}
+	}
+	return kinds
+}
+
+// Bind substitutes arguments into a fresh copy of the template query. The
+// template itself is never mutated, so one Template serves concurrent
+// executions.
+func (t *Template) Bind(args []tuple.Value) (*opt.Query, error) {
+	if len(args) != t.NumParams {
+		return nil, fmt.Errorf("sql: template wants %d parameters, got %d", t.NumParams, len(args))
+	}
+	q := cloneQuery(t.Query)
+	for _, s := range t.Sites {
+		v, err := coerceArg(args[s.Ordinal], s.Kind, s.Col)
+		if err != nil {
+			return nil, err
+		}
+		pred := &q.Pred
+		if s.Table2 {
+			pred = &q.Pred2
+		}
+		a := &pred.Atoms[s.Atom]
+		switch {
+		case s.Slot == slotVal:
+			a.Val = v
+		case s.Slot == slotVal2:
+			a.Val2 = v
+		default:
+			a.List[s.Slot-slotList] = v
+		}
+	}
+	return q, nil
+}
+
+// cloneQuery copies a query deeply enough that predicate values can be
+// rewritten without aliasing the source: fresh atom slices, fresh IN lists.
+func cloneQuery(q *opt.Query) *opt.Query {
+	c := *q
+	c.Pred = clonePred(q.Pred)
+	c.Pred2 = clonePred(q.Pred2)
+	if q.SelectCols != nil {
+		c.SelectCols = append([]string(nil), q.SelectCols...)
+	}
+	return &c
+}
+
+func clonePred(c expr.Conjunction) expr.Conjunction {
+	if len(c.Atoms) == 0 {
+		return c
+	}
+	atoms := make([]expr.Atom, len(c.Atoms))
+	copy(atoms, c.Atoms)
+	for i := range atoms {
+		if atoms[i].List != nil {
+			atoms[i].List = append([]tuple.Value(nil), atoms[i].List...)
+		}
+	}
+	return expr.Conjunction{Atoms: atoms}
+}
+
+// coerceArg converts one bound argument to the column kind, mirroring
+// parseLiteral's coercions: integers become dates for DATE columns, strings
+// in YYYY-MM-DD form parse as dates.
+func coerceArg(v tuple.Value, kind tuple.Kind, col string) (tuple.Value, error) {
+	switch kind {
+	case tuple.KindInt:
+		if v.Kind == tuple.KindInt {
+			return v, nil
+		}
+	case tuple.KindDate:
+		switch v.Kind {
+		case tuple.KindDate:
+			return v, nil
+		case tuple.KindInt:
+			return tuple.Date(v.Int), nil
+		case tuple.KindString:
+			d, err := time.Parse("2006-01-02", v.Str)
+			if err != nil {
+				return tuple.Value{}, fmt.Errorf("sql: bad date %q for column %s (want YYYY-MM-DD)", v.Str, col)
+			}
+			return tuple.DateFromTime(d), nil
+		}
+	case tuple.KindString:
+		if v.Kind == tuple.KindString {
+			return v, nil
+		}
+	}
+	return tuple.Value{}, fmt.Errorf("sql: cannot bind %s argument to %s column %s", v.Kind, kind, col)
+}
+
+// QueryKey renders a query's structural shape — everything except the
+// predicate constants — as a stable string. Textually different instances of
+// one parameterized template produce the same key, which is what the plan
+// cache groups entries by (the constants only contribute through the
+// selectivity bucket computed separately).
+func QueryKey(q *opt.Query) string {
+	var b strings.Builder
+	b.WriteString("s:")
+	switch {
+	case q.Star:
+		b.WriteString("*")
+	case len(q.SelectCols) > 0:
+		for i, c := range q.SelectCols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strings.ToLower(c))
+		}
+	}
+	if q.GroupBy != "" || q.AggCol != "" || (!q.Star && len(q.SelectCols) == 0) {
+		fmt.Fprintf(&b, "|agg:%d(%s)", int(q.Agg), strings.ToLower(q.AggCol))
+	}
+	if q.GroupBy != "" {
+		b.WriteString("|g:" + strings.ToLower(q.GroupBy))
+	}
+	if q.OrderBy != "" {
+		fmt.Fprintf(&b, "|o:%s,%v", strings.ToLower(q.OrderBy), q.OrderDesc)
+	}
+	if q.Limit > 0 {
+		b.WriteString("|l:" + strconv.Itoa(q.Limit))
+	}
+	b.WriteString("|t:" + strings.ToLower(q.Table))
+	writePredShape(&b, q.Pred)
+	if q.Table2 != "" {
+		b.WriteString("|t2:" + strings.ToLower(q.Table2))
+		writePredShape(&b, q.Pred2)
+		fmt.Fprintf(&b, "|j:%s=%s", strings.ToLower(q.JoinCol), strings.ToLower(q.JoinCol2))
+	}
+	return b.String()
+}
+
+// writePredShape appends the value-free shape of a conjunction: column and
+// operator per atom, in order, plus the IN-list length (it changes the
+// plan's index-range count, so different lengths must not share an entry).
+func writePredShape(b *strings.Builder, c expr.Conjunction) {
+	b.WriteString("|p:")
+	for i, a := range c.Atoms {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(strings.ToLower(a.Col))
+		b.WriteByte(':')
+		b.WriteString(a.Op.String())
+		if a.Op == expr.In {
+			b.WriteString(strconv.Itoa(len(a.List)))
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pagefeedback/internal/expr"
+	"pagefeedback/internal/tuple"
+)
+
+func TestParseTemplatePositional(t *testing.T) {
+	cat := testCatalog(t)
+	tmpl, err := ParseTemplate(cat,
+		"SELECT COUNT(pad) FROM sales WHERE id BETWEEN ? AND ? AND state = ? AND shipdate < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.NumParams != 4 || len(tmpl.Sites) != 4 {
+		t.Fatalf("NumParams=%d sites=%d", tmpl.NumParams, len(tmpl.Sites))
+	}
+	kinds := tmpl.ParamKinds()
+	want := []tuple.Kind{tuple.KindInt, tuple.KindInt, tuple.KindString, tuple.KindDate}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Errorf("ParamKinds[%d] = %v, want %v", i, kinds[i], k)
+		}
+	}
+
+	q, err := tmpl.Bind([]tuple.Value{
+		tuple.Int64(10), tuple.Int64(20), tuple.Str("CA"), tuple.Str("2007-06-01"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := q.Pred.Atoms[0]
+	if a0.Op != expr.Between || a0.Val.Int != 10 || a0.Val2.Int != 20 {
+		t.Errorf("between atom = %+v", a0)
+	}
+	if q.Pred.Atoms[1].Val.Str != "CA" {
+		t.Errorf("string atom = %+v", q.Pred.Atoms[1])
+	}
+	wantDate := tuple.DateFromTime(time.Date(2007, 6, 1, 0, 0, 0, 0, time.UTC))
+	if got := q.Pred.Atoms[2].Val; got.Kind != tuple.KindDate || got.Int != wantDate.Int {
+		t.Errorf("date atom = %+v, want %v", got, wantDate)
+	}
+
+	// The template itself must stay zero-valued: Bind clones.
+	if tmpl.Query.Pred.Atoms[0].Val.Int != 0 || tmpl.Query.Pred.Atoms[1].Val.Str != "" {
+		t.Errorf("Bind mutated the template: %+v", tmpl.Query.Pred)
+	}
+	// Two binds alias nothing.
+	q2, err := tmpl.Bind([]tuple.Value{
+		tuple.Int64(1), tuple.Int64(2), tuple.Str("NY"), tuple.Int64(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Pred.Atoms[0].Val.Int != 1 || q.Pred.Atoms[0].Val.Int != 10 {
+		t.Error("binds alias each other")
+	}
+}
+
+func TestParseTemplateNumberedAndIn(t *testing.T) {
+	cat := testCatalog(t)
+	tmpl, err := ParseTemplate(cat,
+		"SELECT COUNT(*) FROM sales WHERE state IN ($2, $1) AND id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", tmpl.NumParams)
+	}
+	// $1 is used at a string site (IN) and an int site (id =): Bind must
+	// reject any single value... unless kinds agree. Here they conflict, so
+	// binding an int fails at the string site and vice versa.
+	if _, err := tmpl.Bind([]tuple.Value{tuple.Int64(1), tuple.Str("CA")}); err == nil {
+		t.Error("conflicting-kind bind accepted")
+	}
+
+	tmpl2, err := ParseTemplate(cat,
+		"SELECT COUNT(*) FROM sales WHERE state IN ($1, $2) AND id < $3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tmpl2.Bind([]tuple.Value{tuple.Str("CA"), tuple.Str("WA"), tuple.Int64(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := q.Pred.Atoms[0]
+	if in.Op != expr.In || in.List[0].Str != "CA" || in.List[1].Str != "WA" {
+		t.Errorf("in atom = %+v", in)
+	}
+	if q.Pred.Atoms[1].Val.Int != 9 {
+		t.Errorf("lt atom = %+v", q.Pred.Atoms[1])
+	}
+}
+
+func TestParseTemplateErrors(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		src, want string
+	}{
+		{"SELECT COUNT(*) FROM sales WHERE id = ? AND state = $1", "cannot mix"},
+		{"SELECT COUNT(*) FROM sales WHERE id = $3", "never used"},
+		{"SELECT COUNT(*) FROM sales WHERE id = $0", "bad parameter"},
+		{"SELECT COUNT(*) FROM sales WHERE id = $", "expected parameter number"},
+		{"SELECT COUNT(*) FROM sales LIMIT ?", "LIMIT"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTemplate(cat, c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseTemplate(%q) err = %v, want %q", c.src, err, c.want)
+		}
+	}
+	// Plain Parse rejects placeholders outright.
+	if _, err := Parse(cat, "SELECT COUNT(*) FROM sales WHERE id = ?"); err == nil ||
+		!strings.Contains(err.Error(), "outside a prepared statement") {
+		t.Errorf("Parse with placeholder err = %v", err)
+	}
+	// Wrong arity.
+	tmpl, err := ParseTemplate(cat, "SELECT COUNT(*) FROM sales WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmpl.Bind(nil); err == nil {
+		t.Error("Bind with missing argument accepted")
+	}
+}
+
+// TestQueryKeySharesTemplates: textually different instances of one template
+// share a key; structurally different queries do not.
+func TestQueryKeySharesTemplates(t *testing.T) {
+	cat := testCatalog(t)
+	parse := func(src string) string {
+		q, err := Parse(cat, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		return QueryKey(q)
+	}
+	k1 := parse("SELECT COUNT(pad) FROM sales WHERE id < 10 AND state = 'CA'")
+	k2 := parse("SELECT COUNT(pad) FROM sales WHERE id < 99999 AND state = 'NY'")
+	if k1 != k2 {
+		t.Errorf("same shape, different keys:\n%s\n%s", k1, k2)
+	}
+	distinct := []string{
+		"SELECT COUNT(pad) FROM sales WHERE id < 10",                       // fewer atoms
+		"SELECT COUNT(pad) FROM sales WHERE id <= 10 AND state = 'CA'",     // different op
+		"SELECT COUNT(id) FROM sales WHERE id < 10 AND state = 'CA'",       // different agg col
+		"SELECT SUM(id) FROM sales WHERE id < 10 AND state = 'CA'",         // different agg
+		"SELECT COUNT(pad) FROM sales WHERE state = 'CA' AND id < 10",      // different atom order
+		"SELECT COUNT(pad) FROM sales WHERE id IN (1, 2) AND state = 'CA'", // IN shape
+	}
+	seen := map[string]string{k1: "base"}
+	for _, src := range distinct {
+		k := parse(src)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%q collides with %q: %s", src, prev, k)
+		}
+		seen[k] = src
+	}
+	// IN-list length is part of the shape.
+	kIn2 := parse("SELECT COUNT(pad) FROM sales WHERE id IN (1, 2)")
+	kIn3 := parse("SELECT COUNT(pad) FROM sales WHERE id IN (1, 2, 3)")
+	if kIn2 == kIn3 {
+		t.Error("IN lists of different lengths share a key")
+	}
+	// Joins key on both sides.
+	kj := parse("SELECT COUNT(pad) FROM sales, vendors WHERE vendors.vid < 5 AND vendors.id = sales.id")
+	if kj == k1 || !strings.Contains(kj, "t2:vendors") {
+		t.Errorf("join key = %s", kj)
+	}
+	// A template's own query keys identically to a bound instance.
+	tmpl, err := ParseTemplate(cat, "SELECT COUNT(pad) FROM sales WHERE id < ? AND state = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := tmpl.Bind([]tuple.Value{tuple.Int64(7), tuple.Str("CA")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if QueryKey(q) != k1 {
+		t.Errorf("bound instance key %s != literal key %s", QueryKey(q), k1)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"syscall"
 
 	"pagefeedback/internal/core"
@@ -108,7 +109,15 @@ type trackedEntry struct {
 // ExportFeedback writes the current feedback state as JSON.
 func (e *Engine) ExportFeedback(w io.Writer) error {
 	dump := feedbackDump{Version: 1}
-	for _, te := range e.tracked {
+	e.fmu.Lock()
+	defer e.fmu.Unlock()
+	trackKeys := make([]string, 0, len(e.tracked))
+	for k := range e.tracked {
+		trackKeys = append(trackKeys, k)
+	}
+	sort.Strings(trackKeys)
+	for _, k := range trackKeys {
+		te := e.tracked[k]
 		ej := feedbackEntryJSON{
 			Table:       te.table,
 			Cardinality: te.entry.Cardinality,
@@ -129,12 +138,16 @@ func (e *Engine) ExportFeedback(w io.Writer) error {
 		}
 		dump.Entries = append(dump.Entries, ej)
 	}
-	for key, h := range e.histDumpSources() {
+	// Emit histograms and join curves in sorted key order so exports are
+	// deterministic: two engines with identical learned state produce
+	// byte-identical dumps, and successive dumps diff cleanly.
+	hists := e.histDumpSources()
+	for _, key := range sortedKeys(hists) {
 		dump.Histograms = append(dump.Histograms, histogramDumpJSON{
-			Table: key[0], Column: key[1], Observations: h,
+			Table: key[0], Column: key[1], Observations: hists[key],
 		})
 	}
-	for key := range e.joinCols {
+	for _, key := range sortedKeys(e.joinCols) {
 		if c, ok := e.opt.JoinDPCCurve(key[0], key[1]); ok {
 			dump.JoinCurves = append(dump.JoinCurves, joinCurveDumpJSON{
 				Table: key[0], JoinCol: key[1], Points: c.Points(),
@@ -214,8 +227,23 @@ func syncDir(dir string) error {
 	return nil
 }
 
+// sortedKeys returns m's [table, column] keys in lexicographic order.
+func sortedKeys[V any](m map[[2]string]V) [][2]string {
+	keys := make([][2]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
 // histDumpSources snapshots the learned histograms by walking the columns
-// the engine has recorded observations for.
+// the engine has recorded observations for. Callers hold e.fmu.
 func (e *Engine) histDumpSources() map[[2]string][]core.DPCObservation {
 	out := make(map[[2]string][]core.DPCObservation)
 	for key := range e.histCols {
@@ -336,13 +364,17 @@ func (e *Engine) ImportFeedback(r io.Reader) (int, error) {
 		for _, o := range hd.Observations {
 			e.opt.RecordDPCObservation(hd.Table, hd.Column, o.Lo, o.Hi, o.Rows, o.DPC)
 		}
+		e.fmu.Lock()
 		e.histCols[[2]string{hd.Table, hd.Column}] = true
+		e.fmu.Unlock()
 	}
 	for _, cd := range dump.JoinCurves {
 		for _, p := range cd.Points {
 			e.opt.RecordJoinDPCObservation(cd.Table, cd.JoinCol, p.Rows, p.DPC)
 		}
+		e.fmu.Lock()
 		e.joinCols[[2]string{cd.Table, cd.JoinCol}] = true
+		e.fmu.Unlock()
 	}
 	return len(pending), nil
 }

@@ -1,0 +1,57 @@
+package pagefeedback
+
+import (
+	"context"
+
+	"pagefeedback/internal/sql"
+)
+
+// Stmt is a prepared statement: SQL parsed and resolved once, executed many
+// times with different parameter values. Executions bind arguments into a
+// fresh query (no lexing or parsing) and go through the engine's plan cache,
+// so after the first run the optimizer is skipped too — the template plan is
+// instantiated with the new constants. A Stmt is immutable and safe for
+// concurrent use.
+type Stmt struct {
+	eng  *Engine
+	tmpl *sql.Template
+}
+
+// Prepare parses a parameterized SELECT — placeholders are '?' (positional)
+// or '$n' (numbered, 1-based) in literal positions of the WHERE clause — and
+// returns a reusable statement. SQL without placeholders prepares as a
+// zero-parameter statement.
+func (e *Engine) Prepare(src string) (*Stmt, error) {
+	tmpl, err := sql.ParseTemplate(e.cat, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{eng: e, tmpl: tmpl}, nil
+}
+
+// SQL returns the statement's source text.
+func (s *Stmt) SQL() string { return s.tmpl.SQL }
+
+// NumParams returns how many arguments Query expects.
+func (s *Stmt) NumParams() int { return s.tmpl.NumParams }
+
+// ParamKinds returns the column kind each argument is coerced to, indexed by
+// parameter ordinal.
+func (s *Stmt) ParamKinds() []Kind { return s.tmpl.ParamKinds() }
+
+// Query binds args and executes the statement (background context).
+func (s *Stmt) Query(args []Value, opts *RunOptions) (*Result, error) {
+	return s.QueryContext(context.Background(), args, opts)
+}
+
+// QueryContext binds args into a fresh query and executes it under ctx. The
+// template is never mutated, so concurrent QueryContext calls on one Stmt
+// are independent executions.
+func (s *Stmt) QueryContext(ctx context.Context, args []Value, opts *RunOptions) (res *Result, err error) {
+	defer recoverQueryPanic(&err)
+	q, err := s.tmpl.Bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.RunQueryContext(ctx, q, opts)
+}

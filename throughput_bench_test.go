@@ -32,7 +32,14 @@ import (
 // index on fk) so scans, seeks, and INL joins all have a natural plan.
 func buildBenchEngine(b *testing.B, rows int) *pagefeedback.Engine {
 	b.Helper()
-	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	return buildBenchEngineCfg(b, rows, pagefeedback.DefaultConfig())
+}
+
+// buildBenchEngineCfg is buildBenchEngine with an explicit configuration,
+// for the plan-cache benchmarks' cache-disabled baselines.
+func buildBenchEngineCfg(b *testing.B, rows int, cfg pagefeedback.Config) *pagefeedback.Engine {
+	b.Helper()
+	eng := pagefeedback.New(cfg)
 	schema := pagefeedback.NewSchema(
 		pagefeedback.Column{Name: "k", Kind: pagefeedback.KindInt},
 		pagefeedback.Column{Name: "v", Kind: pagefeedback.KindInt},
@@ -124,18 +131,22 @@ func BenchmarkThroughput(b *testing.B) {
 	b.StopTimer()
 	opsPerSec := float64(ops.Load()) / b.Elapsed().Seconds()
 	b.ReportMetric(opsPerSec, "queries/sec")
-	writeThroughputJSON(b, opsPerSec)
+	writeBenchJSON(b, "BENCH_throughput.json", "BenchmarkThroughput", map[string]any{
+		"queries_per_sec": opsPerSec,
+		"iterations":      b.N,
+	})
 }
 
-// writeThroughputJSON appends the headline throughput to the perf trajectory
-// in BENCH_throughput.json, so successive runs (one per PR via `make bench`)
+// writeBenchJSON appends one benchmark's headline numbers to the perf
+// trajectory at path, so successive runs (one per PR via `make bench`)
 // accumulate instead of overwriting history. Each entry is stamped from the
 // BENCH_STAMP environment variable when set (the Makefile passes the commit
-// date) or the wall clock otherwise. A legacy single-object file is folded in
-// as the first entry. Errors are non-fatal: the benchmark's job is the
-// measurement.
-func writeThroughputJSON(b *testing.B, opsPerSec float64) {
-	const path = "BENCH_throughput.json"
+// date) or the wall clock otherwise, and deduplicated by (stamp, benchmark):
+// the framework re-runs the function while calibrating b.N, and re-runs at
+// the same commit should refresh their entry, not duplicate it. A legacy
+// single-object file is folded in as the first entry. Errors are non-fatal:
+// the benchmark's job is the measurement.
+func writeBenchJSON(b *testing.B, path, name string, metrics map[string]any) {
 	var trajectory []map[string]any
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &trajectory); err != nil {
@@ -149,22 +160,21 @@ func writeThroughputJSON(b *testing.B, opsPerSec float64) {
 	if stamp == "" {
 		stamp = time.Now().UTC().Format(time.RFC3339)
 	}
-	// One entry per stamp: the benchmark function runs several times while
-	// the framework calibrates b.N, and re-runs at the same commit should
-	// refresh their entry, not duplicate it.
 	for i, e := range trajectory {
-		if e["stamp"] == stamp && e["benchmark"] == "BenchmarkThroughput" {
+		if e["stamp"] == stamp && e["benchmark"] == name {
 			trajectory = append(trajectory[:i], trajectory[i+1:]...)
 			break
 		}
 	}
-	trajectory = append(trajectory, map[string]any{
-		"stamp":           stamp,
-		"benchmark":       "BenchmarkThroughput",
-		"gomaxprocs":      runtime.GOMAXPROCS(0),
-		"queries_per_sec": opsPerSec,
-		"iterations":      b.N,
-	})
+	entry := map[string]any{
+		"stamp":      stamp,
+		"benchmark":  name,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	for k, v := range metrics {
+		entry[k] = v
+	}
+	trajectory = append(trajectory, entry)
 	data, err := json.MarshalIndent(trajectory, "", "  ")
 	if err != nil {
 		return
