@@ -1,12 +1,29 @@
 GO ?= go
 
-.PHONY: all vet build test race bench profile fuzz-smoke chaos
+.PHONY: all vet vet-force build test race bench profile fuzz-smoke chaos
 
 all: vet build test
 
+# The stamp file short-circuits repeat runs: when no tracked source is newer
+# than the last clean vet, both checkers are skipped (<2s). Any .go file,
+# the Makefile, or go.mod being newer invalidates the stamp; `make vet-force`
+# or deleting .vetstamp forces a full run.
+VET_STAMP := .vetstamp
+
 vet:
+	@if [ -f $(VET_STAMP) ] && \
+	   [ -z "$$(find . -name '*.go' -newer $(VET_STAMP) -not -path './.git/*' -print -quit)" ] && \
+	   [ -z "$$(find Makefile go.mod -newer $(VET_STAMP) -print -quit)" ]; then \
+		echo "vet: up to date (delete $(VET_STAMP) or run make vet-force to re-run)"; \
+	else \
+		$(GO) vet ./... && $(GO) run ./cmd/dbvet ./... && touch $(VET_STAMP); \
+	fi
+
+vet-force:
+	@rm -f $(VET_STAMP)
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...
+	@touch $(VET_STAMP)
 
 build:
 	$(GO) build ./...
@@ -44,10 +61,11 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof .
 	$(GO) tool pprof -top -nodecount 15 cpu.prof
 
-# Brief fuzzing pass over the row/key codecs and the SQL parser: a smoke
-# check suitable for CI, not a soak. Corpus finds accumulate in the build
-# cache and testdata/fuzz.
+# Brief fuzzing pass over the row/key codecs, the SQL parser, and the lint
+# CFG builder: a smoke check suitable for CI, not a soak. Corpus finds
+# accumulate in the build cache and testdata/fuzz.
 fuzz-smoke:
 	$(GO) test ./internal/tuple -run xxx -fuzz FuzzTupleDecode -fuzztime 10s
 	$(GO) test ./internal/tuple -run xxx -fuzz FuzzKeyCodec -fuzztime 10s
 	$(GO) test ./internal/sql -run xxx -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/lint -run xxx -fuzz FuzzCFGBuild -fuzztime 10s

@@ -2,22 +2,31 @@
 // the spirit of golang.org/x/tools/go/analysis/multichecker, built on the
 // standard library's go/ast + go/types so the module stays dependency-free
 // and hermetic. It machine-checks the pin/lock/context/error invariants the
-// buffer pool, executor, and engine boundary rely on.
+// buffer pool, executor, and engine boundary rely on, plus the determinism,
+// goroutine-join, memory-budget, and shed-lattice invariants layered on the
+// CFG/dataflow core in internal/lint.
 //
 // Usage:
 //
-//	go run ./cmd/dbvet ./...            # run all analyzers
-//	go run ./cmd/dbvet -only pinleak .  # a subset
-//	go run ./cmd/dbvet -list            # describe the analyzers
+//	go run ./cmd/dbvet ./...                  # run all analyzers
+//	go run ./cmd/dbvet -only pinleak .        # a subset
+//	go run ./cmd/dbvet -list                  # describe the analyzers
+//	go run ./cmd/dbvet -format=sarif ./...    # SARIF 2.1.0 for CI upload
 //
-// Findings print as file:line:col: message (analyzer). The exit status is 1
-// when findings exist, 2 on usage or load errors. A finding can be
-// suppressed by a trailing `//dbvet:ignore` comment (optionally naming
-// analyzers: `//dbvet:ignore pinleak,ctxflow`) on the offending line or the
-// line above — use sparingly and say why in the same comment.
+// With the default -format=text, findings print as file:line:col: message
+// (analyzer). -format=json emits a JSON array of findings; -format=sarif
+// emits a SARIF 2.1.0 log with repo-relative paths for CI annotation. The
+// exit status is 1 when findings exist, 2 on usage or load errors.
+//
+// A finding can be suppressed by a trailing `//dbvet:ignore` comment
+// (optionally naming analyzers: `//dbvet:ignore pinleak,ctxflow`) on the
+// offending line or the line above — use sparingly and say why in the same
+// comment. Full-suite runs (no -only) also report suppressions that no
+// longer match any finding, so stale ignores cannot linger.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,17 +37,22 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dbvet [-only analyzers] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: dbvet [-only analyzers] [-format text|json|sarif] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "dbvet: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	analyzers := lint.All()
@@ -66,13 +80,52 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(units, analyzers)
+	// Unused-suppression reporting only makes sense when every analyzer a
+	// directive could name has actually run.
+	cfg := lint.RunConfig{ReportUnusedIgnores: *only == ""}
+	diags, err := lint.RunWithConfig(units, analyzers, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch *format {
+	case "json":
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case "sarif":
+		b, err := lint.ToSARIF(diags, analyzers, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

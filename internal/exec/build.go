@@ -712,6 +712,12 @@ func (e *Execution) Run() ([]tuple.Row, error) {
 		if !ok {
 			break
 		}
+		// Cloning moves the row out of page-buffer memory into query-owned
+		// memory that lives until the caller drops the result set.
+		if err := e.Ctx.Mem.Grow(rowMemSize(row)); err != nil {
+			e.Root.Close()
+			return nil, err
+		}
 		rows = append(rows, row.Clone())
 	}
 	if err := e.Root.Close(); err != nil {

@@ -18,8 +18,9 @@ type GroupAggOp struct {
 	schema   *tuple.Schema
 	stats    OpStats
 
-	out []tuple.Row
-	pos int
+	out        []tuple.Row
+	pos        int
+	outCharged int // result rows already charged to the memory tracker
 }
 
 type groupState struct {
@@ -124,9 +125,28 @@ func (g *GroupAggOp) Open() error {
 		case 'M':
 			agg = st.maxV.Int
 		}
-		g.out = append(g.out, tuple.Row{st.key, tuple.Int64(agg)})
+		row := tuple.Row{st.key, tuple.Int64(agg)}
+		if err := g.chargeOutRow(row); err != nil {
+			return err
+		}
+		g.out = append(g.out, row)
 	}
 	g.pos = 0
+	return nil
+}
+
+// chargeOutRow charges the memory tracker when the result buffer grows past
+// its previously charged length. The buffer is rebuilt (out[:0]) on re-open,
+// so charging every append would bill each rebuild again; the budgetable
+// quantity is the buffer's high-water footprint.
+func (g *GroupAggOp) chargeOutRow(row tuple.Row) error {
+	if len(g.out) < g.outCharged {
+		return nil
+	}
+	if err := g.ctx.Mem.Grow(rowMemSize(row)); err != nil {
+		return err
+	}
+	g.outCharged = len(g.out) + 1
 	return nil
 }
 

@@ -174,10 +174,12 @@ type MergeJoinOp struct {
 	innerDone bool
 
 	// Cross-product state for duplicate join values.
-	outGroup []tuple.Row
-	inGroup  []tuple.Row
-	gi, gj   int
-	emitting bool
+	outGroup   []tuple.Row
+	inGroup    []tuple.Row
+	outCharged int // group-buffer rows already charged to the memory tracker
+	inCharged  int
+	gi, gj     int
+	emitting   bool
 }
 
 // NewMergeJoin constructs the operator; inputs must be sorted ascending on
@@ -292,12 +294,18 @@ func (j *MergeJoinOp) collectGroups() error {
 	j.outGroup = j.outGroup[:0]
 	j.inGroup = j.inGroup[:0]
 	for !j.outerDone && j.outerRow[j.outerOrd].Compare(v) == 0 {
+		if err := j.chargeGroupRow(len(j.outGroup), &j.outCharged, j.outerRow); err != nil {
+			return err
+		}
 		j.outGroup = append(j.outGroup, j.outerRow)
 		if err := j.advanceOuter(); err != nil {
 			return err
 		}
 	}
 	for !j.innerDone && j.innerRow[j.innerOrd].Compare(v) == 0 {
+		if err := j.chargeGroupRow(len(j.inGroup), &j.inCharged, j.innerRow); err != nil {
+			return err
+		}
 		j.inGroup = append(j.inGroup, j.innerRow)
 		if err := j.advanceInner(); err != nil {
 			return err
@@ -305,6 +313,21 @@ func (j *MergeJoinOp) collectGroups() error {
 	}
 	j.gi, j.gj = 0, 0
 	j.emitting = len(j.outGroup) > 0 && len(j.inGroup) > 0
+	return nil
+}
+
+// chargeGroupRow charges the memory tracker when a group buffer grows past
+// its previously charged capacity. The buffers are reset (s[:0]) for every
+// duplicate join value, so charging each append would bill the sum of all
+// group sizes; the budgetable quantity is the largest group's footprint.
+func (j *MergeJoinOp) chargeGroupRow(cur int, charged *int, row tuple.Row) error {
+	if cur < *charged {
+		return nil
+	}
+	if err := j.ctx.Mem.Grow(rowMemSize(row)); err != nil {
+		return err
+	}
+	*charged = cur + 1
 	return nil
 }
 

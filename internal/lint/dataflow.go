@@ -1,0 +1,133 @@
+package lint
+
+// Worklist dataflow solvers over the CFG (cfg.go). Analyzers describe a
+// problem as a Flow — transfer function, optional per-edge refinement, join,
+// and equality — and get per-block fixpoint facts back. Forward solves
+// entry→exit (pinleak's held-pin paths, lockorder's held-lock sets,
+// goroutinejoin's Add-before-go, membudget's charged-before-growth);
+// Backward solves exit→entry over reversed blocks (liveness-style problems).
+//
+// Facts are opaque to the solver. A Flow's functions must treat incoming
+// facts as immutable and return fresh values when they change something:
+// the solver caches facts per block and compares with Equal to detect the
+// fixpoint, so in-place mutation would corrupt the cache.
+
+// Fact is an analyzer-defined dataflow fact. nil is the "unreached" fact:
+// Join(nil, x) must return x and Transfer is never called with nil input
+// except at the boundary block, which receives Flow.Boundary.
+type Fact = any
+
+// Flow describes one dataflow problem.
+type Flow struct {
+	// Transfer computes the fact after executing block b given the fact
+	// before it. For backward problems, "before"/"after" are in reverse
+	// execution order and b.Nodes should be processed last-to-first.
+	Transfer func(b *Block, in Fact) Fact
+	// EdgeTransfer, when non-nil, refines a fact crossing edge e (branch
+	// conditions, loop back edges). It runs on the source block's out-fact
+	// for forward problems and on the target block's in-fact for backward
+	// ones. It must not mutate its input.
+	EdgeTransfer func(e *Edge, f Fact) Fact
+	// Join merges facts arriving over multiple edges. Either argument may
+	// be nil (unreached); Join(nil, x) = x.
+	Join func(a, b Fact) Fact
+	// Equal bounds the fixpoint iteration.
+	Equal func(a, b Fact) bool
+	// Boundary is the fact at the boundary block: Entry for Forward,
+	// Exit for Backward.
+	Boundary Fact
+}
+
+// maxFlowIterations caps worklist processing as a defense against a Flow
+// whose facts never stabilize; 64 passes over every block is far beyond any
+// real lattice height in this codebase.
+const maxFlowIterations = 64
+
+// Forward solves a forward dataflow problem and returns the fact at the
+// START of each live block (the join over incoming edges, before Transfer).
+// Unreachable blocks are skipped and absent from the result.
+func (g *CFG) Forward(f Flow) map[*Block]Fact {
+	in := make(map[*Block]Fact)
+	out := make(map[*Block]Fact)
+	in[g.Entry] = f.Boundary
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	steps := 0
+	limit := maxFlowIterations * (len(g.Blocks) + 1)
+	for len(work) > 0 {
+		if steps++; steps > limit {
+			break
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := f.Transfer(b, in[b])
+		if prev, done := out[b]; done && f.Equal(prev, o) {
+			continue
+		}
+		out[b] = o
+		for _, e := range b.Succs {
+			fo := o
+			if f.EdgeTransfer != nil {
+				fo = f.EdgeTransfer(e, fo)
+			}
+			merged := f.Join(in[e.To], fo)
+			if _, seen := in[e.To]; seen && f.Equal(in[e.To], merged) {
+				continue
+			}
+			in[e.To] = merged
+			if !queued[e.To] {
+				queued[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return in
+}
+
+// Backward solves a backward dataflow problem and returns the fact at the
+// END of each live block (the join over outgoing edges, before the reverse
+// Transfer). The Transfer function receives the block's end-fact and must
+// walk b.Nodes in reverse.
+func (g *CFG) Backward(f Flow) map[*Block]Fact {
+	end := make(map[*Block]Fact)  // fact after the block, in execution order
+	head := make(map[*Block]Fact) // fact before the block
+	end[g.Exit] = f.Boundary
+
+	work := []*Block{g.Exit}
+	queued := map[*Block]bool{g.Exit: true}
+	steps := 0
+	limit := maxFlowIterations * (len(g.Blocks) + 1)
+	for len(work) > 0 {
+		if steps++; steps > limit {
+			break
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		h := f.Transfer(b, end[b])
+		if prev, done := head[b]; done && f.Equal(prev, h) {
+			continue
+		}
+		head[b] = h
+		for _, e := range b.Preds {
+			fh := h
+			if f.EdgeTransfer != nil {
+				fh = f.EdgeTransfer(e, fh)
+			}
+			merged := f.Join(end[e.From], fh)
+			if _, seen := end[e.From]; seen && f.Equal(end[e.From], merged) {
+				continue
+			}
+			end[e.From] = merged
+			if !queued[e.From] {
+				queued[e.From] = true
+				work = append(work, e.From)
+			}
+		}
+	}
+	return end
+}

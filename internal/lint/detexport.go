@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// DetExportAnalyzer enforces byte-determinism of the execution-feedback
+// surfaces: exported page-count feedback, the statistics-xml snapshot, and
+// plan-cache key construction must render identically run after run, or
+// feedback imports and cache-on/off identity tests lose their meaning.
+//
+// The analyzer marks a fixed set of determinism roots (ExportFeedback,
+// planKey/selBucket/QueryKey, MarshalStats/StatsSnapshot) and taints every
+// function reachable from them over the call graph (summary.go). Within the
+// tainted set it reports:
+//
+//   - calls to time.Now,
+//   - any use of math/rand (v1 or v2),
+//   - `range` over a map whose body is order-sensitive (bodies that only
+//     accumulate into sets/counters or collect keys for a later sort are
+//     allowed — that is the sanctioned sortedKeys pattern).
+//
+// The call graph covers module-local functions only; stdlib calls other
+// than the banned ones are assumed deterministic.
+var DetExportAnalyzer = &Analyzer{
+	Name:      "detexport",
+	Doc:       "no time.Now, math/rand, or order-sensitive map iteration reachable from feedback export, statistics rendering, or plan-cache keys",
+	RunGlobal: runDetExport,
+}
+
+// detRoots maps root function names to the determinism surface they anchor.
+// Names are matched across all loaded packages; they are unique in this
+// module by construction (TestDetExportRootsExist keeps them honest).
+var detRoots = map[string]string{
+	"ExportFeedback":       "exported page-count feedback",
+	"ExportFeedbackToFile": "exported page-count feedback",
+	"planKey":              "plan-cache key construction",
+	"selBucket":            "plan-cache key construction",
+	"QueryKey":             "plan-cache key construction",
+	"MarshalStats":         "statistics-xml rendering",
+	"StatsSnapshot":        "statistics-xml rendering",
+}
+
+func runDetExport(units []*Unit, report func(u *Unit, pos token.Pos, format string, args ...any)) error {
+	sums := BuildSummaries(units)
+
+	var roots []*FuncInfo
+	for _, fi := range sums.Funcs {
+		if _, ok := detRoots[fi.Obj.Name()]; ok {
+			roots = append(roots, fi)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return roots[i].Obj.FullName() < roots[j].Obj.FullName()
+	})
+
+	reported := make(map[ast.Node]bool)
+	for _, root := range roots {
+		surface := detRoots[root.Obj.Name()]
+		reach := sums.Reachable(root.Obj)
+
+		var tainted []*FuncInfo
+		for fn := range reach {
+			if fi, ok := sums.Funcs[fn]; ok && len(fi.Det) > 0 {
+				tainted = append(tainted, fi)
+			}
+		}
+		sort.Slice(tainted, func(i, j int) bool {
+			return tainted[i].Decl.Pos() < tainted[j].Decl.Pos()
+		})
+		for _, fi := range tainted {
+			for _, v := range fi.Det {
+				if reported[v.Node] {
+					continue
+				}
+				reported[v.Node] = true
+				report(fi.Unit, v.Node.Pos(),
+					"nondeterministic %s in %s is reachable from %s (%s must be byte-deterministic)",
+					v.What, fi.Obj.Name(), root.Obj.Name(), surface)
+			}
+		}
+	}
+	return nil
+}

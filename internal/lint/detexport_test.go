@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+func TestDetExport(t *testing.T) {
+	runFixture(t, DetExportAnalyzer, "detexport")
+}
+
+// TestDetExportRootsExist keeps detRoots honest against the linted tree:
+// every root name must still resolve to at least one function in the
+// module, or a rename would silently shrink the checked surface to nothing.
+func TestDetExportRootsExist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis skipped in -short mode")
+	}
+	loader, root, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.LoadPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := BuildSummaries(units)
+	found := make(map[string]bool)
+	for _, fi := range sums.Funcs {
+		found[fi.Obj.Name()] = true
+	}
+	for name := range detRoots {
+		if !found[name] {
+			t.Errorf("determinism root %q no longer exists in the module; update detRoots", name)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineJoinAnalyzer enforces the exchange-operator contract for spawned
+// goroutines: every `go` statement must participate in a join protocol, and
+// must receive a derived context so cancellation reaches it.
+//
+// Join evidence, in order of preference:
+//
+//   - WaitGroup pairing: the goroutine (or a function it calls, per the
+//     one-level summaries) calls wg.Done, and a matching wg.Add precedes the
+//     `go` statement on every path (a forward must-analysis over the CFG).
+//   - Result channel: the goroutine sends on or closes a channel — the
+//     consumer's drain is the join.
+//   - Join-only bodies (`go func() { wg.Wait(); close(out) }()`) ARE the
+//     join protocol and are exempt from both rules.
+//
+// Context evidence: some argument or captured variable of the goroutine
+// carries a context — context.Context itself or a struct with such a field
+// (exec.Context) — and that value is derived: defined by a call to child/
+// context.WithCancel/WithTimeout/WithDeadline/WithValue, or received as a
+// parameter of the spawning function (the caller derived it).
+var GoroutineJoinAnalyzer = &Analyzer{
+	Name:      "goroutinejoin",
+	Doc:       "every go statement is joined via WaitGroup pairing or a result channel, and receives a derived context",
+	RunGlobal: runGoroutineJoin,
+}
+
+// derivedCtxCalls are callee names that produce a derived context.
+var derivedCtxCalls = map[string]bool{
+	"child":        true,
+	"WithCancel":   true,
+	"WithTimeout":  true,
+	"WithDeadline": true,
+	"WithValue":    true,
+}
+
+func runGoroutineJoin(units []*Unit, report func(u *Unit, pos token.Pos, format string, args ...any)) error {
+	sums := BuildSummaries(units)
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, fb := range funcBodies(f) {
+				analyzeSpawns(u, fb, sums, report)
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeSpawns checks the go statements that appear directly in one
+// function scope (nested literals are their own scopes).
+func analyzeSpawns(u *Unit, fb funcBody, sums *Summaries, report func(u *Unit, pos token.Pos, format string, args ...any)) {
+	var spawns []*ast.GoStmt
+	inspectScope(fb.body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			spawns = append(spawns, g)
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	addFacts := addBeforeSpawn(fb.body, u, spawns)
+
+	for _, g := range spawns {
+		ev := spawnEvidence(u, g, sums)
+		if ev.joinOnly {
+			continue // this goroutine IS the join protocol
+		}
+
+		switch {
+		case ev.channel:
+			// Sends on or closes a channel: the drain is the join.
+		case len(ev.doneDescs) > 0 || ev.calleeDone:
+			added := addFacts[g]
+			ok := ev.calleeDone && len(added) > 0
+			for _, d := range ev.doneDescs {
+				if added[d] {
+					ok = true
+				}
+			}
+			if !ok {
+				report(u, g.Pos(),
+					"goroutine calls WaitGroup.Done but no matching Add precedes the go statement on every path")
+			}
+		default:
+			report(u, g.Pos(),
+				"goroutine is never joined: pair it with WaitGroup Add/Done/Wait or a result channel")
+		}
+
+		checkSpawnContext(u, fb, g, report)
+	}
+}
+
+// spawnFacts is the join evidence of one go statement's body or callee.
+type spawnFacts struct {
+	joinOnly   bool     // body only waits/closes: it is the joiner
+	channel    bool     // sends on or closes a channel
+	doneDescs  []string // receivers of direct wg.Done() calls in a literal body
+	calleeDone bool     // a called function's summary calls wg.Done
+}
+
+func spawnEvidence(u *Unit, g *ast.GoStmt, sums *Summaries) spawnFacts {
+	var ev spawnFacts
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ev.joinOnly = joinOnlyBody(u, fl.Body)
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			switch nd := n.(type) {
+			case *ast.SendStmt:
+				ev.channel = true
+			case *ast.Ident:
+				if nd.Name == "close" {
+					if _, isBuiltin := u.Info.Uses[nd].(*types.Builtin); isBuiltin {
+						ev.channel = true
+					}
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(u.Info, nd)
+				if callee == nil {
+					return true
+				}
+				if callee.Name() == "Done" && recvTypeNameIs(callee, "WaitGroup") {
+					if sel, ok := nd.Fun.(*ast.SelectorExpr); ok {
+						ev.doneDescs = append(ev.doneDescs, exprString(u.Fset, sel.X))
+					}
+				}
+				if fi, ok := sums.Funcs[callee]; ok {
+					if fi.TouchesChannel {
+						ev.channel = true
+					}
+					if fi.CallsWGDone {
+						ev.calleeDone = true
+					}
+				}
+			}
+			return true
+		})
+		return ev
+	}
+	if callee := calleeFunc(u.Info, g.Call); callee != nil {
+		if fi, ok := sums.Funcs[callee]; ok {
+			ev.channel = fi.TouchesChannel
+			ev.calleeDone = fi.CallsWGDone
+		}
+	}
+	return ev
+}
+
+// joinOnlyBody reports whether every statement is part of a join protocol:
+// Wait/Done/close calls, channel sends, or returns.
+func joinOnlyBody(u *Unit, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, s := range body.List {
+		switch st := s.(type) {
+		case *ast.SendStmt, *ast.ReturnStmt:
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+				continue
+			}
+			callee := calleeFunc(u.Info, call)
+			if callee == nil {
+				return false
+			}
+			if (callee.Name() == "Wait" || callee.Name() == "Done") && recvTypeNameIs(callee, "WaitGroup") {
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// addBeforeSpawn runs a forward must-analysis over the spawning function's
+// CFG: the fact is the set of WaitGroup expressions (by source text) with an
+// Add call on every path from entry. The result maps each go statement to
+// the fact holding immediately before it.
+func addBeforeSpawn(body *ast.BlockStmt, u *Unit, spawns []*ast.GoStmt) map[*ast.GoStmt]map[string]bool {
+	at := make(map[*ast.GoStmt]map[string]bool, len(spawns))
+	want := make(map[*ast.GoStmt]bool, len(spawns))
+	for _, g := range spawns {
+		want[g] = true
+	}
+
+	asSet := func(f Fact) map[string]bool {
+		if f == nil {
+			return nil
+		}
+		return f.(map[string]bool)
+	}
+	g := BuildCFG(body)
+	g.Forward(Flow{
+		Boundary: map[string]bool{},
+		Transfer: func(b *Block, in Fact) Fact {
+			cur := make(map[string]bool, len(asSet(in)))
+			for k := range asSet(in) {
+				cur[k] = true
+			}
+			for _, n := range b.Nodes {
+				if gs, ok := n.(*ast.GoStmt); ok && want[gs] {
+					snap := make(map[string]bool, len(cur))
+					for k := range cur {
+						snap[k] = true
+					}
+					at[gs] = snap
+					continue
+				}
+				InspectNode(n, func(nd ast.Node) bool {
+					if _, ok := nd.(*ast.FuncLit); ok {
+						return false
+					}
+					call, ok := nd.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeFunc(u.Info, call)
+					if callee == nil || callee.Name() != "Add" || !recvTypeNameIs(callee, "WaitGroup") {
+						return true
+					}
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						cur[exprString(u.Fset, sel.X)] = true
+					}
+					return true
+				})
+			}
+			return cur
+		},
+		Join: func(a, b Fact) Fact {
+			av, bv := asSet(a), asSet(b)
+			if av == nil {
+				return bv
+			}
+			if bv == nil {
+				return av
+			}
+			out := make(map[string]bool)
+			for k := range av {
+				if bv[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			av, bv := asSet(a), asSet(b)
+			if len(av) != len(bv) {
+				return false
+			}
+			for k := range av {
+				if !bv[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+	return at
+}
+
+// checkSpawnContext verifies the goroutine receives a derived context.
+func checkSpawnContext(u *Unit, fb funcBody, g *ast.GoStmt, report func(u *Unit, pos token.Pos, format string, args ...any)) {
+	// Candidate context carriers: call arguments, plus identifiers the
+	// literal body captures.
+	var candidates []*ast.Ident
+	seen := make(map[types.Object]bool)
+	addIdent := func(id *ast.Ident) {
+		obj := u.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return
+		}
+		if !isContextCarrier(obj.Type()) {
+			return
+		}
+		seen[obj] = true
+		candidates = append(candidates, id)
+	}
+	for _, arg := range g.Call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			addIdent(id)
+		}
+	}
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				addIdent(id)
+			}
+			return true
+		})
+	}
+	if len(candidates) == 0 {
+		report(u, g.Pos(),
+			"goroutine does not receive a context; pass a derived context (ctx.child or context.With*) so cancellation reaches it")
+		return
+	}
+	for _, id := range candidates {
+		if isDerivedContext(u, fb, id) {
+			return
+		}
+	}
+	report(u, g.Pos(),
+		"goroutine receives context %s that is not derived; use ctx.child or context.With* so the spawn can be cancelled independently",
+		candidates[0].Name)
+}
+
+// isContextCarrier reports whether t is context.Context or a (pointer to a)
+// struct carrying a context.Context field, like exec.Context.
+func isContextCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDerivedContext reports whether the context identifier was produced by a
+// deriving call in the spawning scope, or arrived as a parameter (the caller
+// derived it).
+func isDerivedContext(u *Unit, fb funcBody, id *ast.Ident) bool {
+	obj := u.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	// Parameter of the spawning function?
+	var params *ast.FieldList
+	if fb.decl != nil {
+		params = fb.decl.Type.Params
+	} else if fb.lit != nil {
+		params = fb.lit.Type.Params
+	}
+	if params != nil {
+		for _, f := range params.List {
+			for _, name := range f.Names {
+				if u.Info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	// Defined by a deriving call?
+	derived := false
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if derived {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		defines := false
+		for _, l := range as.Lhs {
+			if lid, ok := l.(*ast.Ident); ok {
+				if u.Info.Defs[lid] == obj || u.Info.Uses[lid] == obj {
+					defines = true
+				}
+			}
+		}
+		if !defines {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && derivedCtxCalls[sel.Sel.Name] {
+			derived = true
+		} else if fid, ok := call.Fun.(*ast.Ident); ok && derivedCtxCalls[fid.Name] {
+			derived = true
+		}
+		return true
+	})
+	return derived
+}

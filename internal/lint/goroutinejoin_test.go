@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroutineJoin(t *testing.T) {
+	runFixture(t, GoroutineJoinAnalyzer, "goroutinejoin")
+}

@@ -2,19 +2,31 @@
 // re-implementation of the golang.org/x/tools go/analysis surface, just wide
 // enough for this repository's invariant checkers.
 //
-// The seven analyzers (one per file) machine-check the hand-maintained
-// invariants the query-lifecycle, hot-path, parallel-execution, and
-// plan-cache PRs rely on:
+// The analyzers (one per file) machine-check the hand-maintained
+// invariants the query-lifecycle, hot-path, parallel-execution, overload,
+// and plan-cache PRs rely on:
 //
-//   - pinleak:      every pinned page reaches Unpin on all control-flow paths
-//   - lockorder:    buffer-pool shard mutexes are acquired in ascending order
-//   - ctxflow:      context.Context flows from the engine entry points
-//   - errkind:      errors crossing the engine boundary are typed *QueryError
-//   - atomicfield:  fields touched via sync/atomic are never accessed plainly
-//   - monitormerge: monitor counting types are mergeable and their Merge
+//   - pinleak:       every pinned page reaches Unpin on all control-flow paths
+//   - lockorder:     buffer-pool shard mutexes are acquired in ascending order
+//   - ctxflow:       context.Context flows from the engine entry points
+//   - errkind:       errors crossing the engine boundary are typed *QueryError
+//   - atomicfield:   fields touched via sync/atomic are never accessed plainly
+//   - monitormerge:  monitor counting types are mergeable and their Merge
 //     methods carry a reviewed `dbvet:commutative` claim
-//   - planshare:    plan-node fields are written only by the plan and opt
+//   - planshare:     plan-node fields are written only by the plan and opt
 //     packages, keeping cached plan templates immutable
+//   - detexport:     no time.Now, math/rand, or order-sensitive map iteration
+//     reachable from feedback export, stats rendering, or plan-cache keys
+//   - goroutinejoin: every go statement is joined (WaitGroup pairing or a
+//     result channel) and receives a derived context
+//   - membudget:     exec operators charge exec.MemTracker before growing
+//     build-side slices or maps
+//   - shedlattice:   monitor degradation only moves down the
+//     exact→DPSample→linear→off lattice
+//
+// Path-sensitive analyzers run on a shared CFG + dataflow core (cfg.go,
+// dataflow.go, summary.go) mirroring golang.org/x/tools/go/cfg the same way
+// this file mirrors go/analysis.
 //
 // The framework intentionally mirrors go/analysis (Analyzer, Pass, Reportf,
 // analysistest-style fixtures under testdata/src) so the checkers could move
@@ -76,12 +88,28 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
+// RunConfig tunes a Run.
+type RunConfig struct {
+	// ReportUnusedIgnores adds a diagnostic (analyzer "deadignore") for
+	// every //dbvet:ignore directive that suppressed nothing. Only dbvet's
+	// full-suite runs set it: under a partial analyzer set, a directive
+	// aimed at an analyzer that did not run is not evidence of staleness,
+	// and a blanket directive cannot be judged at all. A named directive is
+	// only reported when at least one of its named analyzers ran.
+	ReportUnusedIgnores bool
+}
+
 // Run executes the analyzers over the loaded units and returns the surviving
 // diagnostics, sorted by position. Findings on lines carrying a
 // //dbvet:ignore comment (or whose preceding line is such a comment) are
 // suppressed; `//dbvet:ignore` mutes every analyzer on that line,
 // `//dbvet:ignore pinleak,ctxflow` only the named ones.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithConfig(units, analyzers, RunConfig{})
+}
+
+// RunWithConfig is Run with explicit configuration.
+func RunWithConfig(units []*Unit, analyzers []*Analyzer, cfg RunConfig) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		a := a
@@ -113,7 +141,15 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	diags = filterSuppressed(diags, units)
+	ignores := collectIgnores(units)
+	diags = filterSuppressed(diags, ignores)
+	if cfg.ReportUnusedIgnores {
+		ran := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		diags = append(diags, unusedIgnores(ignores, ran)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -133,10 +169,16 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 // ignoreDirective is the comment prefix that suppresses findings.
 const ignoreDirective = "//dbvet:ignore"
 
-// filterSuppressed drops diagnostics muted by //dbvet:ignore comments.
-func filterSuppressed(diags []Diagnostic, units []*Unit) []Diagnostic {
-	// ignores maps filename -> line -> analyzer names ("" = all).
-	ignores := make(map[string]map[int][]string)
+// ignoreEntry is one //dbvet:ignore directive found in the sources.
+type ignoreEntry struct {
+	pos   token.Position
+	names []string // analyzers the directive names; empty = all
+	used  bool     // suppressed at least one diagnostic this run
+}
+
+// collectIgnores gathers every //dbvet:ignore directive.
+func collectIgnores(units []*Unit) []*ignoreEntry {
+	var entries []*ignoreEntry
 	for _, u := range units {
 		for _, f := range u.Files {
 			for _, cg := range f.Comments {
@@ -149,25 +191,41 @@ func filterSuppressed(diags []Diagnostic, units []*Unit) []Diagnostic {
 					for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 						names = append(names, n)
 					}
-					pos := u.Fset.Position(c.Pos())
-					m := ignores[pos.Filename]
-					if m == nil {
-						m = make(map[int][]string)
-						ignores[pos.Filename] = m
-					}
-					if len(names) == 0 {
-						m[pos.Line] = append(m[pos.Line], "")
-					} else {
-						m[pos.Line] = append(m[pos.Line], names...)
-					}
+					entries = append(entries, &ignoreEntry{
+						pos:   u.Fset.Position(c.Pos()),
+						names: names,
+					})
 				}
 			}
 		}
 	}
+	return entries
+}
+
+// filterSuppressed drops diagnostics muted by //dbvet:ignore comments,
+// marking the directives that did the muting as used.
+func filterSuppressed(diags []Diagnostic, ignores []*ignoreEntry) []Diagnostic {
+	// byLine maps filename -> line -> directives on that line.
+	byLine := make(map[string]map[int][]*ignoreEntry)
+	for _, e := range ignores {
+		m := byLine[e.pos.Filename]
+		if m == nil {
+			m = make(map[int][]*ignoreEntry)
+			byLine[e.pos.Filename] = m
+		}
+		m[e.pos.Line] = append(m[e.pos.Line], e)
+	}
 	matches := func(d Diagnostic, line int) bool {
-		for _, n := range ignores[d.Pos.Filename][line] {
-			if n == "" || n == d.Analyzer {
+		for _, e := range byLine[d.Pos.Filename][line] {
+			if len(e.names) == 0 {
+				e.used = true
 				return true
+			}
+			for _, n := range e.names {
+				if n == d.Analyzer {
+					e.used = true
+					return true
+				}
 			}
 		}
 		return false
@@ -182,6 +240,51 @@ func filterSuppressed(diags []Diagnostic, units []*Unit) []Diagnostic {
 	return out
 }
 
+// unusedIgnores reports directives that suppressed nothing. A suppression
+// that outlives the finding it was written for hides the NEXT regression at
+// that line, so staleness is itself a finding. ran is the set of analyzer
+// names that executed: a named directive is judged only when one of its
+// analyzers ran, and names that are not analyzers at all are reported as
+// typos unconditionally.
+func unusedIgnores(ignores []*ignoreEntry, ran map[string]bool) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, e := range ignores {
+		if e.used {
+			continue
+		}
+		judgeable := len(e.names) == 0 // a blanket directive is judged by any run
+		for _, n := range e.names {
+			if !known[n] {
+				out = append(out, Diagnostic{
+					Pos:      e.pos,
+					Analyzer: "deadignore",
+					Message:  fmt.Sprintf("//dbvet:ignore names unknown analyzer %q", n),
+				})
+			}
+			if ran[n] {
+				judgeable = true
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		what := "any analyzer"
+		if len(e.names) > 0 {
+			what = strings.Join(e.names, ", ")
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "deadignore",
+			Message:  fmt.Sprintf("unused //dbvet:ignore directive: no finding from %s is suppressed here; stale suppressions hide the next regression", what),
+		})
+	}
+	return out
+}
+
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -192,6 +295,10 @@ func All() []*Analyzer {
 		AtomicFieldAnalyzer,
 		MonitorMergeAnalyzer,
 		PlanShareAnalyzer,
+		DetExportAnalyzer,
+		GoroutineJoinAnalyzer,
+		MemBudgetAnalyzer,
+		ShedLatticeAnalyzer,
 	}
 }
 

@@ -23,7 +23,7 @@ func TestRepoIsClean(t *testing.T) {
 	if len(units) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	diags, err := Run(units, All())
+	diags, err := RunWithConfig(units, All(), RunConfig{ReportUnusedIgnores: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -218,8 +219,22 @@ func (l *Loader) Load(importPath string) (*Unit, error) {
 	return u, nil
 }
 
-// goSourceFiles lists the non-test Go files of dir, sorted, honoring
-// `//go:build ignore`.
+// buildCtx is the fixed analysis platform. dbvet lints the tree the way
+// `go build` sees it on linux/amd64 — honoring `//go:build` expressions,
+// legacy `// +build` lines, and _GOOS/_GOARCH filename suffixes — instead of
+// parsing every .go file regardless of constraints. Before this, a
+// `//go:build windows` file was fed to the type checker on every platform,
+// so an excluded file could fail the whole load with duplicate declarations.
+var buildCtx = func() build.Context {
+	ctx := build.Default
+	ctx.GOOS = "linux"
+	ctx.GOARCH = "amd64"
+	ctx.CgoEnabled = false
+	return ctx
+}()
+
+// goSourceFiles lists the non-test Go files of dir that buildCtx would
+// compile, sorted.
 func goSourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -231,31 +246,17 @@ func goSourceFiles(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		match, err := buildCtx.MatchFile(dir, name)
 		if err != nil {
 			return nil, err
 		}
-		if isIgnored(string(data)) {
+		if !match {
 			continue
 		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names, nil
-}
-
-// isIgnored reports whether src carries a `//go:build ignore` constraint.
-func isIgnored(src string) bool {
-	for _, line := range strings.Split(src, "\n") {
-		line = strings.TrimSpace(line)
-		if strings.HasPrefix(line, "package ") {
-			return false
-		}
-		if line == "//go:build ignore" || strings.HasPrefix(line, "// +build ignore") {
-			return true
-		}
-	}
-	return false
 }
 
 // LoadPatterns expands package patterns relative to root and loads each

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderHonorsBuildConstraints is the regression test for the loader
+// silently mishandling constrained files: a `//go:build windows` file and a
+// `_windows.go` suffix file each redeclare a symbol from the portable file,
+// so including either under the linux/amd64 analysis context fails the
+// type-check with a duplicate declaration. A `//go:build ignore` helper must
+// stay excluded too.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "constr")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("portable.go", "package constr\n\nfunc Impl() int { return 1 }\n")
+	write("impl_other.go", "//go:build windows\n\npackage constr\n\nfunc Impl() int { return 2 }\n")
+	write("impl_windows.go", "package constr\n\nfunc Impl() int { return 3 }\n")
+	write("gen.go", "//go:build ignore\n\npackage main\n\nfunc main() {}\n")
+	write("legacy.go", "// +build plan9\n\npackage constr\n\nfunc Impl() int { return 4 }\n")
+	write("kept_linux.go", "package constr\n\nfunc LinuxOnly() {}\n")
+
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"kept_linux.go", "portable.go"}
+	if len(names) != len(want) {
+		t.Fatalf("goSourceFiles = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("goSourceFiles = %v, want %v", names, want)
+		}
+	}
+
+	// The package must type-check: excluded files would redeclare Impl.
+	loader := NewTreeLoader(root)
+	u, err := loader.Load("constr")
+	if err != nil {
+		t.Fatalf("loading constrained package: %v", err)
+	}
+	if u.Pkg.Scope().Lookup("LinuxOnly") == nil {
+		t.Fatal("kept_linux.go was not loaded")
+	}
+	if u.Pkg.Scope().Lookup("Impl") == nil {
+		t.Fatal("portable.go was not loaded")
+	}
+}

@@ -1,10 +1,12 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -22,6 +24,12 @@ import (
 // A "shard mutex" is any sync.Mutex/RWMutex field reached through a value
 // whose named type contains "shard" (poolShard today; future shard types
 // are covered by construction).
+//
+// The held-lock sets flow over the CFG (cfg.go) as a forward dataflow
+// problem, so branch arms are independent and loop accumulation is detected
+// at back edges; within a statement the scan stays syntactic, including
+// inlining immediately-invoked closures (which inherit the caller's held
+// set) and analyzing goroutine bodies on a fresh stack.
 var LockOrderAnalyzer = &Analyzer{
 	Name: "lockorder",
 	Doc:  "check that buffer-pool shard mutexes are acquired in ascending shard-index order",
@@ -29,19 +37,22 @@ var LockOrderAnalyzer = &Analyzer{
 }
 
 func runLockOrder(pass *Pass) error {
-	// Function literals the walk reaches at their call site — immediately
-	// invoked closures (which inherit the caller's held locks) and goroutine
-	// bodies (which get a fresh stack) — are analyzed there and skipped in
-	// the funcBodies sweep below, which still catches the rest: assigned
+	// Function literals reached at their call site — immediately invoked
+	// closures (which inherit the caller's held locks) and goroutine bodies
+	// (which get a fresh stack) — are analyzed there and skipped in the
+	// funcBodies sweep below, which still catches the rest: assigned
 	// closures, callbacks, and deferred literals, each on a fresh stack.
-	consumed := make(map[*ast.FuncLit]bool)
+	la := &lockAnalysis{
+		pass:     pass,
+		consumed: make(map[*ast.FuncLit]bool),
+		reported: make(map[string]bool),
+	}
 	for _, f := range pass.Files {
 		for _, fb := range funcBodies(f) {
-			if fb.lit != nil && consumed[fb.lit] {
+			if fb.lit != nil && la.consumed[fb.lit] {
 				continue
 			}
-			lo := &lockWalker{pass: pass, consumed: consumed}
-			lo.walkStmts(fb.body.List)
+			la.analyzeScope(fb.body)
 		}
 	}
 	return nil
@@ -56,18 +67,230 @@ type lockToken struct {
 	pos      token.Pos
 }
 
-// lockWalker tracks held shard locks through one function body. The walk is
-// syntactic and optimistic: branches are applied in source order, and an
+// key identifies a token for dataflow joins and re-acquisition dedup.
+func (t lockToken) key() string {
+	sw := token.NoPos
+	if t.sweep != nil {
+		sw = t.sweep.Pos()
+	}
+	return fmt.Sprintf("%s|%d|%v|%d|%d", t.desc, t.constIdx, t.accum, sw, t.pos)
+}
+
+// lockFact is the dataflow fact: the set of held tokens, in acquisition
+// order. Facts are treated as immutable by the solver callbacks.
+type lockFact []lockToken
+
+func asLockFact(f Fact) lockFact {
+	if f == nil {
+		return nil
+	}
+	return f.(lockFact)
+}
+
+func lockFactSig(f lockFact) string {
+	keys := make([]string, len(f))
+	for i, t := range f {
+		keys[i] = t.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "&")
+}
+
+// lockAnalysis carries the per-Run state: consumed literals, report dedup
+// (the fixpoint may revisit an acquisition), and the current scope's range
+// statements for position-based sweep detection.
+type lockAnalysis struct {
+	pass     *Pass
+	consumed map[*ast.FuncLit]bool
+	reported map[string]bool
+	sweeps   []*ast.RangeStmt
+}
+
+func (la *lockAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	k := fmt.Sprintf("%d|%s", pos, msg)
+	if la.reported[k] {
+		return
+	}
+	la.reported[k] = true
+	la.pass.Reportf(pos, "%s", msg)
+}
+
+// analyzeScope runs the held-lock dataflow over one function body.
+func (la *lockAnalysis) analyzeScope(body *ast.BlockStmt) {
+	outer := la.sweeps
+	la.sweeps = nil
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			la.sweeps = append(la.sweeps, rng)
+		}
+		return true
+	})
+	g := BuildCFG(body)
+	g.Forward(Flow{
+		Boundary:     lockFact{},
+		Transfer:     la.transfer,
+		EdgeTransfer: la.edgeTransfer,
+		Join:         la.join,
+		Equal:        la.equal,
+	})
+	la.sweeps = outer
+}
+
+func (la *lockAnalysis) transfer(b *Block, in Fact) Fact {
+	w := &lockWalker{la: la, held: append([]lockToken(nil), asLockFact(in)...)}
+	for _, n := range b.Nodes {
+		w.node(n)
+	}
+	return lockFact(w.held)
+}
+
+// edgeTransfer applies the loop-accumulation rule when an edge re-enters a
+// loop head or leaves a loop.
+func (la *lockAnalysis) edgeTransfer(e *Edge, f Fact) Fact {
+	held := asLockFact(f)
+	if e.BackLoop != nil {
+		held = la.leaveIteration(held, e.BackLoop, true)
+	}
+	for _, l := range e.ExitLoops {
+		held = la.leaveIteration(held, l, false)
+	}
+	return held
+}
+
+// leaveIteration handles tokens acquired inside loop l when control leaves
+// an iteration (backEdge) or the loop itself: only the ascending sweep — a
+// `for range` over a shard slice — may carry locks across iterations, and
+// its surviving tokens collapse into one "all shards" token at loop exit.
+// Everything else accumulating across iterations is reported and dropped.
+func (la *lockAnalysis) leaveIteration(held lockFact, l ast.Stmt, backEdge bool) lockFact {
+	rng, _ := l.(*ast.RangeStmt)
+	sanctioned := rng != nil && la.isShardSliceExpr(rng.X)
+	if sanctioned && backEdge {
+		// Sweep tokens legitimately persist from iteration to iteration;
+		// they collapse when the sweep exits.
+		return held
+	}
+	var out lockFact
+	changed := false
+	collapsed := false
+	for _, t := range held {
+		if t.pos < l.Pos() || t.pos > l.End() {
+			out = append(out, t)
+			continue
+		}
+		changed = true
+		if sanctioned {
+			if !collapsed {
+				collapsed = true
+				out = append(out, lockToken{
+					desc:     "all shards (ascending sweep over " + exprString(la.pass.Fset, rng.X) + ")",
+					constIdx: -1,
+					accum:    true,
+					pos:      l.Pos(),
+				})
+			}
+			continue
+		}
+		la.reportf(t.pos,
+			"shard lock %s accumulates across loop iterations outside an ascending `for range` sweep over the shard slice", t.desc)
+	}
+	if !changed {
+		return held
+	}
+	return out
+}
+
+func (la *lockAnalysis) join(a, b Fact) Fact {
+	av, bv := asLockFact(a), asLockFact(b)
+	seen := make(map[string]bool, len(av))
+	out := append(lockFact{}, av...)
+	for _, t := range av {
+		seen[t.key()] = true
+	}
+	for _, t := range bv {
+		if !seen[t.key()] {
+			seen[t.key()] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (la *lockAnalysis) equal(a, b Fact) bool {
+	return lockFactSig(asLockFact(a)) == lockFactSig(asLockFact(b))
+}
+
+// isShardSliceExpr reports whether e has type []T with T a shard type.
+func (la *lockAnalysis) isShardSliceExpr(e ast.Expr) bool {
+	tv, ok := la.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return typeNameContains(sl.Elem(), "shard")
+}
+
+// lockWalker applies one block's nodes (or an inlined closure body) to a
+// held-lock set. The intra-statement scan is syntactic and optimistic: an
 // Unlock anywhere releases the matching token. The point is to prove the
 // sanctioned patterns and flag everything that cannot be proven, not to be
 // a full may-hold analysis.
 type lockWalker struct {
-	pass     *Pass
-	held     []lockToken
-	loops    []*ast.RangeStmt      // enclosing range statements, innermost last
-	consumed map[*ast.FuncLit]bool // literals analyzed at their call site
+	la   *lockAnalysis
+	held []lockToken
 }
 
+// node processes one CFG leaf node.
+func (w *lockWalker) node(n ast.Node) {
+	switch nd := n.(type) {
+	case *ast.ExprStmt:
+		w.visitExpr(nd.X)
+	case *ast.AssignStmt:
+		for _, r := range nd.Rhs {
+			w.visitExpr(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range nd.Results {
+			w.visitExpr(r)
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks release at function end; for ordering purposes
+		// the lock is simply held for the rest of the walk, which is the
+		// conservative and correct view. Unlocks inside a deferred closure
+		// do not run here either.
+	case *ast.GoStmt:
+		w.goStmt(nd)
+	case *ast.RangeStmt:
+		// Iteration marker; the range expression was its own node.
+	case ast.Expr:
+		w.visitExpr(nd)
+	}
+}
+
+func (w *lockWalker) goStmt(st *ast.GoStmt) {
+	// The call's arguments are evaluated here, in the spawning goroutine,
+	// while the current locks are held; the body runs on its own lock
+	// stack, so it is analyzed as a fresh scope — holding shard i while a
+	// spawned worker takes shard j is not an ordering violation, but a
+	// misordered pair inside the body still is.
+	for _, arg := range st.Call.Args {
+		w.visitExpr(arg)
+	}
+	if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		if !w.la.consumed[fl] {
+			w.la.consumed[fl] = true
+			w.la.analyzeScope(fl.Body)
+		}
+	}
+}
+
+// walkStmts/walkStmt handle statements of closures inlined into the current
+// position (immediately invoked literals), which are not part of the
+// enclosing CFG; the walk is the pre-CFG sequential approximation.
 func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
 	for _, s := range stmts {
 		w.walkStmt(s)
@@ -85,14 +308,6 @@ func (w *lockWalker) walkStmt(s ast.Stmt) {
 			w.visitExpr(r)
 		}
 	case *ast.DeferStmt:
-		// Deferred unlocks release at function end; for ordering purposes
-		// the lock is simply held for the rest of the walk, which is the
-		// conservative and correct view.
-		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			// Unlocks inside a deferred closure do not run here.
-			_ = fl
-			return
-		}
 	case *ast.IfStmt:
 		if st.Init != nil {
 			w.walkStmt(st.Init)
@@ -108,13 +323,11 @@ func (w *lockWalker) walkStmt(s ast.Stmt) {
 		}
 		before := len(w.held)
 		w.walkStmts(st.Body.List)
-		w.endLoop(before, nil, st.Pos())
+		w.endLoop(before, nil)
 	case *ast.RangeStmt:
-		w.loops = append(w.loops, st)
 		before := len(w.held)
 		w.walkStmts(st.Body.List)
-		w.loops = w.loops[:len(w.loops)-1]
-		w.endLoop(before, st, st.Pos())
+		w.endLoop(before, st)
 	case *ast.SwitchStmt:
 		if st.Init != nil {
 			w.walkStmt(st.Init)
@@ -135,51 +348,38 @@ func (w *lockWalker) walkStmt(s ast.Stmt) {
 			w.visitExpr(r)
 		}
 	case *ast.GoStmt:
-		// The call's arguments are evaluated here, in the spawning
-		// goroutine, while the current locks are held; the body runs on its
-		// own lock stack, so it is walked with a fresh walker — holding
-		// shard i while a spawned worker takes shard j is not an ordering
-		// violation, but a misordered pair inside the body still is.
-		for _, arg := range st.Call.Args {
-			w.visitExpr(arg)
-		}
-		if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			w.consumed[fl] = true
-			gw := &lockWalker{pass: w.pass, consumed: w.consumed}
-			gw.walkStmts(fl.Body.List)
-		}
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		w.goStmt(st)
 	}
 }
 
-// endLoop handles locks that survived a loop body: they accumulate across
-// iterations. Only the ascending sweep — a `for range` over a shard slice —
-// is sanctioned; the surviving tokens collapse into one "all shards" token.
-func (w *lockWalker) endLoop(before int, rng *ast.RangeStmt, pos token.Pos) {
+// endLoop mirrors leaveIteration for inlined-closure loops: locks surviving
+// a loop body accumulate across iterations; only the ascending shard sweep
+// is sanctioned, collapsing into one "all shards" token.
+func (w *lockWalker) endLoop(before int, rng *ast.RangeStmt) {
 	if len(w.held) <= before {
 		return
 	}
 	acquired := w.held[before:]
-	if rng != nil && w.isShardSliceExpr(rng.X) {
+	if rng != nil && w.la.isShardSliceExpr(rng.X) {
 		w.held = append(w.held[:before], lockToken{
-			desc:     "all shards (ascending sweep over " + exprString(w.pass.Fset, rng.X) + ")",
+			desc:     "all shards (ascending sweep over " + exprString(w.la.pass.Fset, rng.X) + ")",
 			constIdx: -1,
 			accum:    true,
-			pos:      pos,
+			pos:      rng.Pos(),
 		})
 		return
 	}
 	for _, t := range acquired {
-		w.pass.Reportf(t.pos,
+		w.la.reportf(t.pos,
 			"shard lock %s accumulates across loop iterations outside an ascending `for range` sweep over the shard slice", t.desc)
 	}
 	w.held = w.held[:before]
 }
 
 // visitExpr looks for shard Lock/Unlock calls inside an expression. An
-// immediately invoked closure executes inline, so its body is walked with the
-// current held set; other function literals run elsewhere and are analyzed on
-// their own stack by the funcBodies sweep.
+// immediately invoked closure executes inline, so its body is walked with
+// the current held set; other function literals run elsewhere and are
+// analyzed on their own stack by the funcBodies sweep.
 func (w *lockWalker) visitExpr(e ast.Expr) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
@@ -190,7 +390,7 @@ func (w *lockWalker) visitExpr(e ast.Expr) {
 			return true
 		}
 		if fl, ok := call.Fun.(*ast.FuncLit); ok {
-			w.consumed[fl] = true
+			w.la.consumed[fl] = true
 			w.walkStmts(fl.Body.List)
 			return true
 		}
@@ -224,7 +424,7 @@ func (w *lockWalker) shardExprOfMutex(mutexExpr ast.Expr) (ast.Expr, bool) {
 	if !ok {
 		return nil, false
 	}
-	tv, ok := w.pass.Info.Types[sel.X]
+	tv, ok := w.la.pass.Info.Types[sel.X]
 	if !ok {
 		return nil, false
 	}
@@ -234,36 +434,32 @@ func (w *lockWalker) shardExprOfMutex(mutexExpr ast.Expr) (ast.Expr, bool) {
 	return sel.X, true
 }
 
-// isShardSliceExpr reports whether e has type []T with T a shard type.
-func (w *lockWalker) isShardSliceExpr(e ast.Expr) bool {
-	tv, ok := w.pass.Info.Types[e]
-	if !ok {
-		return false
-	}
-	sl, ok := tv.Type.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	return typeNameContains(sl.Elem(), "shard")
-}
-
 func (w *lockWalker) token(shard ast.Expr, pos token.Pos) lockToken {
-	t := lockToken{desc: exprString(w.pass.Fset, shard), constIdx: -1, pos: pos}
+	t := lockToken{desc: exprString(w.la.pass.Fset, shard), constIdx: -1, pos: pos}
 	if idx, ok := ast.Unparen(shard).(*ast.IndexExpr); ok {
-		if tv, ok := w.pass.Info.Types[idx.Index]; ok && tv.Value != nil {
+		if tv, ok := w.la.pass.Info.Types[idx.Index]; ok && tv.Value != nil {
 			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
 				t.constIdx = v
 			}
 		}
 	}
 	if id, ok := ast.Unparen(shard).(*ast.Ident); ok {
-		for i := len(w.loops) - 1; i >= 0; i-- {
-			rng := w.loops[i]
-			if rangeDefines(rng, id.Name) && w.isShardSliceExpr(rng.X) {
-				t.sweep = rng
-				break
+		// The innermost enclosing shard-slice sweep whose iteration
+		// variable this is; position containment replaces the old walker's
+		// loop stack.
+		var best *ast.RangeStmt
+		for _, rng := range w.la.sweeps {
+			if pos < rng.Pos() || pos > rng.End() {
+				continue
+			}
+			if !rangeDefines(rng, id.Name) || !w.la.isShardSliceExpr(rng.X) {
+				continue
+			}
+			if best == nil || rng.Pos() > best.Pos() {
+				best = rng
 			}
 		}
+		t.sweep = best
 	}
 	return t
 }
@@ -284,29 +480,34 @@ func (w *lockWalker) acquire(shard ast.Expr, pos token.Pos) {
 	for _, h := range w.held {
 		switch {
 		case h.accum:
-			w.pass.Reportf(pos,
+			w.la.reportf(pos,
 				"shard lock %s acquired while the whole-pool sweep already holds every shard", nt.desc)
 		case h.sweep != nil && nt.sweep == h.sweep:
 			// Two locks from the same ascending sweep iteration variable:
 			// ordered by construction.
 		case h.constIdx >= 0 && nt.constIdx >= 0 && sameIndexBase(h.desc, nt.desc):
 			if nt.constIdx <= h.constIdx {
-				w.pass.Reportf(pos,
+				w.la.reportf(pos,
 					"shard locks acquired out of ascending order: %s after %s", nt.desc, h.desc)
 			}
 		default:
-			w.pass.Reportf(pos,
+			w.la.reportf(pos,
 				"shard lock %s acquired while holding %s: cannot prove ascending shard order", nt.desc, h.desc)
+		}
+	}
+	for _, h := range w.held {
+		if h.key() == nt.key() {
+			return // re-acquisition at the same site (sweep fixpoint round)
 		}
 	}
 	w.held = append(w.held, nt)
 }
 
 func (w *lockWalker) release(shard ast.Expr) {
-	desc := exprString(w.pass.Fset, shard)
+	desc := exprString(w.la.pass.Fset, shard)
 	for i := len(w.held) - 1; i >= 0; i-- {
 		if w.held[i].desc == desc || w.held[i].accum {
-			w.held = append(w.held[:i], w.held[i+1:]...)
+			w.held = append(w.held[:i:i], w.held[i+1:]...)
 			return
 		}
 	}

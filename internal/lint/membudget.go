@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MemBudgetAnalyzer enforces the overload-protection invariant on exec
+// operators: build-side state that grows per input row must charge the
+// query's exec.MemTracker before growing, or a memory budget cannot bound
+// the query. Growth sites are:
+//
+//   - appending to a row-buffer field (a selector whose slice element type
+//     is named Row or Value) — except reuse appends whose first argument is
+//     a slice expression (`x.buf[:0]`, reusing charged capacity),
+//   - inserting into a map-typed field whose values carry row data (slices,
+//     pointers, structs — bounded bookkeeping maps with scalar values, like
+//     `satisfied map[int]bool`, are exempt),
+//   - any append of a Clone()d row (cloning copies the row out of the page
+//     buffer into operator-owned memory).
+//
+// A site is satisfied when a charge — MemTracker.Grow called directly or
+// through a module helper (per the one-level summaries) — precedes it on
+// every path from function entry (forward must-analysis over the CFG). The
+// analyzer only runs over packages named exec; other packages do not own
+// tracked operator state.
+var MemBudgetAnalyzer = &Analyzer{
+	Name: "membudget",
+	Doc:  "exec operators charge exec.MemTracker before growing build-side slices or maps",
+	Run:  runMemBudget,
+}
+
+func runMemBudget(pass *Pass) error {
+	if pass.Pkg.Name() != "exec" {
+		return nil
+	}
+	sums := BuildSummaries([]*Unit{pass.unit})
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			analyzeMemScope(pass, fb.body, sums)
+		}
+	}
+	return nil
+}
+
+func analyzeMemScope(pass *Pass, body *ast.BlockStmt, sums *Summaries) {
+	// Collect growth sites in this scope first; skip the dataflow when the
+	// function has none.
+	sites := make(map[ast.Node]string)
+	inspectScope(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if what, ok := growthSite(pass.Info, as); ok {
+			sites[as] = what
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	reported := make(map[ast.Node]bool)
+	asBool := func(f Fact) bool {
+		if f == nil {
+			return false
+		}
+		return f.(bool)
+	}
+	g := BuildCFG(body)
+	g.Forward(Flow{
+		Boundary: false,
+		Transfer: func(b *Block, in Fact) Fact {
+			charged := asBool(in)
+			for _, n := range b.Nodes {
+				if !charged && nodeCharges(pass.Info, sums, n) {
+					charged = true
+				}
+				if what, ok := sites[n]; ok && !charged && !reported[n] {
+					reported[n] = true
+					pass.Reportf(n.Pos(),
+						"%s grows without charging exec.MemTracker first (call Grow, directly or via a charging helper, before the insert)", what)
+				}
+			}
+			return charged
+		},
+		Join: func(a, b Fact) Fact {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			return asBool(a) && asBool(b)
+		},
+		Equal: func(a, b Fact) bool { return asBool(a) == asBool(b) },
+	})
+}
+
+// nodeCharges reports whether the node contains a MemTracker charge, either
+// a direct Grow call or a call to a module function whose summary charges.
+func nodeCharges(info *types.Info, sums *Summaries, n ast.Node) bool {
+	charges := false
+	InspectNode(n, func(nd ast.Node) bool {
+		if charges {
+			return false
+		}
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		if callee.Name() == "Grow" && recvTypeNameIs(callee, "MemTracker") {
+			charges = true
+			return false
+		}
+		if fi, ok := sums.Funcs[callee]; ok && fi.CallsGrow {
+			charges = true
+			return false
+		}
+		return true
+	})
+	return charges
+}
+
+// scalarMapValue reports whether a map value type is a flat scalar
+// (bool/number/empty struct): such maps are bounded bookkeeping keyed by
+// request or slot index, not per-row build-side state.
+func scalarMapValue(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsBoolean|types.IsNumeric) != 0
+	case *types.Struct:
+		return u.NumFields() == 0
+	}
+	return false
+}
+
+// growthSite classifies an assignment as operator-state growth. The what
+// string names the grown state for the diagnostic.
+func growthSite(info *types.Info, as *ast.AssignStmt) (string, bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	// Map-field insert: x.f[k] = v.
+	if idx, ok := as.Lhs[0].(*ast.IndexExpr); ok {
+		sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		tv, ok := info.Types[sel]
+		if !ok {
+			return "", false
+		}
+		if m, isMap := tv.Type.Underlying().(*types.Map); isMap && !scalarMapValue(m.Elem()) {
+			return "map field " + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return "", false
+	}
+	// Clone()d rows move page memory into operator-owned memory wherever
+	// they land, local variable or field.
+	for _, arg := range call.Args[1:] {
+		if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
+				return "cloned-row buffer", true
+			}
+		}
+	}
+	// Row-buffer field append: x.f = append(x.f, row) with Row/Value
+	// elements; x.f[:0] reuse appends recycle already-charged capacity.
+	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, isReuse := ast.Unparen(call.Args[0]).(*ast.SliceExpr); isReuse {
+		return "", false
+	}
+	tv, ok := info.Types[sel]
+	if !ok {
+		return "", false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return "", false
+	}
+	if typeNameIs(sl.Elem(), "Row") || typeNameIs(sl.Elem(), "Value") {
+		return "row-buffer field " + sel.Sel.Name, true
+	}
+	return "", false
+}

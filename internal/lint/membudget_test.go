@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMemBudget(t *testing.T) {
+	runFixture(t, MemBudgetAnalyzer, "membudget")
+}

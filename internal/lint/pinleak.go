@@ -78,20 +78,6 @@ func isPinnedPageCall(info *types.Info, call *ast.CallExpr) bool {
 // analyzePinScope checks one function body (function literals are analyzed
 // as their own scopes by the caller).
 func analyzePinScope(pass *Pass, body *ast.BlockStmt) {
-	// Pass 0: bail on control flow the path interpreter cannot model.
-	bail := false
-	inspectScope(body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.LabeledStmt:
-			bail = true
-		case *ast.BranchStmt:
-			if s.Tok == token.GOTO || s.Label != nil {
-				bail = true
-			}
-		}
-		return !bail
-	})
-
 	// Pass 1: collect acquisitions.
 	acqs := make(map[*ast.AssignStmt]*pinAcq)
 	tracked := make(map[types.Object]*pinAcq)
@@ -176,17 +162,13 @@ func analyzePinScope(pass *Pass, body *ast.BlockStmt) {
 		return
 	}
 
-	// Pass 3: path-sensitive leak detection.
+	// Pass 3: path-sensitive leak detection as a forward dataflow problem
+	// over the CFG. Branch edges refine err-pairings, loops and labeled
+	// jumps are handled by the graph, and returns check-and-kill their
+	// paths, so only the implicit return at the closing brace reaches Exit.
 	leaked := make(map[types.Object]bool)
-	if !bail {
-		it := &pinInterp{pass: pass, acqs: acqs, tracked: tracked, leaked: leaked}
-		r := it.execStmts(body.List, []*pinPath{newPinPath()})
-		if !it.overflow {
-			for _, p := range r.fall {
-				it.checkReturn(p, body.End())
-			}
-		}
-	}
+	pa := &pinAnalysis{pass: pass, acqs: acqs, tracked: tracked, leaked: leaked}
+	pa.analyze(body)
 
 	// Pass 4: defer rule.
 	type entry struct {
@@ -331,13 +313,12 @@ func (p *pinPath) signature() string {
 
 const maxPinPaths = 256
 
-type flowResult struct {
-	fall []*pinPath
-	brk  []*pinPath
-	cont []*pinPath
-}
-
-type pinInterp struct {
+// pinAnalysis runs the path rule as a forward dataflow problem over the CFG
+// (cfg.go/dataflow.go): facts are bounded, deduplicated sets of pinPath
+// states, branch edges refine err-pairings via their condition, and return
+// statements check and then kill their paths so only the implicit return at
+// the closing brace reaches the Exit block.
+type pinAnalysis struct {
 	pass     *Pass
 	acqs     map[*ast.AssignStmt]*pinAcq
 	tracked  map[types.Object]*pinAcq
@@ -345,223 +326,113 @@ type pinInterp struct {
 	overflow bool
 }
 
-// mergePaths deduplicates path states and enforces the path cap.
-func (it *pinInterp) mergePaths(sets ...[]*pinPath) []*pinPath {
-	seen := make(map[string]bool)
-	var out []*pinPath
-	for _, set := range sets {
-		for _, p := range set {
-			sig := p.signature()
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			out = append(out, p)
-		}
+func (pa *pinAnalysis) analyze(body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	in := g.Forward(Flow{
+		Boundary:     []*pinPath{newPinPath()},
+		Transfer:     pa.transfer,
+		EdgeTransfer: pa.edge,
+		Join:         pa.join,
+		Equal:        pa.equal,
+	})
+	if pa.overflow {
+		return
 	}
-	if len(out) > maxPinPaths {
-		it.overflow = true
-		out = out[:maxPinPaths]
+	for _, p := range asPinPaths(in[g.Exit]) {
+		pa.checkReturn(p, g.End)
 	}
-	return out
 }
 
-func (it *pinInterp) checkReturn(p *pinPath, pos token.Pos) {
+func asPinPaths(f Fact) []*pinPath {
+	if f == nil {
+		return nil
+	}
+	return f.([]*pinPath)
+}
+
+func (pa *pinAnalysis) checkReturn(p *pinPath, pos token.Pos) {
 	for obj, h := range p.held {
-		if !h || it.leaked[obj] {
+		if !h || pa.leaked[obj] {
 			continue
 		}
-		a := it.tracked[obj]
-		it.leaked[obj] = true
-		it.pass.Reportf(a.pos,
+		a := pa.tracked[obj]
+		pa.leaked[obj] = true
+		pa.pass.Reportf(a.pos,
 			"pinned page %s may not be unpinned on every path: a return at line %d can be reached with the pin held",
-			a.name, it.pass.Fset.Position(pos).Line)
+			a.name, pa.pass.Fset.Position(pos).Line)
 	}
 }
 
-func (it *pinInterp) execStmts(stmts []ast.Stmt, in []*pinPath) flowResult {
-	cur := in
-	var brk, cont []*pinPath
-	for _, s := range stmts {
-		if len(cur) == 0 || it.overflow {
+func (pa *pinAnalysis) transfer(b *Block, in Fact) Fact {
+	cur := clonePaths(asPinPaths(in))
+	for _, n := range b.Nodes {
+		if len(cur) == 0 {
 			break
 		}
-		r := it.execStmt(s, cur)
-		brk = append(brk, r.brk...)
-		cont = append(cont, r.cont...)
-		cur = r.fall
-	}
-	return flowResult{fall: cur, brk: brk, cont: cont}
-}
-
-func (it *pinInterp) execStmt(s ast.Stmt, in []*pinPath) flowResult {
-	switch st := s.(type) {
-	case *ast.BlockStmt:
-		return it.execStmts(st.List, in)
-
-	case *ast.AssignStmt:
-		if a, ok := it.acqs[st]; ok {
-			for _, p := range in {
-				p.held[a.pin] = true
-				if a.err != nil {
-					p.pairs[a.err] = a.pin
-				}
-			}
-			return flowResult{fall: in}
-		}
-		// A non-acquiring write to a paired error variable ends the pairing.
-		for _, l := range st.Lhs {
-			if id, ok := l.(*ast.Ident); ok {
-				obj := it.pass.Info.Defs[id]
-				if obj == nil {
-					obj = it.pass.Info.Uses[id]
-				}
-				if obj != nil {
-					for _, p := range in {
-						delete(p.pairs, obj)
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if a, ok := pa.acqs[st]; ok {
+				for _, p := range cur {
+					p.held[a.pin] = true
+					if a.err != nil {
+						p.pairs[a.err] = a.pin
 					}
 				}
+				continue
 			}
-		}
-		return flowResult{fall: in}
-
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" {
-				if id, ok := sel.X.(*ast.Ident); ok {
-					obj := it.pass.Info.Uses[id]
-					if _, tracked := it.tracked[obj]; tracked {
-						for _, p := range in {
-							p.held[obj] = false
+			// A non-acquiring write to a paired error variable ends the
+			// pairing.
+			for _, l := range st.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					obj := pa.pass.Info.Defs[id]
+					if obj == nil {
+						obj = pa.pass.Info.Uses[id]
+					}
+					if obj != nil {
+						for _, p := range cur {
+							delete(p.pairs, obj)
 						}
 					}
 				}
 			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				return flowResult{} // path ends; panic recovery is a boundary concern
-			}
-		}
-		return flowResult{fall: in}
 
-	case *ast.ReturnStmt:
-		for _, p := range in {
-			it.checkReturn(p, st.Pos())
-		}
-		return flowResult{}
-
-	case *ast.IfStmt:
-		cur := in
-		if st.Init != nil {
-			cur = it.execStmt(st.Init, cur).fall
-		}
-		thenIn := clonePaths(cur)
-		elseIn := clonePaths(cur)
-		applyErrCond(it.pass.Info, st.Cond, thenIn, elseIn)
-		rThen := it.execStmt(st.Body, thenIn)
-		var rElse flowResult
-		if st.Else != nil {
-			rElse = it.execStmt(st.Else, elseIn)
-		} else {
-			rElse = flowResult{fall: elseIn}
-		}
-		return flowResult{
-			fall: it.mergePaths(rThen.fall, rElse.fall),
-			brk:  it.mergePaths(rThen.brk, rElse.brk),
-			cont: it.mergePaths(rThen.cont, rElse.cont),
-		}
-
-	case *ast.ForStmt:
-		cur := in
-		if st.Init != nil {
-			cur = it.execStmt(st.Init, cur).fall
-		}
-		r := it.execStmts(st.Body.List, clonePaths(cur))
-		skip := cur
-		if st.Cond == nil {
-			skip = nil // for{} only exits through break or return
-			return flowResult{fall: it.mergePaths(r.brk)}
-		}
-		return flowResult{fall: it.mergePaths(skip, r.fall, r.brk, r.cont)}
-
-	case *ast.RangeStmt:
-		r := it.execStmts(st.Body.List, clonePaths(in))
-		return flowResult{fall: it.mergePaths(in, r.fall, r.brk, r.cont)}
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var body *ast.BlockStmt
-		var init ast.Stmt
-		hasDefault := false
-		switch sw := st.(type) {
-		case *ast.SwitchStmt:
-			body, init = sw.Body, sw.Init
-		case *ast.TypeSwitchStmt:
-			body, init = sw.Body, sw.Init
-		case *ast.SelectStmt:
-			body, hasDefault = sw.Body, true // select always takes a case
-		}
-		cur := in
-		if init != nil {
-			cur = it.execStmt(init, cur).fall
-		}
-		var falls [][]*pinPath
-		var cont []*pinPath
-		for _, cl := range body.List {
-			var caseBody []ast.Stmt
-			switch c := cl.(type) {
-			case *ast.CaseClause:
-				caseBody = c.Body
-				if c.List == nil {
-					hasDefault = true
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						obj := pa.pass.Info.Uses[id]
+						if _, tracked := pa.tracked[obj]; tracked {
+							for _, p := range cur {
+								p.held[obj] = false
+							}
+						}
+					}
 				}
-			case *ast.CommClause:
-				caseBody = c.Body
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					cur = nil // path ends; panic recovery is a boundary concern
+				}
 			}
-			r := it.execStmts(caseBody, clonePaths(cur))
-			falls = append(falls, r.fall, r.brk) // break leaves the switch
-			cont = append(cont, r.cont...)
-		}
-		if !hasDefault {
-			falls = append(falls, cur)
-		}
-		var all []*pinPath
-		for _, f := range falls {
-			all = it.mergePaths(all, f)
-		}
-		return flowResult{fall: all, cont: cont}
 
-	case *ast.BranchStmt:
-		switch st.Tok {
-		case token.BREAK:
-			return flowResult{brk: in}
-		case token.CONTINUE:
-			return flowResult{cont: in}
+		case *ast.ReturnStmt:
+			for _, p := range cur {
+				pa.checkReturn(p, st.Pos())
+			}
+			cur = nil
 		}
-		return flowResult{fall: in} // fallthrough
-
-	case *ast.LabeledStmt:
-		return it.execStmt(st.Stmt, in) // unreachable: labels bail earlier
-
-	default:
-		// DeclStmt, DeferStmt, GoStmt, IncDecStmt, SendStmt, EmptyStmt, ...
-		return flowResult{fall: in}
 	}
+	return pa.dedup(cur)
 }
 
-func clonePaths(in []*pinPath) []*pinPath {
-	out := make([]*pinPath, len(in))
-	for i, p := range in {
-		out[i] = p.clone()
+// edge refines paths crossing a conditional edge: on the arm where a paired
+// acquiring call failed (`err != nil` taken, or `err == nil` not taken), the
+// pin was never held.
+func (pa *pinAnalysis) edge(e *Edge, f Fact) Fact {
+	if e.Cond == nil {
+		return f
 	}
-	return out
-}
-
-// applyErrCond interprets `err != nil` / `err == nil` conditions over paired
-// error variables: on the arm where the acquiring call failed, the pin was
-// never taken.
-func applyErrCond(info *types.Info, cond ast.Expr, thenIn, elseIn []*pinPath) {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	be, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
 	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
-		return
+		return f
 	}
 	var errID *ast.Ident
 	if id, ok := be.X.(*ast.Ident); ok && isNilIdent(be.Y) {
@@ -570,25 +441,70 @@ func applyErrCond(info *types.Info, cond ast.Expr, thenIn, elseIn []*pinPath) {
 		errID = id
 	}
 	if errID == nil {
-		return
+		return f
 	}
-	obj := info.Uses[errID]
+	obj := pa.pass.Info.Uses[errID]
 	if obj == nil {
-		return
+		return f
 	}
-	failure, success := thenIn, elseIn // err != nil: then = failure
-	if be.Op == token.EQL {
-		failure, success = elseIn, thenIn
-	}
-	for _, p := range failure {
+	// err != nil on the true arm means the call failed; Negate flips arms.
+	failureArm := (be.Op == token.NEQ) != e.Negate
+	paths := clonePaths(asPinPaths(f))
+	for _, p := range paths {
 		if pin, ok := p.pairs[obj]; ok {
-			p.held[pin] = false
+			if failureArm {
+				p.held[pin] = false
+			}
 			delete(p.pairs, obj)
 		}
 	}
-	for _, p := range success {
-		delete(p.pairs, obj)
+	return pa.dedup(paths)
+}
+
+func (pa *pinAnalysis) join(a, b Fact) Fact {
+	merged := append(append([]*pinPath{}, asPinPaths(a)...), asPinPaths(b)...)
+	return pa.dedup(merged)
+}
+
+func (pa *pinAnalysis) equal(a, b Fact) bool {
+	return factSignature(asPinPaths(a)) == factSignature(asPinPaths(b))
+}
+
+// dedup canonicalizes a path set: unique signatures, sorted, capped.
+func (pa *pinAnalysis) dedup(in []*pinPath) []*pinPath {
+	seen := make(map[string]bool)
+	var out []*pinPath
+	for _, p := range in {
+		sig := p.signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, p)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].signature() < out[j].signature() })
+	if len(out) > maxPinPaths {
+		pa.overflow = true
+		out = out[:maxPinPaths]
+	}
+	return out
+}
+
+func factSignature(paths []*pinPath) string {
+	sigs := make([]string, len(paths))
+	for i, p := range paths {
+		sigs[i] = p.signature()
+	}
+	sort.Strings(sigs)
+	return strings.Join(sigs, "|")
+}
+
+func clonePaths(in []*pinPath) []*pinPath {
+	out := make([]*pinPath, len(in))
+	for i, p := range in {
+		out[i] = p.clone()
+	}
+	return out
 }
 
 func isNilIdent(e ast.Expr) bool {

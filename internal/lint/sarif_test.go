@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestToSARIF round-trips a small diagnostic set through the emitter and
+// checks the fields CI consumes: version, rule table, ruleId, message text,
+// and root-relative location paths.
+func TestToSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/exec/build.go", Line: 42, Column: 7},
+			Message:  "map field table grows without charging",
+			Analyzer: "membudget",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 3, Column: 1},
+			Message:  "goroutine is never joined",
+			Analyzer: "goroutinejoin",
+		},
+	}
+	b, err := ToSARIF(diags, All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dbvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the synthetic deadignore rule, each with a
+	// non-empty description.
+	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs["deadignore"] {
+		t.Error("rule table missing deadignore")
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "membudget" || first.Level != "error" {
+		t.Errorf("first result = %s/%s", first.RuleID, first.Level)
+	}
+	if first.Message.Text != diags[0].Message {
+		t.Errorf("message = %q", first.Message.Text)
+	}
+	if !ruleIDs[first.RuleID] {
+		t.Errorf("result ruleId %q not in rule table", first.RuleID)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/exec/build.go" {
+		t.Errorf("uri = %q, want repo-relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %d:%d", loc.Region.StartLine, loc.Region.StartColumn)
+	}
+	// A file outside the root keeps its absolute path rather than escaping
+	// upward with ../ segments.
+	second := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if second != "/elsewhere/outside.go" {
+		t.Errorf("outside-root uri = %q, want absolute path", second)
+	}
+}
+
+// TestToSARIFEmpty: a clean run still emits a valid log with the full rule
+// table and an empty (not null) results array.
+func TestToSARIFEmpty(t *testing.T) {
+	b, err := ToSARIF(nil, All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatal(err)
+	}
+	runs := log["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"].([]any)
+	if !ok {
+		t.Fatal("results must be an array, not null")
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %d, want 0", len(results))
+	}
+}

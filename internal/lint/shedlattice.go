@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ShedLatticeAnalyzer enforces the one-way monitor degradation lattice from
+// the load-shedding design: a monitor may only move DOWN
+//
+//	exact (monExactPrefix) → DPSample (monSampled / monJoinFilter) →
+//	linear (monLinear) → off (shedOff / quarantine / disabled)
+//
+// within a query. Moving back up — re-enabling a disabled monitor, or
+// promoting a linear counter to exact counting mid-flight — would let a shed
+// monitor feed partial observations into ApplyFeedback as if they were
+// complete. The analyzer tracks monitor-kind writes (field assignments,
+// composite literals, shedOff/quarantine calls) per monitor expression as a
+// forward dataflow over the CFG and reports any path where a write lowers
+// the degradation rank.
+var ShedLatticeAnalyzer = &Analyzer{
+	Name: "shedlattice",
+	Doc:  "monitor degradation only moves down the exact→DPSample→linear→off lattice",
+	Run:  runShedLattice,
+}
+
+// shedRank maps monitor-kind constant names to their degradation rank.
+// NOTE: rank is lattice position, not iota order — monJoinFilter sits on the
+// DPSample rung even though it is declared after monSampled.
+var shedRank = map[string]int{
+	"monExactPrefix": 0,
+	"monSampled":     1,
+	"monJoinFilter":  1,
+	"monLinear":      2,
+}
+
+const shedRankOff = 3
+
+var shedRankName = [...]string{"exact", "DPSample", "linear", "off"}
+
+func runShedLattice(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			analyzeShedScope(pass, fb.body)
+		}
+	}
+	return nil
+}
+
+// shedFact maps a monitor expression (by source text) to its current
+// degradation rank. Facts are immutable; the transfer copies before writing.
+type shedFact map[string]int
+
+func asShedFact(f Fact) shedFact {
+	if f == nil {
+		return nil
+	}
+	return f.(shedFact)
+}
+
+func shedFactSig(f shedFact) string {
+	parts := make([]string, 0, len(f))
+	for k, v := range f {
+		parts = append(parts, k+"="+string(rune('0'+v)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func analyzeShedScope(pass *Pass, body *ast.BlockStmt) {
+	// Cheap pre-scan: most functions never write a monitor kind.
+	touches := false
+	inspectScope(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if _, isKind := shedRank[id.Name]; isKind {
+				touches = true
+			}
+			switch id.Name {
+			case "shedOff", "quarantine", "disabled":
+				touches = true
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	reported := make(map[string]bool)
+	g := BuildCFG(body)
+	g.Forward(Flow{
+		Boundary: shedFact{},
+		Transfer: func(b *Block, in Fact) Fact {
+			cur := asShedFact(in)
+			copied := false
+			reset := func(desc string) {
+				if _, ok := cur[desc]; !ok {
+					return
+				}
+				if !copied {
+					next := make(shedFact, len(cur))
+					for k, v := range cur {
+						next[k] = v
+					}
+					cur, copied = next, true
+				}
+				delete(cur, desc)
+			}
+			set := func(desc string, rank int, n ast.Node) {
+				if old, ok := cur[desc]; ok && rank < old {
+					key := pass.Fset.Position(n.Pos()).String() + desc
+					if !reported[key] {
+						reported[key] = true
+						pass.Reportf(n.Pos(),
+							"monitor %s moves back up the shed lattice (%s after %s); degradation is one-way exact→DPSample→linear→off",
+							desc, shedRankName[rank], shedRankName[old])
+					}
+				}
+				if !copied {
+					next := make(shedFact, len(cur)+1)
+					for k, v := range cur {
+						next[k] = v
+					}
+					cur, copied = next, true
+				}
+				cur[desc] = rank
+			}
+			for _, n := range b.Nodes {
+				shedWrites(pass, n, set, reset)
+			}
+			return cur
+		},
+		Join: func(a, b Fact) Fact {
+			av, bv := asShedFact(a), asShedFact(b)
+			if av == nil {
+				return bv
+			}
+			if bv == nil {
+				return av
+			}
+			// May-analysis: keep the highest rank seen on any path, so a
+			// later lower write is flagged even if only one arm degraded.
+			out := make(shedFact, len(av))
+			for k, v := range av {
+				out[k] = v
+			}
+			for k, v := range bv {
+				if v > out[k] {
+					out[k] = v
+				} else if _, ok := out[k]; !ok {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			return shedFactSig(asShedFact(a)) == shedFactSig(asShedFact(b))
+		},
+	})
+}
+
+// shedWrites finds monitor-kind writes inside one CFG node and feeds them to
+// set(desc, rank, node). A `:=` define of a monitor variable calls
+// reset(desc) first: it binds a NEW monitor instance, so comparing its rank
+// against the previous binding (e.g. across a loop back edge) would
+// misreport a fresh monitor as a lattice move.
+func shedWrites(pass *Pass, n ast.Node, set func(desc string, rank int, n ast.Node), reset func(desc string)) {
+	InspectNode(n, func(nd ast.Node) bool {
+		switch w := nd.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// Loop-head marker: `for _, m := range mons` binds a DIFFERENT
+			// monitor each iteration, so the binding resets like a define.
+			if w.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{w.Key, w.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj != nil && typeNameContains(obj.Type(), "monitor") {
+							reset(id.Name)
+						}
+					}
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if w.Tok == token.DEFINE {
+				for _, l := range w.Lhs {
+					id, ok := l.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj != nil && typeNameContains(obj.Type(), "monitor") {
+						reset(id.Name)
+					}
+				}
+			}
+			for i, l := range w.Lhs {
+				if i >= len(w.Rhs) {
+					break
+				}
+				sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
+				if !ok || !isMonitorExpr(pass, sel.X) {
+					continue
+				}
+				switch sel.Sel.Name {
+				case "kind":
+					if id, ok := ast.Unparen(w.Rhs[i]).(*ast.Ident); ok {
+						if rank, isKind := shedRank[id.Name]; isKind {
+							set(exprString(pass.Fset, sel.X), rank, w)
+						}
+					}
+				case "disabled":
+					if id, ok := ast.Unparen(w.Rhs[i]).(*ast.Ident); ok && id.Name == "true" {
+						set(exprString(pass.Fset, sel.X), shedRankOff, w)
+					}
+				}
+				// Composite literal initialization: m := &scanMonitor{kind: monX}.
+				_ = i
+			}
+			for i, r := range w.Rhs {
+				if i >= len(w.Lhs) {
+					break
+				}
+				rank, hasKind, isMon := compositeKind(pass, r)
+				if !isMon {
+					continue
+				}
+				// A composite literal is a NEW monitor instance: whatever
+				// rank the variable's previous monitor held is irrelevant.
+				reset(exprString(pass.Fset, w.Lhs[i]))
+				if hasKind {
+					set(exprString(pass.Fset, w.Lhs[i]), rank, w)
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := w.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if (sel.Sel.Name == "shedOff" || sel.Sel.Name == "quarantine") && isMonitorExpr(pass, sel.X) {
+				set(exprString(pass.Fset, sel.X), shedRankOff, w)
+			}
+		}
+		return true
+	})
+}
+
+// compositeKind inspects a (&)scanMonitor{...} composite literal: isMon
+// reports a monitor literal, hasKind that it initializes the kind field with
+// a known constant, rank that constant's lattice position.
+func compositeKind(pass *Pass, e ast.Expr) (rank int, hasKind, isMon bool) {
+	x := ast.Unparen(e)
+	if u, ok := x.(*ast.UnaryExpr); ok {
+		x = u.X
+	}
+	cl, ok := x.(*ast.CompositeLit)
+	if !ok {
+		return 0, false, false
+	}
+	tv, ok := pass.Info.Types[cl]
+	if !ok || !typeNameContains(tv.Type, "monitor") {
+		return 0, false, false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "kind" {
+			continue
+		}
+		if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+			if r, isKind := shedRank[id.Name]; isKind {
+				return r, true, true
+			}
+		}
+	}
+	return 0, false, true
+}
+
+// isMonitorExpr reports whether e's type names a monitor (scanMonitor,
+// probe-side monitors, fixture stand-ins).
+func isMonitorExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return typeNameContains(tv.Type, "monitor")
+}

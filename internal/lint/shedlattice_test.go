@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestShedLattice(t *testing.T) {
+	runFixture(t, ShedLatticeAnalyzer, "shedlattice")
+}

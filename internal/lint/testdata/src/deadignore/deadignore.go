@@ -1,0 +1,25 @@
+// Package deadignore exercises unused-suppression reporting: a used
+// directive stays silent, a directive suppressing nothing is reported, a
+// typo'd analyzer name is reported, and a directive for an analyzer outside
+// the run set is left alone.
+package deadignore
+
+func work() {}
+
+func spawn() {
+	// Used: it suppresses the two goroutinejoin findings on the go statement.
+	//dbvet:ignore goroutinejoin
+	go work()
+
+	// Unused: there is no goroutinejoin finding here.
+	//dbvet:ignore goroutinejoin
+	work()
+
+	// Typo: no analyzer has this name.
+	//dbvet:ignore gorutinejoin
+	work()
+
+	// Not judgeable in a goroutinejoin-only run: pinleak did not execute.
+	//dbvet:ignore pinleak
+	work()
+}

@@ -1,0 +1,58 @@
+// Package detexport exercises the determinism-taint analyzer: functions
+// reachable from the fixed determinism roots must not call time.Now, use
+// math/rand, or range over a map with an order-sensitive body. The
+// sanctioned collect-keys-then-sort pattern and nondeterminism outside the
+// reachable set stay clean.
+package detexport
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ExportFeedback is a determinism root: the feedback file must render
+// byte-identically run after run.
+func ExportFeedback(vals map[string]int) string {
+	var b strings.Builder
+	for k := range vals { // want `range over map vals with an order-sensitive body`
+		b.WriteString(k)
+	}
+	b.WriteString(sortedSummary(vals))
+	return b.String()
+}
+
+// sortedSummary is the sanctioned pattern: accumulate keys, sort, render.
+func sortedSummary(vals map[string]int) string {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+// planKey is a root: plan-cache keys must be stable across runs.
+func planKey(q string) string {
+	return q + stamp()
+}
+
+// stamp is only nondeterministic transitively; the report names the root.
+func stamp() string {
+	return time.Now().String() // want `call to time.Now in stamp is reachable from planKey`
+}
+
+// MarshalStats is a root: the statistics snapshot must be reproducible.
+func MarshalStats(n int) int {
+	return jitter(n)
+}
+
+func jitter(n int) int {
+	return n + rand.Intn(8) // want `use of math/rand in jitter is reachable from MarshalStats`
+}
+
+// debugNow is nondeterministic but unreachable from every root: clean.
+func debugNow() time.Time {
+	return time.Now()
+}

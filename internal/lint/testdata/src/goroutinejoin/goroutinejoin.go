@@ -1,0 +1,121 @@
+// Package goroutinejoin exercises the spawn-join analyzer: every go
+// statement must be joined (WaitGroup Add/Done/Wait pairing or a result
+// channel) and must receive a derived context.
+package goroutinejoin
+
+import (
+	"context"
+	"sync"
+)
+
+func use(ctx context.Context) {}
+
+func compute(ctx context.Context) int { return 1 }
+
+// doWork neither calls Done nor touches a channel.
+func doWork(ctx context.Context) {}
+
+// waitGroupOK is the sanctioned pairing: Add before the spawn on every
+// path, Done inside, a context derived in the spawning scope.
+func waitGroupOK(ctx context.Context) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(cctx)
+	}()
+	wg.Wait()
+}
+
+// workerPool mirrors the exchange operator: named worker joined through its
+// summary (Done inside worker), plus the sanctioned join-only closer.
+func workerPool(ctx context.Context, n int) {
+	out := make(chan int)
+	var wg sync.WaitGroup
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(cctx, &wg, out)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	for range out {
+	}
+}
+
+func worker(ctx context.Context, wg *sync.WaitGroup, out chan<- int) {
+	defer wg.Done()
+	select {
+	case <-ctx.Done():
+	case out <- 1:
+	}
+}
+
+// channelJoin: the consumer's receive is the join.
+func channelJoin(ctx context.Context) int {
+	res := make(chan int)
+	go func() {
+		res <- compute(ctx)
+	}()
+	return <-res
+}
+
+// fireAndForget has no join protocol at all.
+func fireAndForget(ctx context.Context) {
+	go doWork(ctx) // want `goroutine is never joined`
+}
+
+// missingAdd pairs Done with an Add that only happens on one path, so no
+// Add precedes the spawn on EVERY path.
+func missingAdd(ctx context.Context, cond bool) {
+	var wg sync.WaitGroup
+	if cond {
+		wg.Add(1)
+	}
+	go func() { // want `no matching Add precedes the go statement on every path`
+		defer wg.Done()
+		use(ctx)
+	}()
+	wg.Wait()
+}
+
+// addAfterSpawn orders the Add after the go statement: the spawned Done can
+// race Wait past zero.
+func addAfterSpawn(ctx context.Context) {
+	var wg sync.WaitGroup
+	go func() { // want `no matching Add precedes the go statement on every path`
+		defer wg.Done()
+		use(ctx)
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// rootContext spawns with a context made from scratch instead of deriving
+// from the caller, so cancellation never reaches the goroutine.
+func rootContext() {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine receives context ctx that is not derived`
+		defer wg.Done()
+		use(ctx)
+	}()
+	wg.Wait()
+}
+
+func tick() {}
+
+// noContext is channel-joined but passes nothing cancellable at all.
+func noContext(done chan struct{}) {
+	go func() { // want `goroutine does not receive a context`
+		tick()
+		close(done)
+	}()
+	<-done
+}

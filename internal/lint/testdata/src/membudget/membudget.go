@@ -1,0 +1,83 @@
+// Package exec (fixture import path "membudget") exercises the
+// memory-budget analyzer on stub operators: build-side state that grows per
+// input row must charge MemTracker first on every path.
+package exec
+
+// MemTracker is the stub budget; the analyzer matches it by type name.
+type MemTracker struct{ used int64 }
+
+// Grow charges n bytes.
+func (t *MemTracker) Grow(n int64) error {
+	t.used += n
+	return nil
+}
+
+// Row is the stub row type the analyzer matches by name.
+type Row []int64
+
+// Clone copies the row out of page memory.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+type buildOp struct {
+	mem   *MemTracker
+	table map[string][]Row
+	buf   []Row
+	seen  map[int]bool
+}
+
+// insertCharged is the sanctioned shape: Grow guards the insert.
+func (o *buildOp) insertCharged(k string, r Row) error {
+	if err := o.mem.Grow(int64(len(r))); err != nil {
+		return err
+	}
+	o.table[k] = append(o.table[k], r)
+	return nil
+}
+
+func (o *buildOp) insertUncharged(k string, r Row) {
+	o.table[k] = append(o.table[k], r) // want `map field table grows without charging`
+}
+
+// charge is a module helper; the one-level summaries see through it.
+func (o *buildOp) charge(n int64) error { return o.mem.Grow(n) }
+
+func (o *buildOp) appendViaHelper(r Row) error {
+	if err := o.charge(int64(len(r))); err != nil {
+		return err
+	}
+	o.buf = append(o.buf, r)
+	return nil
+}
+
+func (o *buildOp) appendUncharged(r Row) {
+	o.buf = append(o.buf, r) // want `row-buffer field buf grows without charging`
+}
+
+// reuseIsFree recycles already-charged capacity.
+func (o *buildOp) reuseIsFree(r Row) {
+	o.buf = append(o.buf[:0], r)
+}
+
+func (o *buildOp) cloneUncharged(rows []Row, r Row) []Row {
+	rows = append(rows, r.Clone()) // want `cloned-row buffer grows without charging`
+	return rows
+}
+
+// bookkeeping maps with scalar values are bounded by request count, not row
+// count: exempt.
+func (o *buildOp) bookkeeping(i int) {
+	o.seen[i] = true
+}
+
+// conditionalCharge only charges on one path; the must-analysis flags the
+// uncovered one.
+func (o *buildOp) conditionalCharge(k string, r Row, ok bool) {
+	if ok {
+		_ = o.mem.Grow(1)
+	}
+	o.table[k] = append(o.table[k], r) // want `map field table grows without charging`
+}

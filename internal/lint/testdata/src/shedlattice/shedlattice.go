@@ -1,0 +1,112 @@
+// Package shedlattice exercises the one-way degradation lattice: monitor
+// kind writes may only move down exact→DPSample→linear→off within a query.
+package shedlattice
+
+const (
+	monExactPrefix = iota
+	monSampled
+	monJoinFilter
+	monLinear
+)
+
+type scanMonitor struct {
+	kind     int
+	disabled bool
+}
+
+func (m *scanMonitor) shedOff(reason string) { m.disabled = true }
+
+// degradeOK walks down the lattice: always legal.
+func degradeOK(m *scanMonitor, lvl int) {
+	if lvl >= 1 {
+		m.kind = monSampled
+	}
+	if lvl >= 2 {
+		m.kind = monLinear
+	}
+	if lvl >= 3 {
+		m.shedOff("overload")
+	}
+}
+
+func upgradeBad(m *scanMonitor) {
+	m.kind = monLinear
+	m.kind = monExactPrefix // want `moves back up the shed lattice`
+}
+
+// reEnable resurrects a shed-off monitor.
+func reEnable(m *scanMonitor) {
+	m.shedOff("overload")
+	m.kind = monSampled // want `moves back up the shed lattice`
+}
+
+// disableThenSample re-arms past an explicit disable write.
+func disableThenSample(m *scanMonitor) {
+	m.disabled = true
+	m.kind = monSampled // want `moves back up the shed lattice`
+}
+
+// branchBad: on the degraded arm's path the later write is an upgrade; the
+// may-analysis keeps the highest rank across the join.
+func branchBad(m *scanMonitor, cond bool) {
+	if cond {
+		m.kind = monLinear
+	}
+	m.kind = monSampled // want `moves back up the shed lattice`
+}
+
+// freshPerIteration re-binds m each iteration; a fresh monitor at a lower
+// rank is NOT a lattice move even though the previous iteration's monitor
+// ended lower.
+func freshPerIteration(reqs []int) []*scanMonitor {
+	var mons []*scanMonitor
+	for _, r := range reqs {
+		m := &scanMonitor{}
+		if r > 0 {
+			m.kind = monLinear
+		} else {
+			m.kind = monExactPrefix
+		}
+		mons = append(mons, m)
+	}
+	return mons
+}
+
+// freshComposite does the same through composite-literal kinds.
+func freshComposite(reqs []int) []*scanMonitor {
+	var mons []*scanMonitor
+	for _, r := range reqs {
+		var m *scanMonitor
+		if r > 0 {
+			m = &scanMonitor{kind: monLinear}
+		} else {
+			m = &scanMonitor{kind: monExactPrefix}
+		}
+		mons = append(mons, m)
+	}
+	return mons
+}
+
+// rangeRebindMixed: the range variable binds a DIFFERENT monitor each
+// iteration, so mixed ranks across iterations are clean.
+func rangeRebindMixed(mons []*scanMonitor, lvls []int) {
+	for i, m := range mons {
+		if lvls[i] > 1 {
+			m.kind = monLinear
+		} else {
+			m.kind = monSampled
+		}
+	}
+}
+
+// sameMonitorAcrossLoop keeps ONE monitor across iterations: an upgrade on
+// a later iteration is real.
+func sameMonitorAcrossLoop(m *scanMonitor, lvls []int) {
+	for _, lvl := range lvls {
+		if lvl > 1 {
+			m.kind = monLinear
+		} else {
+			m.kind = monSampled // want `moves back up the shed lattice`
+		}
+	}
+}

@@ -319,6 +319,11 @@ func (bp *BufferPool) Prefetch(file FileID, pids []PageID) {
 	if len(admitted) == 0 {
 		return
 	}
+	// Fire-and-forget by design: prefetch is advisory I/O with no caller to
+	// join or cancel. The per-shard inflight window (released in
+	// prefetchOne) bounds how many goroutines run, and a prefetch racing
+	// pool shutdown only populates frames that Reset then discards.
+	//dbvet:ignore goroutinejoin
 	go func() {
 		for _, pid := range admitted {
 			bp.prefetchOne(file, pid)
