@@ -50,7 +50,7 @@ BENCH_STAMP ?= $(shell git log -1 --format=%cI 2>/dev/null || date -u +%Y-%m-%dT
 
 bench:
 	BENCH_STAMP=$(BENCH_STAMP) $(GO) test \
-		-bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention|BenchmarkParallelScan|BenchmarkParallelHashJoin|BenchmarkPreparedThroughput|BenchmarkPlanCache' \
+		-bench 'BenchmarkThroughput|BenchmarkScanAlloc|BenchmarkPoolContention|BenchmarkParallelScan|BenchmarkParallelHashJoin|BenchmarkPreparedThroughput|BenchmarkPlanCache|BenchmarkVectorized' \
 		-benchmem -run xxx .
 
 # Profile the hot path: runs the parallel throughput benchmark under the CPU
@@ -61,11 +61,14 @@ profile:
 		-cpuprofile cpu.prof -memprofile mem.prof .
 	$(GO) tool pprof -top -nodecount 15 cpu.prof
 
-# Brief fuzzing pass over the row/key codecs, the SQL parser, and the lint
-# CFG builder: a smoke check suitable for CI, not a soak. Corpus finds
+# Brief fuzzing pass over the row/key codecs, the SQL parser, the batch
+# predicate evaluator, and the lint CFG builder: a smoke check suitable for
+# CI, not a soak. Corpus finds
 # accumulate in the build cache and testdata/fuzz.
 fuzz-smoke:
 	$(GO) test ./internal/tuple -run xxx -fuzz FuzzTupleDecode -fuzztime 10s
 	$(GO) test ./internal/tuple -run xxx -fuzz FuzzKeyCodec -fuzztime 10s
 	$(GO) test ./internal/sql -run xxx -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/expr -run xxx -fuzz FuzzEvalBatch -fuzztime 10s
+	$(GO) test ./internal/expr -run xxx -fuzz FuzzEvalRaw -fuzztime 10s
 	$(GO) test ./internal/lint -run xxx -fuzz FuzzCFGBuild -fuzztime 10s

@@ -34,6 +34,7 @@ const helpText = `commands:
   \exec NAME ARG...     execute a prepared statement ('str', 2007-06-01, or int args)
   \monitor on|off       toggle DPC monitoring for subsequent queries
   \parallel N           set intra-query parallelism (0/1 = serial)
+  \vectorized on|off    toggle batch-at-a-time execution (default on)
   \feedback apply       inject the page counts observed by the last query
   \feedback show        list the feedback cache
   \feedback export F    write learned state (cache/histograms/curves) to file F
@@ -49,6 +50,7 @@ func main() {
 	real := flag.Bool("real", false, "also build the five real-world-like databases (slower)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
 	parallel := flag.Int("parallel", 0, "intra-query parallelism for scans and hash-join probes (0/1 = serial)")
+	vectorized := flag.Bool("vectorized", true, "batch-at-a-time execution (false forces the row-at-a-time path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole session)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -98,7 +100,7 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, `ready — try: SELECT COUNT(padding) FROM t WHERE c2 < 2000  (\help for commands)`)
 
-	sh := &shell{eng: eng, monitor: true, timeout: *timeout, parallel: *parallel, out: os.Stdout}
+	sh := &shell{eng: eng, monitor: true, timeout: *timeout, parallel: *parallel, vectorized: *vectorized, out: os.Stdout}
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("pagefeedback> ")
@@ -112,13 +114,22 @@ func main() {
 }
 
 type shell struct {
-	eng      *pagefeedback.Engine
-	monitor  bool
-	timeout  time.Duration
-	parallel int
-	last     *pagefeedback.Result
-	prepared map[string]*pagefeedback.Stmt
-	out      *os.File
+	eng        *pagefeedback.Engine
+	monitor    bool
+	timeout    time.Duration
+	parallel   int
+	vectorized bool
+	last       *pagefeedback.Result
+	prepared   map[string]*pagefeedback.Stmt
+	out        *os.File
+}
+
+// vecMode maps the shell toggle onto the engine's run option.
+func (s *shell) vecMode() pagefeedback.VecMode {
+	if s.vectorized {
+		return pagefeedback.VecOn
+	}
+	return pagefeedback.VecOff
 }
 
 // handle processes one line; false means quit.
@@ -151,9 +162,14 @@ func (s *shell) meta(line string) bool {
 			}
 		}
 		fmt.Fprintf(s.out, "parallelism: %d\n", s.parallel)
+	case `\vectorized`:
+		if len(fields) == 2 {
+			s.vectorized = strings.EqualFold(fields[1], "on")
+		}
+		fmt.Fprintf(s.out, "vectorized: %v\n", s.vectorized)
 	case `\explain`:
 		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
-		out, err := s.eng.ExplainWithOptions(sql, &pagefeedback.RunOptions{Parallelism: s.parallel})
+		out, err := s.eng.ExplainWithOptions(sql, &pagefeedback.RunOptions{Parallelism: s.parallel, Vectorized: s.vecMode()})
 		if err != nil {
 			fmt.Fprintln(s.out, "error:", err)
 			return true
@@ -222,6 +238,8 @@ func (s *shell) stats() {
 		rt.MemPeakBytes, rt.ShedMonitors, rt.QuarantinedMonitors)
 	fmt.Fprintf(s.out, "            plan cache hit: %v, %d compiled predicates\n",
 		rt.PlanCacheHit, rt.CompiledPredicates)
+	fmt.Fprintf(s.out, "            %d batches processed, %d vectorized operators\n",
+		rt.BatchesProcessed, rt.VectorizedOps)
 }
 
 // prepare handles \prepare NAME SELECT ... — the SQL is everything after the
@@ -270,7 +288,8 @@ func (s *shell) exec(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	res, err := stmt.QueryContext(ctx, vals,
-		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel})
+		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel,
+			Vectorized: s.vecMode()})
 	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
@@ -333,7 +352,8 @@ func (s *shell) runQuery(sql string) {
 	// killing the shell; the scope is released as soon as the query ends.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	res, err := s.eng.QueryContext(ctx, sql,
-		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel})
+		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel,
+			Vectorized: s.vecMode()})
 	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)

@@ -274,7 +274,30 @@ type RunOptions struct {
 	// planted monitor; a monitor exceeding it disables itself mid-query and
 	// reports a shed (Degraded) result. 0 means unbounded.
 	MonitorOverheadBudget time.Duration
+	// Vectorized selects the execution path. The default (VecDefault) runs
+	// batch-at-a-time with selection vectors; VecOff forces the serial
+	// row-at-a-time path — the escape hatch and the parity baseline the
+	// chaos tests compare against. Results, DPC feedback, and deterministic
+	// runtime stats are identical across the two paths; only the batch
+	// counters (BatchesProcessed, VectorizedOps) differ.
+	Vectorized VecMode
 }
+
+// VecMode selects between the vectorized (batch-at-a-time) and the
+// row-at-a-time execution paths.
+type VecMode int
+
+const (
+	// VecDefault is the zero value: vectorized execution.
+	VecDefault VecMode = iota
+	// VecOff forces row-at-a-time execution.
+	VecOff
+	// VecOn requests vectorized execution explicitly (same as VecDefault).
+	VecOn
+)
+
+// vectorized reports whether the options select the batch path.
+func (o *RunOptions) vectorized() bool { return o == nil || o.Vectorized != VecOff }
 
 // parallelDegree clamps the requested degree to [0, GOMAXPROCS].
 func (o *RunOptions) parallelDegree() int {
@@ -456,6 +479,7 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	if opts != nil && opts.MemBudget > 0 {
 		ctx.Mem = exec.NewMemTracker(opts.MemBudget)
 	}
+	ctx.Vectorized = opts.vectorized()
 	ctx.BindContext(goCtx)
 	ex, err := exec.Build(ctx, node, mcfg)
 	if err != nil {
@@ -498,6 +522,8 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 			PoolWaitTime:       poolStats.WaitTime,
 			MemPeakBytes:       ctx.Mem.Used(),
 			CompiledPredicates: ctx.CompiledPredicates(),
+			BatchesProcessed:   ctx.BatchesProcessed(),
+			VectorizedOps:      ctx.VectorizedOps(),
 		},
 	}
 	for _, r := range res.DPC {

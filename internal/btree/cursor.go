@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"pagefeedback/internal/storage"
@@ -126,11 +127,18 @@ func (c *Cursor) NextLeaf(fn func(key, value []byte, rid storage.RID) bool) bool
 		}
 		c.slot = -1
 	}
-	for c.slot+1 < c.leaf.Page.NumSlots() {
+	// The slot count and page identity are loop invariants (the leaf stays
+	// pinned for the whole sweep), so they are read once, and each cell's
+	// key length is decoded once to split key from value.
+	n := c.leaf.Page.NumSlots()
+	rid := storage.RID{Page: c.leaf.ID}
+	for c.slot+1 < n {
 		c.slot++
 		c.valid = true
-		cell := c.leaf.Page.Cell(storage.SlotID(c.slot))
-		if !fn(cellKey(cell), leafCellValue(cell), storage.RID{Page: c.leaf.ID, Slot: storage.SlotID(c.slot)}) {
+		rid.Slot = storage.SlotID(c.slot)
+		cell := c.leaf.Page.Cell(rid.Slot)
+		kl := binary.LittleEndian.Uint16(cell)
+		if !fn(cell[2:2+kl], cell[2+kl:], rid) {
 			return false
 		}
 	}

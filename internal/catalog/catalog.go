@@ -256,6 +256,30 @@ func (t *Table) FetchRowInto(dst tuple.Row, rid storage.RID) (tuple.Row, error) 
 	return out, nil
 }
 
+// FetchRowAppend reads the row at rid and appends its decoded values to
+// arena, returning the grown arena. Unlike FetchRowInto, the destination is
+// shared by many rows: batch operators accumulate a batch's worth of fetches
+// into one reused arena with no copy per row, building row views over it
+// once it stops growing. The decode still happens under the data page's pin.
+func (t *Table) FetchRowAppend(arena []tuple.Value, rid storage.RID) ([]tuple.Value, error) {
+	out := tuple.Row(arena)
+	decode := func(enc []byte) error {
+		vals, err := tuple.DecodeAppend(out, t.Schema, enc)
+		out = vals
+		return err
+	}
+	var err error
+	if t.Kind == KindHeap {
+		err = t.heapFile.View(rid, decode)
+	} else {
+		err = t.clustered.View(rid, decode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Indexes returns the table's secondary indexes.
 func (t *Table) Indexes() []*Index { return t.indexes }
 
@@ -278,6 +302,13 @@ type RowBatch struct {
 	RIDs []storage.RID
 	Rows []tuple.Row
 	vals []tuple.Value // flat arena backing Rows
+
+	// finish memo: a row view depends only on the arena's backing array,
+	// the column count, and the row index, so views built for one page are
+	// reused verbatim for the next as long as the arena has not moved.
+	arena0    *tuple.Value // first element of the arena the views were built over
+	rowsBuilt int          // number of views built over arena0
+	rowsNcols int
 }
 
 // Len returns the number of rows in the batch.
@@ -303,8 +334,22 @@ func (b *RowBatch) add(s *tuple.Schema, rid storage.RID, enc []byte) error {
 
 // finish materializes the per-row views over the settled arena.
 func (b *RowBatch) finish(ncols int) {
-	for i := range b.RIDs {
+	n := len(b.RIDs)
+	if n == 0 {
+		return
+	}
+	if ncols > 0 && b.rowsNcols == ncols && b.arena0 == &b.vals[0] && n <= b.rowsBuilt {
+		b.Rows = b.Rows[:n]
+		return
+	}
+	b.Rows = b.Rows[:0]
+	for i := 0; i < n; i++ {
 		b.Rows = append(b.Rows, tuple.Row(b.vals[i*ncols:(i+1)*ncols:(i+1)*ncols]))
+	}
+	if ncols > 0 {
+		b.arena0 = &b.vals[0]
+		b.rowsBuilt = n
+		b.rowsNcols = ncols
 	}
 }
 
@@ -502,6 +547,66 @@ func (it *RowIter) NextPage(b *RowBatch) bool {
 	}
 	b.finish(ncols)
 	return true
+}
+
+// NextPageFiltered is NextPage for consumers that can judge a row from its
+// encoded bytes (late materialization): keep decides each cell, only
+// accepted cells are decoded into b, and the returned total counts every
+// cell of the page — the caller's CPU accounting charges whole pages
+// exactly as the decoding path does. keep must accept cells it cannot
+// interpret, so corruption still surfaces as a decode error.
+func (it *RowIter) NextPageFiltered(b *RowBatch, keep func(enc []byte) bool) (int, bool) {
+	if it.err != nil || it.done {
+		return 0, false
+	}
+	b.reset()
+	total := 0
+	ncols := it.table.Schema.NumColumns()
+	if it.table.Kind == KindHeap {
+		if it.pscan == nil {
+			it.pscan = it.table.heapFile.ScanPages()
+		}
+		ok := it.pscan.NextPage(func(rid storage.RID, cell []byte) error {
+			b.PID = rid.Page
+			total++
+			if !keep(cell) {
+				return nil
+			}
+			return b.add(it.table.Schema, rid, cell)
+		})
+		if it.err = it.pscan.Err(); it.err != nil || !ok {
+			return 0, false
+		}
+		b.finish(ncols)
+		return total, true
+	}
+	it.cur.NextLeaf(func(key, val []byte, rid storage.RID) bool {
+		if it.hi != nil && string(key) >= string(it.hi) {
+			it.done = true
+			return false
+		}
+		b.PID = rid.Page
+		total++
+		if !keep(val) {
+			return true
+		}
+		if err := b.add(it.table.Schema, rid, val); err != nil {
+			it.err = err
+			return false
+		}
+		return true
+	})
+	if it.err == nil {
+		it.err = it.cur.Err()
+	}
+	if it.err != nil {
+		return 0, false
+	}
+	if total == 0 {
+		return 0, false
+	}
+	b.finish(ncols)
+	return total, true
 }
 
 // Row returns the current row.

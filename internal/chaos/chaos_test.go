@@ -1,13 +1,16 @@
 package chaos
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"pagefeedback"
+	"pagefeedback/internal/exec"
 	"pagefeedback/internal/storage"
 )
 
@@ -367,5 +370,156 @@ func TestChaosPlanCacheParity(t *testing.T) {
 	}
 	if st := uncached.Eng.PlanCacheStats(); st != (pagefeedback.PlanCacheStats{}) {
 		t.Errorf("cache-off engine has non-zero stats: %+v", st)
+	}
+}
+
+// diffRuntime compares the deterministic slice of two runs' runtime stats —
+// everything except wall-clock, queueing, pool-contention, prefetch, and the
+// execution-shape diagnostics (BatchesProcessed, VectorizedOps, PlanCacheHit)
+// that legitimately differ between the row and batch executors — and returns
+// a description of the first divergence, or "" when they match.
+func diffRuntime(a, b exec.RuntimeStats) string {
+	type field struct {
+		name string
+		a, b any
+	}
+	for _, f := range []field{
+		{"SimulatedIO", a.SimulatedIO, b.SimulatedIO},
+		{"SimulatedCPU", a.SimulatedCPU, b.SimulatedCPU},
+		{"SimulatedTotal", a.SimulatedTotal, b.SimulatedTotal},
+		{"PhysicalReads", a.PhysicalReads, b.PhysicalReads},
+		{"RandomReads", a.RandomReads, b.RandomReads},
+		{"LogicalReads", a.LogicalReads, b.LogicalReads},
+		{"RowsTouched", a.RowsTouched, b.RowsTouched},
+		{"QuarantinedMonitors", a.QuarantinedMonitors, b.QuarantinedMonitors},
+		{"ReadRetries", a.ReadRetries, b.ReadRetries},
+		{"MemPeakBytes", a.MemPeakBytes, b.MemPeakBytes},
+		{"ShedMonitors", a.ShedMonitors, b.ShedMonitors},
+		{"CompiledPredicates", a.CompiledPredicates, b.CompiledPredicates},
+	} {
+		if f.a != f.b {
+			return fmt.Sprintf("%s: %v vs %v", f.name, f.a, f.b)
+		}
+	}
+	return ""
+}
+
+// exportFeedback renders an engine's persisted feedback state.
+func exportFeedback(t *testing.T, eng *pagefeedback.Engine) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.ExportFeedback(&buf); err != nil {
+		t.Fatalf("ExportFeedback: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosVectorizedParity runs the fault-schedule sweep against two engines
+// over identical data — one on the default batch-at-a-time executor, one
+// forced onto the row-at-a-time path — with feedback application interleaved.
+// The two executors must be observationally indistinguishable: same error-ness
+// and error rendering, same rows, the same deterministic runtime stats
+// (rows touched, reads, simulated cost, memory peak), byte-identical DPC
+// feedback per run, and byte-identical exported feedback state after every
+// refeed round. A divergence means batching changed semantics, not just shape.
+func TestChaosVectorizedParity(t *testing.T) {
+	const n = 1500
+	vec := chaosEnv(t, pagefeedback.DefaultConfig(), n)
+	row := chaosEnv(t, pagefeedback.DefaultConfig(), n)
+
+	reads := make([]int64, len(vec.Queries))
+	for q := range vec.Queries {
+		reads[q] = vec.CountReads(q)
+	}
+	schedules := GenerateSchedules(reads)
+	sawBatches := false
+	for i, s := range schedules {
+		sr := s
+		sr.RowPath = true
+		a, b := vec.Run(s), row.Run(sr)
+		// Wall-clock-bounded schedules are exempt from outcome parity (the
+		// paths are allowed to differ in speed); the invariant Check below
+		// still applies to both outcomes.
+		parity := s.Timeout == 0
+		switch {
+		case !parity:
+		case (a.Err == nil) != (b.Err == nil):
+			t.Fatalf("%s: vectorized err=%v, row err=%v", s, a.Err, b.Err)
+		case a.Err != nil:
+			if a.Err.Error() != b.Err.Error() {
+				t.Errorf("%s: error diverges: %q vs %q", s, a.Err, b.Err)
+			}
+		default:
+			if !equalStrings(a.Rows, b.Rows) {
+				t.Errorf("%s: rows diverge", s)
+			}
+			if got, want := renderDPC(a.Res), renderDPC(b.Res); got != want {
+				t.Errorf("%s: DPC feedback diverges:\n vec: %s\n row: %s", s, got, want)
+			}
+			if d := diffRuntime(a.Res.Stats.Runtime, b.Res.Stats.Runtime); d != "" {
+				t.Errorf("%s: runtime stats diverge: %s", s, d)
+			}
+			if a.Res.Stats.Runtime.BatchesProcessed > 0 {
+				sawBatches = true
+			}
+			if rt := b.Res.Stats.Runtime; rt.BatchesProcessed != 0 || rt.VectorizedOps != 0 {
+				t.Errorf("%s: row path reported batch stats: %d batches, %d vectorized ops",
+					s, rt.BatchesProcessed, rt.VectorizedOps)
+			}
+		}
+		if err := vec.Check(s, a); err != nil {
+			t.Errorf("vectorized: %v", err)
+		}
+		if err := row.Check(sr, b); err != nil {
+			t.Errorf("row: %v", err)
+		}
+		// A wall-clock race can let one path finish inside a timeout the
+		// other misses; Check has then landed that run's feedback (and its
+		// histogram observations) on one engine only. Mirror the surviving
+		// result to the other engine, so the export comparison below sees
+		// content divergence, never speed divergence. Parity schedules
+		// cannot get here asymmetric — differing error-ness is fatal above.
+		if a.Err == nil && b.Err != nil {
+			row.Eng.ApplyFeedback(a.Res)
+		} else if b.Err == nil && a.Err != nil {
+			vec.Eng.ApplyFeedback(b.Res)
+		}
+		// Every 40 schedules, land fresh feedback on both engines and compare
+		// the exported feedback state byte for byte.
+		if i%40 == 39 {
+			for q := range vec.Queries {
+				oa := vec.Run(Schedule{Name: "refeed", Query: q})
+				ob := row.Run(Schedule{Name: "refeed", Query: q, RowPath: true})
+				if oa.Err != nil || ob.Err != nil {
+					t.Fatalf("refeed failed: %v / %v", oa.Err, ob.Err)
+				}
+				vec.Eng.ApplyFeedback(oa.Res)
+				row.Eng.ApplyFeedback(ob.Res)
+			}
+			if !bytes.Equal(exportFeedback(t, vec.Eng), exportFeedback(t, row.Eng)) {
+				t.Fatalf("exported feedback diverges after refeed round at schedule %d", i)
+			}
+		}
+	}
+	if !sawBatches {
+		t.Error("no successful vectorized run processed a batch")
+	}
+	// Parallel spot-check: fault-free schedules must agree across paths at
+	// degree 4 too (rows and feedback; stats carry timing-dependent prefetch
+	// and pool counters, so they are out of scope here).
+	for q := range vec.Queries {
+		s := Schedule{Name: "par-spot", Query: q, Parallelism: 4}
+		sr := s
+		sr.RowPath = true
+		a, b := vec.Run(s), row.Run(sr)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%s: parallel spot-check failed: %v / %v", s, a.Err, b.Err)
+		}
+		if !equalStrings(a.Rows, b.Rows) {
+			t.Errorf("%s: parallel rows diverge", s)
+		}
+		if got, want := renderDPC(a.Res), renderDPC(b.Res); got != want {
+			t.Errorf("%s: parallel DPC feedback diverges:\n vec: %s\n row: %s", s, got, want)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+package exec
+
+import "pagefeedback/internal/tuple"
+
+// BatchSize caps how many rows a batch-native operator accumulates before
+// handing a batch to its parent. Scans ignore it — their natural batch is
+// the data page (§III-B's grouped page access) — but seek paths and
+// re-batching operators (group aggregates) cut batches at this size.
+const BatchSize = 1024
+
+// Batch is the unit of the vectorized execution path: a slice of rows plus a
+// selection vector of the indices that are live. Operators filter by
+// compacting Sel instead of materializing survivors, so a selective filter
+// over a page batch touches no row memory at all.
+//
+// The contract mirrors the row path's view semantics: a filled batch —
+// Rows, Sel, and the rows themselves — is valid only until the next
+// NextBatch call on the same operator. Consumers that keep rows (sorts,
+// joins, the result sink) clone them, exactly as they do for rows returned
+// by Next.
+type Batch struct {
+	Rows []tuple.Row
+	Sel  []int
+}
+
+// Len returns the number of live rows in the batch.
+func (b *Batch) Len() int { return len(b.Sel) }
+
+// BatchOperator is an operator that can deliver rows a batch at a time.
+// NextBatch fills b and returns the number of live rows; n == 0 with a nil
+// error is end of stream (operators never deliver empty batches). An
+// operator instance must be drained through exactly one protocol — Next or
+// NextBatch — never a mix: both consume the same underlying cursor.
+type BatchOperator interface {
+	Operator
+	NextBatch(b *Batch) (n int, err error)
+}
+
+// asBatch lifts any operator into the batch protocol: batch-native operators
+// (including the panic guard, which forwards to its inner operator's batch
+// view) are returned as-is, row-only operators are wrapped in a batchAdapter.
+func asBatch(op Operator) BatchOperator {
+	if bo, ok := op.(BatchOperator); ok {
+		return bo
+	}
+	return &batchAdapter{Operator: op}
+}
+
+// batchAdapter lifts a row-only operator (Sort, MergeJoin, INLJoin, the
+// covering and intersecting access paths) into the batch protocol with
+// single-row batches. Rows produced by row-only operators may be views into
+// buffers reused on the next Next call, so accumulating more than one per
+// batch would force a clone per row; one-row batches keep the subtree at
+// row-path cost — no better, no worse — while everything above it still
+// speaks batches.
+type batchAdapter struct {
+	Operator
+	row [1]tuple.Row
+}
+
+// NextBatch implements BatchOperator.
+func (a *batchAdapter) NextBatch(b *Batch) (int, error) {
+	row, ok, err := a.Operator.Next()
+	if err != nil || !ok {
+		return 0, err
+	}
+	a.row[0] = row
+	b.Rows = a.row[:]
+	b.Sel = append(b.Sel[:0], 0)
+	return 1, nil
+}
+
+// identSel resets sel to the identity selection [0..n) and returns it.
+// Operators that emit fully dense batches (every row live) use it to rebuild
+// the caller's selection vector in place.
+func identSel(sel []int, n int) []int {
+	sel = sel[:0]
+	for i := 0; i < n; i++ {
+		sel = append(sel, i)
+	}
+	return sel
+}
+
+// VectorizedLabels returns the labels of the operators in the execution's
+// plan that run batch-native when the context is vectorized, in top-down
+// plan order. The walk follows only batch-pulled edges: a row-only operator
+// ends the batch spine of its subtree (below it rows move one at a time
+// through the adapter), and a hash join keeps batching on its probe side
+// only — the build side is drained row at a time during Open.
+func (e *Execution) VectorizedLabels() []string {
+	var out []string
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		switch o := unwrapOp(op).(type) {
+		case *SEScan:
+			out = append(out, o.stats.Label)
+		case *ParallelScan:
+			out = append(out, o.stats.Label)
+		case *IndexSeek:
+			out = append(out, o.stats.Label)
+		case *FilterOp:
+			out = append(out, o.stats.Label)
+			walk(o.input)
+		case *ProjectOp:
+			out = append(out, o.stats.Label)
+			walk(o.input)
+		case *LimitOp:
+			out = append(out, o.stats.Label)
+			walk(o.input)
+		case *AggOp:
+			out = append(out, o.stats.Label)
+			walk(o.input)
+		case *GroupAggOp:
+			out = append(out, o.stats.Label)
+			walk(o.input)
+		case *HashJoinOp:
+			out = append(out, o.stats.Label)
+			walk(o.probe)
+		}
+	}
+	walk(e.Root)
+	return out
+}

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"testing"
+
+	"pagefeedback/internal/tuple"
+)
+
+// countingSource is a batch-native stub child that emits rows forever and
+// counts exactly how it is driven, so tests can assert an operator stopped
+// pulling — not just that it stopped emitting.
+type countingSource struct {
+	schema     *tuple.Schema
+	batchRows  int
+	nextCalls  int
+	batchCalls int
+	closes     int
+	rows       []tuple.Row
+	stats      OpStats
+}
+
+func newCountingSource(batchRows int) *countingSource {
+	s := &countingSource{
+		schema:    tuple.NewSchema(tuple.Column{Name: "v", Kind: tuple.KindInt}),
+		batchRows: batchRows,
+		stats:     OpStats{Label: "CountingSource"},
+	}
+	for i := 0; i < batchRows; i++ {
+		s.rows = append(s.rows, tuple.Row{tuple.Int64(int64(i))})
+	}
+	return s
+}
+
+func (s *countingSource) Open() error { return nil }
+
+func (s *countingSource) Next() (tuple.Row, bool, error) {
+	s.nextCalls++
+	return s.rows[0], true, nil
+}
+
+func (s *countingSource) NextBatch(b *Batch) (int, error) {
+	s.batchCalls++
+	b.Rows = s.rows
+	b.Sel = identSel(b.Sel, len(s.rows))
+	return len(s.rows), nil
+}
+
+func (s *countingSource) Close() error { s.closes++; return nil }
+
+func (s *countingSource) Schema() *tuple.Schema { return s.schema }
+
+func (s *countingSource) Stats() *OpStats { return &s.stats }
+
+// TestLimitBatchEarlyExit pins the batch path's limit contract: a batch that
+// crosses the limit is truncated by shrinking its selection vector, and once
+// the limit is hit the child is never pulled again — over an unbounded child,
+// anything else would hang or over-read.
+func TestLimitBatchEarlyExit(t *testing.T) {
+	ctx := NewContext(nil)
+	ctx.Vectorized = true
+	src := newCountingSource(10)
+	lim, err := NewLimit(ctx, src, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	var sizes []int
+	for {
+		n, err := lim.NextBatch(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if n != len(b.Sel) {
+			t.Fatalf("NextBatch returned n=%d but |Sel|=%d", n, len(b.Sel))
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[1] != 10 || sizes[2] != 5 {
+		t.Fatalf("batch sizes = %v, want [10 10 5]", sizes)
+	}
+	if src.batchCalls != 3 {
+		t.Fatalf("child pulled %d times, want exactly 3 (no pull after the limit is hit)", src.batchCalls)
+	}
+	if err := lim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if src.closes != 1 {
+		t.Fatalf("child closed %d times, want 1", src.closes)
+	}
+	if got := ctx.BatchesProcessed(); got != 3 {
+		t.Errorf("BatchesProcessed = %d, want 3", got)
+	}
+	if got := ctx.VectorizedOps(); got != 1 {
+		t.Errorf("VectorizedOps = %d, want 1 (noted once per operator, not per batch)", got)
+	}
+}
+
+// TestLimitRowEarlyExit is the same contract on the row path: exactly n pulls
+// from an unbounded child, then EOS without touching it again.
+func TestLimitRowEarlyExit(t *testing.T) {
+	ctx := NewContext(nil)
+	src := newCountingSource(1)
+	lim, err := NewLimit(ctx, src, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		_, ok, err := lim.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 25 {
+		t.Fatalf("row path yielded %d rows, want 25", got)
+	}
+	if src.nextCalls != 25 {
+		t.Fatalf("child pulled %d times, want exactly 25", src.nextCalls)
+	}
+	if err := lim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if src.closes != 1 {
+		t.Fatalf("child closed %d times, want 1", src.closes)
+	}
+	if ctx.BatchesProcessed() != 0 || ctx.VectorizedOps() != 0 {
+		t.Errorf("row path recorded batch stats: %d/%d", ctx.BatchesProcessed(), ctx.VectorizedOps())
+	}
+}
+
+// TestBatchAdapterBridgesRowOperators checks that a row-only operator pulled
+// through asBatch yields the same rows one per batch, preserving order.
+func TestBatchAdapterBridgesRowOperators(t *testing.T) {
+	ctx := NewContext(nil)
+	src := newCountingSource(1)
+	lim, err := NewLimit(ctx, src, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the row-facing side explicitly: adapter over the limit.
+	ad := asBatch(Operator(&rowOnly{lim}))
+	if err := lim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	total := 0
+	for {
+		n, err := ad.NextBatch(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		if n != 1 || len(b.Sel) != 1 {
+			t.Fatalf("adapter emitted a batch of %d rows, want 1", n)
+		}
+		total++
+	}
+	if total != 7 {
+		t.Fatalf("adapter yielded %d rows, want 7", total)
+	}
+}
+
+// rowOnly hides an operator's batch capability so asBatch must fall back to
+// the adapter.
+type rowOnly struct{ Operator }

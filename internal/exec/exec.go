@@ -43,6 +43,12 @@ type Context struct {
 	// against a per-query budget; exceeding it aborts the query with an
 	// error wrapping ErrMemBudget.
 	Mem *MemTracker
+	// Vectorized selects the batch-at-a-time execution path: blocking
+	// operators drain their inputs through NextBatch and the result sink
+	// pulls whole batches from the root. Off, every operator moves one row
+	// per Next call. The two paths produce identical results, feedback, and
+	// deterministic runtime stats; only the batch counters below differ.
+	Vectorized bool
 
 	rowsTouched int64
 	// compiledPreds counts operators that evaluate their predicate through
@@ -50,6 +56,13 @@ type Context struct {
 	// dispatch. Operators increment it at construction time (single-
 	// threaded), so no synchronization is needed.
 	compiledPreds int64
+
+	// batches counts batch deliveries by batch-native operators; vecOps
+	// counts the operator instances that ran batch-native at least once.
+	// Both stay zero on the row path and on adapter-wrapped subtrees, so
+	// they are diagnostics, not part of the row/batch parity surface.
+	batches int64
+	vecOps  int64
 
 	// goCtx is the query's cancellation scope; nil means uncancellable.
 	goCtx     context.Context
@@ -112,6 +125,26 @@ func (c *Context) touch(n int64) { c.rowsTouched += n }
 // noteCompiled records that one operator compiled its predicate.
 func (c *Context) noteCompiled() { c.compiledPreds++ }
 
+// noteBatch records one batch delivered by a batch-native operator.
+func (c *Context) noteBatch() { c.batches++ }
+
+// noteVectorized records — once per operator, keyed by the operator's own
+// noted flag — that an operator ran its batch-native path.
+func (c *Context) noteVectorized(noted *bool) {
+	if !*noted {
+		*noted = true
+		c.vecOps++
+	}
+}
+
+// BatchesProcessed returns the number of batches delivered by batch-native
+// operators so far.
+func (c *Context) BatchesProcessed() int64 { return c.batches }
+
+// VectorizedOps returns the number of operator instances that ran
+// batch-native.
+func (c *Context) VectorizedOps() int64 { return c.vecOps }
+
 // CompiledPredicates returns the number of operators in this execution that
 // run a compiled (type-specialized) predicate evaluator.
 func (c *Context) CompiledPredicates() int64 { return c.compiledPreds }
@@ -167,6 +200,12 @@ func (p *OperatorPanic) Error() string {
 // their resources exactly as they do for storage faults.
 type guardOp struct {
 	inner Operator
+	// batch is the inner operator's batch view, resolved on first use: the
+	// operator itself when batch-native, an adapter otherwise. Because Build
+	// wraps every operator in a guard, every built operator is a
+	// BatchOperator, and batch-native parents reach their children's
+	// NextBatch without losing the panic boundary.
+	batch BatchOperator
 }
 
 func (g *guardOp) recovered(errp *error) {
@@ -197,6 +236,15 @@ func (g *guardOp) Open() (err error) {
 func (g *guardOp) Next() (row tuple.Row, ok bool, err error) {
 	defer g.recovered(&err)
 	return g.inner.Next()
+}
+
+// NextBatch implements BatchOperator with the same panic boundary as Next.
+func (g *guardOp) NextBatch(b *Batch) (n int, err error) {
+	defer g.recovered(&err)
+	if g.batch == nil {
+		g.batch = asBatch(g.inner)
+	}
+	return g.batch.NextBatch(b)
 }
 
 // Close implements Operator.

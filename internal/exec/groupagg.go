@@ -21,6 +21,7 @@ type GroupAggOp struct {
 	out        []tuple.Row
 	pos        int
 	outCharged int // result rows already charged to the memory tracker
+	vecNoted   bool
 }
 
 type groupState struct {
@@ -61,46 +62,50 @@ func NewGroupAgg(ctx *Context, input Operator, groupOrd int, fn string, aggOrd i
 	}, nil
 }
 
-// Open implements Operator: drains the input and aggregates per group.
+// Open implements Operator: drains the input and aggregates per group. The
+// drain pulls whole batches when the context is vectorized and single rows
+// otherwise; rows reach accumulate in the same order either way, so group
+// state, memory charges, and their sequence are identical across the paths.
 func (g *GroupAggOp) Open() error {
 	if err := g.input.Open(); err != nil {
 		return err
 	}
 	groups := map[string]*groupState{}
-	for {
-		row, ok, err := g.input.Next()
-		if err != nil {
-			g.input.Close() // release pins even on a failed drain
-			return err
+	if g.ctx.Vectorized {
+		in := asBatch(g.input)
+		var b Batch
+		for {
+			n, err := in.NextBatch(&b)
+			if err != nil {
+				g.input.Close() // release pins even on a failed drain
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			g.ctx.touch(int64(n))
+			for _, i := range b.Sel {
+				if err := g.accumulate(groups, b.Rows[i]); err != nil {
+					g.input.Close()
+					return err
+				}
+			}
 		}
-		if !ok {
-			break
-		}
-		g.ctx.touch(1)
-		gv := row[g.groupOrd]
-		key := string(tuple.EncodeKey(gv))
-		st := groups[key]
-		if st == nil {
-			if err := g.ctx.Mem.Grow(groupStateMemSize + int64(len(key)) + mapEntryOverhead); err != nil {
+	} else {
+		for {
+			row, ok, err := g.input.Next()
+			if err != nil {
+				g.input.Close() // release pins even on a failed drain
+				return err
+			}
+			if !ok {
+				break
+			}
+			g.ctx.touch(1)
+			if err := g.accumulate(groups, row); err != nil {
 				g.input.Close()
 				return err
 			}
-			st = &groupState{key: gv}
-			groups[key] = st
-		}
-		st.count++
-		if g.aggOrd >= 0 {
-			v := row[g.aggOrd]
-			if v.Kind != tuple.KindString {
-				st.sum += v.Int
-			}
-			if !st.seen || v.Compare(st.minV) < 0 {
-				st.minV = v
-			}
-			if !st.seen || v.Compare(st.maxV) > 0 {
-				st.maxV = v
-			}
-			st.seen = true
 		}
 	}
 	if err := g.input.Close(); err != nil {
@@ -135,6 +140,36 @@ func (g *GroupAggOp) Open() error {
 	return nil
 }
 
+// accumulate folds one input row into its group's state, charging the
+// memory tracker when the row starts a new group.
+func (g *GroupAggOp) accumulate(groups map[string]*groupState, row tuple.Row) error {
+	gv := row[g.groupOrd]
+	key := string(tuple.EncodeKey(gv))
+	st := groups[key]
+	if st == nil {
+		if err := g.ctx.Mem.Grow(groupStateMemSize + int64(len(key)) + mapEntryOverhead); err != nil {
+			return err
+		}
+		st = &groupState{key: gv}
+		groups[key] = st
+	}
+	st.count++
+	if g.aggOrd >= 0 {
+		v := row[g.aggOrd]
+		if v.Kind != tuple.KindString {
+			st.sum += v.Int
+		}
+		if !st.seen || v.Compare(st.minV) < 0 {
+			st.minV = v
+		}
+		if !st.seen || v.Compare(st.maxV) > 0 {
+			st.maxV = v
+		}
+		st.seen = true
+	}
+	return nil
+}
+
 // chargeOutRow charges the memory tracker when the result buffer grows past
 // its previously charged length. The buffer is rebuilt (out[:0]) on re-open,
 // so charging every append would bill each rebuild again; the budgetable
@@ -159,6 +194,26 @@ func (g *GroupAggOp) Next() (tuple.Row, bool, error) {
 	g.pos++
 	g.stats.ActRows++
 	return row, true, nil
+}
+
+// NextBatch implements BatchOperator: the materialized result rows are
+// emitted as dense BatchSize slices of the output buffer.
+func (g *GroupAggOp) NextBatch(b *Batch) (int, error) {
+	g.ctx.noteVectorized(&g.vecNoted)
+	if g.pos >= len(g.out) {
+		return 0, nil
+	}
+	end := g.pos + BatchSize
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	n := end - g.pos
+	b.Rows = g.out[g.pos:end]
+	b.Sel = identSel(b.Sel, n)
+	g.pos = end
+	g.stats.ActRows += int64(n)
+	g.ctx.noteBatch()
+	return n, nil
 }
 
 // Close implements Operator.

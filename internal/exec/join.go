@@ -29,6 +29,18 @@ type HashJoinOp struct {
 	curRow  tuple.Row   // current probe row
 	built   bool
 
+	// Batch-probe state: the probe input's batch view, the pulled probe
+	// batch, the per-batch key column, and the joined-output arena. All are
+	// transient high-water-reuse buffers bounded by one batch — rebuilt from
+	// length zero every NextBatch — so none are charged to the memory budget.
+	inBatch   BatchOperator
+	pb        Batch
+	keys      []string
+	outVals   []tuple.Value
+	outBounds []int // prefix lengths into outVals, one per joined row
+	outRows   []tuple.Row
+	vecNoted  bool
+
 	// parProbe is set when the probe input is a parallel scan: after the
 	// build phase the probe is pushed down into the scan workers, which
 	// look up the completed (read-only) hash table and emit joined rows.
@@ -130,6 +142,64 @@ func (j *HashJoinOp) Next() (tuple.Row, bool, error) {
 			j.curRow = row.Clone()
 			j.matches = ms
 		}
+	}
+}
+
+// NextBatch implements BatchOperator for the probe phase. With a partitioned
+// probe the exchange's arena-backed batches are forwarded whole — already
+// joined by the workers. Serially, the whole probe batch is hashed first
+// (one tight EncodeKey loop over the key column), then probed; matches are
+// copied into a reused output arena, and the joined row views are built only
+// after the arena has stopped growing. The build phase is unchanged: it
+// drains row at a time during Open on both paths.
+func (j *HashJoinOp) NextBatch(b *Batch) (int, error) {
+	j.ctx.noteVectorized(&j.vecNoted)
+	if j.inBatch == nil {
+		j.inBatch = asBatch(j.probe)
+	}
+	if j.parProbe != nil {
+		n, err := j.inBatch.NextBatch(b)
+		j.stats.ActRows += int64(n)
+		return n, err
+	}
+	for {
+		n, err := j.inBatch.NextBatch(&j.pb)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		j.ctx.touch(int64(n))
+		j.keys = j.keys[:0]
+		for _, i := range j.pb.Sel {
+			j.keys = append(j.keys, string(tuple.EncodeKey(j.pb.Rows[i][j.probeOrd])))
+		}
+		j.outVals = j.outVals[:0]
+		j.outBounds = j.outBounds[:0]
+		for ki, i := range j.pb.Sel {
+			ms := j.table[j.keys[ki]]
+			if len(ms) == 0 {
+				continue
+			}
+			probe := j.pb.Rows[i]
+			for _, build := range ms {
+				j.outVals = append(j.outVals, build...)
+				j.outVals = append(j.outVals, probe...)
+				j.outBounds = append(j.outBounds, len(j.outVals))
+			}
+		}
+		if len(j.outBounds) == 0 {
+			continue
+		}
+		j.outRows = j.outRows[:0]
+		lo := 0
+		for _, hi := range j.outBounds {
+			j.outRows = append(j.outRows, tuple.Row(j.outVals[lo:hi:hi]))
+			lo = hi
+		}
+		b.Rows = j.outRows
+		b.Sel = identSel(b.Sel, len(j.outRows))
+		j.stats.ActRows += int64(len(j.outRows))
+		j.ctx.noteBatch()
+		return len(j.outRows), nil
 	}
 }
 

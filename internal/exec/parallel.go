@@ -67,6 +67,7 @@ type ParallelScan struct {
 	pos       int
 	stopped   bool
 	finalized bool
+	vecNoted  bool
 }
 
 // NewParallelScan builds a parallel scan of tab filtered by pred (bound to
@@ -298,6 +299,32 @@ func (p *ParallelScan) Next() (tuple.Row, bool, error) {
 		}
 		p.cur = msg
 		p.pos = 0
+	}
+}
+
+// NextBatch implements BatchOperator: each worker flush — an arena-backed
+// row slice the workers already ship whole through the exchange channel — is
+// forwarded to the consumer as one dense batch instead of being streamed row
+// by row. The arenas are private and never reused, so unlike page-batched
+// scans these batches stay valid after the next call.
+func (p *ParallelScan) NextBatch(b *Batch) (int, error) {
+	p.ctx.noteVectorized(&p.vecNoted)
+	for {
+		msg, ok := <-p.out
+		if !ok {
+			p.finalize()
+			return 0, nil
+		}
+		if msg.err != nil {
+			return 0, msg.err
+		}
+		if len(msg.rows) == 0 {
+			continue
+		}
+		b.Rows = msg.rows
+		b.Sel = identSel(b.Sel, len(msg.rows))
+		p.ctx.noteBatch()
+		return len(msg.rows), nil
 	}
 }
 

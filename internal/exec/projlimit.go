@@ -13,6 +13,12 @@ type ProjectOp struct {
 	ords   []int
 	schema *tuple.Schema
 	stats  OpStats
+
+	inBatch  BatchOperator
+	in       Batch
+	vals     []tuple.Value // flat arena backing the batch output rows
+	rows     []tuple.Row
+	vecNoted bool
 }
 
 // NewProject builds the operator; ords index the input schema.
@@ -39,6 +45,41 @@ func (p *ProjectOp) Next() (tuple.Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator: the live rows of each input batch are
+// projected into one reused value arena, and the output row views are built
+// only after the arena has stopped growing (appends may move it). The arena
+// is high-water reuse of transient, batch-bounded memory — rebuilt from
+// length zero every call — so it is not charged against the memory budget,
+// keeping the two paths' accounting identical.
+func (p *ProjectOp) NextBatch(b *Batch) (int, error) {
+	p.ctx.noteVectorized(&p.vecNoted)
+	if p.inBatch == nil {
+		p.inBatch = asBatch(p.input)
+	}
+	n, err := p.inBatch.NextBatch(&p.in)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	p.ctx.touch(int64(n))
+	w := len(p.ords)
+	p.vals = p.vals[:0]
+	for _, i := range p.in.Sel {
+		row := p.in.Rows[i]
+		for _, o := range p.ords {
+			p.vals = append(p.vals, row[o])
+		}
+	}
+	p.rows = p.rows[:0]
+	for i := 0; i < n; i++ {
+		p.rows = append(p.rows, tuple.Row(p.vals[i*w:(i+1)*w:(i+1)*w]))
+	}
+	b.Rows = p.rows
+	b.Sel = identSel(b.Sel, n)
+	p.stats.ActRows += int64(n)
+	p.ctx.noteBatch()
+	return n, nil
+}
+
 // Close implements Operator.
 func (p *ProjectOp) Close() error { return p.input.Close() }
 
@@ -51,18 +92,22 @@ func (p *ProjectOp) Stats() *OpStats { return &p.stats }
 // LimitOp passes through at most n rows, then stops pulling from its input
 // (so a LIMIT over a scan does not read the rest of the table).
 type LimitOp struct {
+	ctx   *Context
 	input Operator
 	n     int
 	seen  int
 	stats OpStats
+
+	inBatch  BatchOperator
+	vecNoted bool
 }
 
 // NewLimit builds the operator.
-func NewLimit(input Operator, n int) (*LimitOp, error) {
+func NewLimit(ctx *Context, input Operator, n int) (*LimitOp, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("exec: negative limit %d", n)
 	}
-	return &LimitOp{input: input, n: n, stats: OpStats{Label: fmt.Sprintf("Limit(%d)", n)}}, nil
+	return &LimitOp{ctx: ctx, input: input, n: n, stats: OpStats{Label: fmt.Sprintf("Limit(%d)", n)}}, nil
 }
 
 // Open implements Operator.
@@ -83,6 +128,33 @@ func (l *LimitOp) Next() (tuple.Row, bool, error) {
 	l.seen++
 	l.stats.ActRows++
 	return row, true, nil
+}
+
+// NextBatch implements BatchOperator. A batch that crosses the limit is
+// truncated by shrinking its selection vector, and from then on the child is
+// never pulled again — mirroring the row path's guarantee that a LIMIT over
+// a scan does not read the rest of the table. The limit charges no CPU of
+// its own on either path.
+func (l *LimitOp) NextBatch(b *Batch) (int, error) {
+	l.ctx.noteVectorized(&l.vecNoted)
+	if l.seen >= l.n {
+		return 0, nil
+	}
+	if l.inBatch == nil {
+		l.inBatch = asBatch(l.input)
+	}
+	n, err := l.inBatch.NextBatch(b)
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	if rem := l.n - l.seen; n > rem {
+		b.Sel = b.Sel[:rem]
+		n = rem
+	}
+	l.seen += n
+	l.stats.ActRows += int64(n)
+	l.ctx.noteBatch()
+	return n, nil
 }
 
 // Close implements Operator.

@@ -17,29 +17,33 @@ type SEScan struct {
 	tab      *catalog.Table
 	pred     expr.Conjunction // bound
 	cc       expr.Compiled    // type-specialized pred, when compilable
+	rawCC    expr.RawCompiled // pred over encoded rows, when compilable
 	krange   *expr.KeyRange   // clustered range seek, nil = full scan
 	monitors []*scanMonitor
 	stats    OpStats
 
-	it      *catalog.RowIter
-	batch   catalog.RowBatch
-	failIdx []int // per batch row: first failing atom, -1 = row passes
-	pos     int   // next batch row to deliver
-	lastRID storage.RID
-	open    bool
+	it       *catalog.RowIter
+	batch    catalog.RowBatch
+	failIdx  []int // per batch row: first failing atom, -1 = row passes
+	pos      int   // next batch row to deliver
+	lastRID  storage.RID
+	open     bool
+	vecNoted bool
 }
 
 // NewSEScan builds a scan of tab filtered by pred (already bound to the
 // table's schema).
 func NewSEScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction) *SEScan {
 	return &SEScan{ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred),
+		rawCC: expr.CompileRaw(pred, tab.Schema),
 		stats: OpStats{Label: "Scan(" + tab.Name + ")"}}
 }
 
 // NewSEClusterRangeScan builds a clustered index range seek over krange,
 // still applying the full pred to each scanned row.
 func NewSEClusterRangeScan(ctx *Context, tab *catalog.Table, pred expr.Conjunction, krange *expr.KeyRange) *SEScan {
-	return &SEScan{ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred), krange: krange,
+	return &SEScan{ctx: ctx, tab: tab, pred: pred, cc: compilePred(ctx, pred),
+		rawCC: expr.CompileRaw(pred, tab.Schema), krange: krange,
 		stats: OpStats{Label: "RangeScan(" + tab.Name + ")"}}
 }
 
@@ -96,42 +100,140 @@ func (s *SEScan) Next() (tuple.Row, bool, error) {
 				return s.batch.Rows[i], true, nil
 			}
 		}
-		if !s.it.NextPage(&s.batch) {
-			if err := s.it.Err(); err != nil {
-				return nil, false, err
-			}
-			// End of scan: close the monitors' last page.
-			for _, m := range s.monitors {
-				m.safeFinish()
-			}
-			return nil, false, nil
-		}
-		if err := s.ctx.interrupted(); err != nil {
+		ok, err := s.advancePage()
+		if err != nil || !ok {
 			return nil, false, err
 		}
-		s.ctx.touch(int64(s.batch.Len()))
-		s.failIdx = s.failIdx[:0]
-		if s.cc.OK() {
-			for _, row := range s.batch.Rows {
-				s.failIdx = append(s.failIdx, s.cc.FirstFail(row))
-			}
+	}
+}
+
+// NextBatch implements BatchOperator: the scan already works page at a time,
+// so the batch path simply stops flattening — the page batch's rows are
+// handed up directly with a selection vector of the predicate survivors.
+// Polling, CPU charging, predicate evaluation, and monitor observation run
+// in advancePage, shared verbatim with the row path, so the feedback and
+// accounting of the two paths are identical by construction.
+func (s *SEScan) NextBatch(b *Batch) (int, error) {
+	s.ctx.noteVectorized(&s.vecNoted)
+	if len(s.monitors) == 0 && s.rawCC.OK() {
+		return s.nextBatchRaw(b)
+	}
+	// With no monitors attached and a compiled predicate, nothing needs the
+	// per-row first-failing-atom vector: the predicate compacts an identity
+	// selection column-at-a-time in one pass instead. CPU accounting
+	// (touch per page row in fetchPage) is identical either way.
+	fast := len(s.monitors) == 0 && s.cc.OK()
+	for {
+		ok, err := s.fetchPage()
+		if err != nil || !ok {
+			return 0, err
+		}
+		b.Rows = s.batch.Rows
+		if fast {
+			b.Sel = s.cc.EvalBatch(s.batch.Rows, identSel(b.Sel, len(s.batch.Rows)))
 		} else {
-			for _, row := range s.batch.Rows {
-				fi := -1
-				for i := range s.pred.Atoms {
-					if !s.pred.Atoms[i].Eval(row) {
-						fi = i
-						break
-					}
+			s.evalPage()
+			b.Sel = b.Sel[:0]
+			for i, fi := range s.failIdx {
+				if fi == -1 {
+					b.Sel = append(b.Sel, i)
 				}
-				s.failIdx = append(s.failIdx, fi)
 			}
+		}
+		if len(b.Sel) == 0 {
+			continue
+		}
+		s.stats.ActRows += int64(len(b.Sel))
+		s.ctx.noteBatch()
+		return len(b.Sel), nil
+	}
+}
+
+// nextBatchRaw is the late-materializing batch path, taken when no monitor
+// is attached and the predicate compiled against the encoded row layout:
+// each cell is judged on its page bytes and only survivors are decoded, so
+// the batch arrives dense (identity selection). CPU is still charged for
+// every cell of the page — the same rows-touched accounting as the decoding
+// paths — and rejected rows never exist as values at all.
+func (s *SEScan) nextBatchRaw(b *Batch) (int, error) {
+	for {
+		total, ok := s.it.NextPageFiltered(&s.batch, s.rawCC.Eval)
+		if !ok {
+			return 0, s.it.Err()
+		}
+		if err := s.ctx.interrupted(); err != nil {
+			return 0, err
+		}
+		s.ctx.touch(int64(total))
+		if s.batch.Len() == 0 {
+			continue
+		}
+		b.Rows = s.batch.Rows
+		b.Sel = identSel(b.Sel, len(s.batch.Rows))
+		s.stats.ActRows += int64(len(s.batch.Rows))
+		s.ctx.noteBatch()
+		return len(b.Sel), nil
+	}
+}
+
+// advancePage pins and evaluates the next data page: poll cancellation,
+// charge CPU for the page's rows, compute each row's first failing atom (so
+// prefix monitors can reuse the short-circuited results, §III-B), and let
+// every monitor observe the whole page in one callback. Returns false at end
+// of scan, after closing the monitors' last page.
+func (s *SEScan) advancePage() (bool, error) {
+	ok, err := s.fetchPage()
+	if err != nil || !ok {
+		return ok, err
+	}
+	s.evalPage()
+	return true, nil
+}
+
+// fetchPage pins and decodes the next data page, polls cancellation, and
+// charges CPU for the page's rows. Returns false at end of scan, after
+// closing the monitors' last page.
+func (s *SEScan) fetchPage() (bool, error) {
+	if !s.it.NextPage(&s.batch) {
+		if err := s.it.Err(); err != nil {
+			return false, err
 		}
 		for _, m := range s.monitors {
-			m.safeObservePage(&s.batch, s.failIdx)
+			m.safeFinish()
 		}
-		s.pos = 0
+		return false, nil
 	}
+	if err := s.ctx.interrupted(); err != nil {
+		return false, err
+	}
+	s.ctx.touch(int64(s.batch.Len()))
+	return true, nil
+}
+
+// evalPage computes each fetched row's first failing atom and lets every
+// monitor observe the page in one callback.
+func (s *SEScan) evalPage() {
+	s.failIdx = s.failIdx[:0]
+	if s.cc.OK() {
+		for _, row := range s.batch.Rows {
+			s.failIdx = append(s.failIdx, s.cc.FirstFail(row))
+		}
+	} else {
+		for _, row := range s.batch.Rows {
+			fi := -1
+			for i := range s.pred.Atoms {
+				if !s.pred.Atoms[i].Eval(row) {
+					fi = i
+					break
+				}
+			}
+			s.failIdx = append(s.failIdx, fi)
+		}
+	}
+	for _, m := range s.monitors {
+		m.safeObservePage(&s.batch, s.failIdx)
+	}
+	s.pos = 0
 }
 
 // LastRID returns the RID of the most recently scanned row (used by the

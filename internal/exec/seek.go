@@ -111,6 +111,15 @@ type IndexSeek struct {
 	rangeIdx int
 	it       *catalog.EntryIter
 	rowBuf   tuple.Row // reused fetch destination; valid until the next Next
+
+	// Batch state: satisfying fetches accumulate in a reused value arena
+	// (decoded in place under the page pin via FetchRowAppend); row views
+	// are built from bounds only after the arena settles. Transient and
+	// bounded by one batch, so not charged to the memory budget.
+	vals     []tuple.Value
+	bounds   []int // prefix lengths into vals, one per accumulated row
+	rows     []tuple.Row
+	vecNoted bool
 }
 
 // NewIndexSeek builds the operator. pred must be bound to tab.Schema.
@@ -183,6 +192,70 @@ func (s *IndexSeek) Next() (tuple.Row, bool, error) {
 		}
 	}
 	return nil, false, nil
+}
+
+// NextBatch implements BatchOperator: up to BatchSize satisfying fetches
+// accumulate in the arena before the batch is handed up. The per-entry
+// sequence — poll, charge CPU, fetch, evaluate, observe on satisfaction — is
+// the row path's exactly, so monitors see the same page stream and the
+// accounting matches; only the hand-off granularity changes.
+func (s *IndexSeek) NextBatch(b *Batch) (int, error) {
+	s.ctx.noteVectorized(&s.vecNoted)
+	s.vals = s.vals[:0]
+	s.bounds = s.bounds[:0]
+	for s.it != nil && len(s.bounds) < BatchSize {
+		if !s.it.Next() {
+			if err := s.it.Err(); err != nil {
+				return 0, err
+			}
+			s.it.Close()
+			s.rangeIdx++
+			if err := s.openRange(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := s.ctx.interrupted(); err != nil {
+			return 0, err
+		}
+		s.ctx.touch(1)
+		rid := s.it.RID()
+		lo := len(s.vals)
+		vals, err := s.tab.FetchRowAppend(s.vals, rid) // the random-I/O Fetch
+		if err != nil {
+			return 0, err
+		}
+		row := tuple.Row(vals[lo:])
+		var sat bool
+		if s.cc.OK() {
+			sat = s.cc.Eval(row)
+		} else {
+			sat = s.pred.Eval(row)
+		}
+		if !sat {
+			s.vals = vals[:lo] // discard the fetch, keep the grown capacity
+			continue
+		}
+		for _, m := range s.monitors {
+			m.observe(rid.Page)
+		}
+		s.vals = vals
+		s.bounds = append(s.bounds, len(vals))
+	}
+	if len(s.bounds) == 0 {
+		return 0, nil
+	}
+	s.rows = s.rows[:0]
+	lo := 0
+	for _, hi := range s.bounds {
+		s.rows = append(s.rows, tuple.Row(s.vals[lo:hi:hi]))
+		lo = hi
+	}
+	b.Rows = s.rows
+	b.Sel = identSel(b.Sel, len(s.rows))
+	s.stats.ActRows += int64(len(s.rows))
+	s.ctx.noteBatch()
+	return len(s.rows), nil
 }
 
 // Close implements Operator.

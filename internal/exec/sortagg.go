@@ -116,12 +116,17 @@ type FilterOp struct {
 	ctx   *Context
 	input Operator
 	pred  expr.Conjunction // bound to input schema
+	cc    expr.Compiled    // type-specialized pred, when compilable
 	stats OpStats
+
+	inBatch  BatchOperator
+	vecNoted bool
 }
 
 // NewFilter constructs the operator.
 func NewFilter(ctx *Context, input Operator, pred expr.Conjunction) *FilterOp {
-	return &FilterOp{ctx: ctx, input: input, pred: pred, stats: OpStats{Label: "Filter(" + pred.String() + ")"}}
+	return &FilterOp{ctx: ctx, input: input, pred: pred, cc: compilePred(ctx, pred),
+		stats: OpStats{Label: "Filter(" + pred.String() + ")"}}
 }
 
 // Open implements Operator.
@@ -135,10 +140,51 @@ func (f *FilterOp) Next() (tuple.Row, bool, error) {
 			return nil, false, err
 		}
 		f.ctx.touch(1)
-		if f.pred.Eval(row) {
+		sat := false
+		if f.cc.OK() {
+			sat = f.cc.Eval(row)
+		} else {
+			sat = f.pred.Eval(row)
+		}
+		if sat {
 			f.stats.ActRows++
 			return row, true, nil
 		}
+	}
+}
+
+// NextBatch implements BatchOperator: the filter never materializes rows, it
+// only compacts the batch's selection vector — column-at-a-time through the
+// compiled evaluator when the predicate compiled, per-row through the
+// generic one otherwise.
+func (f *FilterOp) NextBatch(b *Batch) (int, error) {
+	f.ctx.noteVectorized(&f.vecNoted)
+	if f.inBatch == nil {
+		f.inBatch = asBatch(f.input)
+	}
+	for {
+		n, err := f.inBatch.NextBatch(b)
+		if err != nil || n == 0 {
+			return 0, err
+		}
+		f.ctx.touch(int64(n))
+		if f.cc.OK() {
+			b.Sel = f.cc.EvalBatch(b.Rows, b.Sel)
+		} else {
+			out := b.Sel[:0]
+			for _, i := range b.Sel {
+				if f.pred.Eval(b.Rows[i]) {
+					out = append(out, i)
+				}
+			}
+			b.Sel = out
+		}
+		if len(b.Sel) == 0 {
+			continue
+		}
+		f.stats.ActRows += int64(len(b.Sel))
+		f.ctx.noteBatch()
+		return len(b.Sel), nil
 	}
 }
 
@@ -161,7 +207,9 @@ type AggOp struct {
 	schema *tuple.Schema
 	stats  OpStats
 
-	done bool
+	done     bool
+	out      [1]tuple.Row
+	vecNoted bool
 }
 
 // NewAgg constructs the operator. fn is one of "count", "sum", "min", "max";
@@ -196,7 +244,10 @@ func (a *AggOp) Open() error {
 	return a.input.Open()
 }
 
-// Next implements Operator.
+// Next implements Operator. The drain pulls whole batches from the input
+// when the context is vectorized (CPU charged per batch of live rows) and
+// single rows otherwise; the accumulation is shared, so the two paths fold
+// identically.
 func (a *AggOp) Next() (tuple.Row, bool, error) {
 	if a.done {
 		return nil, false, nil
@@ -204,15 +255,7 @@ func (a *AggOp) Next() (tuple.Row, bool, error) {
 	var count, sum int64
 	var minV, maxV tuple.Value
 	first := true
-	for {
-		row, ok, err := a.input.Next()
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			break
-		}
-		a.ctx.touch(1)
+	acc := func(row tuple.Row) {
 		count++
 		if a.ord >= 0 {
 			v := row[a.ord]
@@ -226,6 +269,55 @@ func (a *AggOp) Next() (tuple.Row, bool, error) {
 				maxV = v
 			}
 			first = false
+		}
+	}
+	if a.ctx.Vectorized {
+		// The batch drain folds with kind-specialized loops — the switch
+		// hoisted out of the per-row path, which the batch layout makes
+		// possible. Each loop computes exactly what the acc closure would
+		// have left in its accumulator, so the output below cannot tell the
+		// paths apart.
+		in := asBatch(a.input)
+		var b Batch
+		for {
+			n, err := in.NextBatch(&b)
+			if err != nil {
+				return nil, false, err
+			}
+			if n == 0 {
+				break
+			}
+			a.ctx.touch(int64(n))
+			switch a.fn {
+			case 'c':
+				// COUNT(col) counts rows like COUNT(*) does (the engine has
+				// no NULLs), so the whole selection folds at once.
+				count += int64(len(b.Sel))
+			case 's':
+				for _, i := range b.Sel {
+					v := b.Rows[i][a.ord]
+					if v.Kind != tuple.KindString {
+						sum += v.Int
+					}
+				}
+				count += int64(len(b.Sel))
+			default:
+				for _, i := range b.Sel {
+					acc(b.Rows[i])
+				}
+			}
+		}
+	} else {
+		for {
+			row, ok, err := a.input.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			a.ctx.touch(1)
+			acc(row)
 		}
 	}
 	a.done = true
@@ -246,6 +338,21 @@ func (a *AggOp) Next() (tuple.Row, bool, error) {
 		}
 		return tuple.Row{tuple.Int64(maxV.Int)}, true, nil
 	}
+}
+
+// NextBatch implements BatchOperator: the aggregate's output is a single
+// row, delivered as a one-row batch after the (batch-at-a-time) drain.
+func (a *AggOp) NextBatch(b *Batch) (int, error) {
+	a.ctx.noteVectorized(&a.vecNoted)
+	row, ok, err := a.Next()
+	if err != nil || !ok {
+		return 0, err
+	}
+	a.out[0] = row
+	b.Rows = a.out[:]
+	b.Sel = append(b.Sel[:0], 0)
+	a.ctx.noteBatch()
+	return 1, nil
 }
 
 // Close implements Operator.

@@ -82,6 +82,13 @@ type RuntimeStats struct {
 	// PlanCacheHit reports whether the plan was instantiated from the
 	// engine's feedback-epoch plan cache instead of being optimized anew.
 	PlanCacheHit bool `xml:"planCacheHit,attr,omitempty"`
+	// BatchesProcessed counts the batches delivered by batch-native
+	// operators and VectorizedOps the operator instances that ran
+	// batch-native; both are zero on the row-at-a-time path. They are
+	// execution-shape diagnostics, deliberately outside the row/batch
+	// parity surface (everything above this comment matches across paths).
+	BatchesProcessed int64 `xml:"batchesProcessed,attr,omitempty"`
+	VectorizedOps    int64 `xml:"vectorizedOps,attr,omitempty"`
 }
 
 // snapshotOpStats converts the live OpStats tree into the XML form.

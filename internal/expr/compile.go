@@ -52,6 +52,30 @@ func (c Compiled) FirstFail(row tuple.Row) int {
 	return -1
 }
 
+// EvalBatch filters sel — indices into rows — through the conjunction and
+// returns the surviving selection, preserving order. It runs column-at-a-
+// time: each atom's closure sweeps the whole selection and compacts it in
+// place before the next atom runs (the write cursor trails the read cursor,
+// so reuse of sel's backing array is safe), which keeps one closure hot per
+// sweep instead of re-dispatching every atom per row. Rows an early atom
+// rejects are never touched again, so the result is exactly what per-row
+// short-circuit Eval would select. The returned slice aliases sel.
+func (c Compiled) EvalBatch(rows []tuple.Row, sel []int) []int {
+	for _, fn := range c.fns {
+		out := sel[:0]
+		for _, i := range sel {
+			if fn(rows[i]) {
+				out = append(out, i)
+			}
+		}
+		sel = out
+		if len(sel) == 0 {
+			break
+		}
+	}
+	return sel
+}
+
 // Compile specializes every atom of a bound conjunction. It returns a
 // Compiled with OK()==false when the predicate is empty (evaluation is
 // already trivial) or when any atom cannot be specialized; callers then use

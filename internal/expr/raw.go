@@ -1,0 +1,140 @@
+package expr
+
+import (
+	"encoding/binary"
+
+	"pagefeedback/internal/tuple"
+)
+
+// Raw predicate evaluation: for all-fixed-width schemas every column sits at
+// a known byte offset of the encoded row, so a predicate can be judged
+// against the page bytes directly — before any value is decoded. Scan
+// operators use this for late materialization: rows the predicate rejects
+// are never decoded at all.
+
+// rawAtomFn reports whether one atom accepts a fixed-width encoded row.
+type rawAtomFn func(enc []byte) bool
+
+// RawCompiled evaluates a bound Conjunction against the encoded bytes of a
+// fixed-width row. The zero value is invalid; obtain one from CompileRaw and
+// check OK. Evaluation is equivalent to the decoded evaluators: raw numeric
+// comparison and Value comparison agree on every Int and Date.
+type RawCompiled struct {
+	fns  []rawAtomFn
+	size int
+}
+
+// OK reports whether the compilation produced a usable evaluator.
+func (c RawCompiled) OK() bool { return c.fns != nil }
+
+// Eval evaluates the conjunction with short-circuiting. A row whose length
+// does not match the schema's fixed size is accepted unexamined: malformed
+// rows must reach the decoding path, which reports the corruption — raw
+// evaluation never masks it.
+func (c RawCompiled) Eval(enc []byte) bool {
+	if len(enc) != c.size {
+		return true
+	}
+	for _, fn := range c.fns {
+		if !fn(enc) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompileRaw specializes every atom of a bound conjunction to read the
+// encoded row directly. It returns a RawCompiled with OK()==false when the
+// schema has variable-width columns, the predicate is empty, or any atom
+// cannot be specialized; callers then stay on the decoded evaluators.
+func CompileRaw(c Conjunction, s *tuple.Schema) RawCompiled {
+	size := s.FixedSize()
+	if size < 0 || len(c.Atoms) == 0 {
+		return RawCompiled{}
+	}
+	fns := make([]rawAtomFn, len(c.Atoms))
+	for i, a := range c.Atoms {
+		fn := compileRawAtom(a, s)
+		if fn == nil {
+			return RawCompiled{}
+		}
+		fns[i] = fn
+	}
+	return RawCompiled{fns: fns, size: size}
+}
+
+// rawInt reads the fixed-width column at byte offset off.
+func rawInt(enc []byte, off int) int64 {
+	return int64(binary.LittleEndian.Uint64(enc[off:]))
+}
+
+func compileRawAtom(a Atom, s *tuple.Schema) rawAtomFn {
+	if !a.bound || !numericKind(s.Column(a.ord).Kind) {
+		return nil
+	}
+	off := a.ord * 8
+	switch a.Op {
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		if !numericKind(a.Val.Kind) {
+			return nil
+		}
+		c := a.Val.Int
+		switch a.Op {
+		case Eq:
+			return func(enc []byte) bool { return rawInt(enc, off) == c }
+		case Ne:
+			return func(enc []byte) bool { return rawInt(enc, off) != c }
+		case Lt:
+			return func(enc []byte) bool { return rawInt(enc, off) < c }
+		case Le:
+			return func(enc []byte) bool { return rawInt(enc, off) <= c }
+		case Gt:
+			return func(enc []byte) bool { return rawInt(enc, off) > c }
+		default:
+			return func(enc []byte) bool { return rawInt(enc, off) >= c }
+		}
+	case Between:
+		if !numericKind(a.Val.Kind) || !numericKind(a.Val2.Kind) {
+			return nil
+		}
+		lo, hi := a.Val.Int, a.Val2.Int
+		return func(enc []byte) bool {
+			v := rawInt(enc, off)
+			return v >= lo && v <= hi
+		}
+	case In:
+		if len(a.List) == 0 {
+			return func([]byte) bool { return false }
+		}
+		for _, v := range a.List {
+			if !numericKind(v.Kind) {
+				return nil
+			}
+		}
+		if len(a.List) > 8 {
+			set := make(map[int64]struct{}, len(a.List))
+			for _, v := range a.List {
+				set[v.Int] = struct{}{}
+			}
+			return func(enc []byte) bool {
+				_, ok := set[rawInt(enc, off)]
+				return ok
+			}
+		}
+		vals := make([]int64, len(a.List))
+		for i, v := range a.List {
+			vals[i] = v.Int
+		}
+		return func(enc []byte) bool {
+			v := rawInt(enc, off)
+			for _, c := range vals {
+				if v == c {
+					return true
+				}
+			}
+			return false
+		}
+	default:
+		return nil
+	}
+}

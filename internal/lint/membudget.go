@@ -11,8 +11,9 @@ import (
 // the query. Growth sites are:
 //
 //   - appending to a row-buffer field (a selector whose slice element type
-//     is named Row or Value) — except reuse appends whose first argument is
-//     a slice expression (`x.buf[:0]`, reusing charged capacity),
+//     is named Row or Value),
+//   - appending to a field of a Batch (Rows or the []int selection vector) —
+//     batch arenas grow per batch exactly like row buffers do per row,
 //   - inserting into a map-typed field whose values carry row data (slices,
 //     pointers, structs — bounded bookkeeping maps with scalar values, like
 //     `satisfied map[int]bool`, are exempt),
@@ -21,9 +22,19 @@ import (
 //
 // A site is satisfied when a charge — MemTracker.Grow called directly or
 // through a module helper (per the one-level summaries) — precedes it on
-// every path from function entry (forward must-analysis over the CFG). The
-// analyzer only runs over packages named exec; other packages do not own
-// tracked operator state.
+// every path from function entry (forward must-analysis over the CFG).
+//
+// Row-buffer and batch-field appends have a second sanctioned shape:
+// high-water reuse, where `x.f = x.f[:0]` dominates the append, so it
+// recycles capacity retained from earlier calls instead of growing the
+// query's footprint per row. The reset may be in the same statement
+// (`append(x.f[:0], ...)`) or anywhere that dominates the append;
+// reassigning the field to anything else invalidates it. Cloned-row and
+// map inserts never get this exemption — a clone is new memory wherever
+// it lands, and map growth has no reset idiom.
+//
+// The analyzer only runs over packages named exec; other packages do not
+// own tracked operator state.
 var MemBudgetAnalyzer = &Analyzer{
 	Name: "membudget",
 	Doc:  "exec operators charge exec.MemTracker before growing build-side slices or maps",
@@ -43,17 +54,46 @@ func runMemBudget(pass *Pass) error {
 	return nil
 }
 
+// memSite is one growth site: what names the grown state for the diagnostic,
+// key identifies the selector it grows (types.ExprString form), and
+// resettable marks the categories the high-water-reuse exemption applies to.
+type memSite struct {
+	what       string
+	key        string
+	resettable bool
+}
+
+// memFact is the forward must-analysis fact: charged reports whether a
+// MemTracker charge has happened on every path to this point, reset holds
+// the selectors `x.f = x.f[:0]` has reset on every path (and that have not
+// been reassigned since).
+type memFact struct {
+	charged bool
+	reset   map[string]bool
+}
+
+func (f memFact) clone() memFact {
+	out := memFact{charged: f.charged}
+	if len(f.reset) > 0 {
+		out.reset = make(map[string]bool, len(f.reset))
+		for k := range f.reset {
+			out.reset[k] = true
+		}
+	}
+	return out
+}
+
 func analyzeMemScope(pass *Pass, body *ast.BlockStmt, sums *Summaries) {
 	// Collect growth sites in this scope first; skip the dataflow when the
 	// function has none.
-	sites := make(map[ast.Node]string)
+	sites := make(map[ast.Node]memSite)
 	inspectScope(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
 			return true
 		}
-		if what, ok := growthSite(pass.Info, as); ok {
-			sites[as] = what
+		if site, ok := growthSite(pass.Info, as); ok {
+			sites[as] = site
 		}
 		return true
 	})
@@ -62,28 +102,41 @@ func analyzeMemScope(pass *Pass, body *ast.BlockStmt, sums *Summaries) {
 	}
 
 	reported := make(map[ast.Node]bool)
-	asBool := func(f Fact) bool {
+	asFact := func(f Fact) memFact {
 		if f == nil {
-			return false
+			return memFact{}
 		}
-		return f.(bool)
+		return f.(memFact)
 	}
 	g := BuildCFG(body)
 	g.Forward(Flow{
-		Boundary: false,
+		Boundary: memFact{},
 		Transfer: func(b *Block, in Fact) Fact {
-			charged := asBool(in)
+			f := asFact(in).clone()
 			for _, n := range b.Nodes {
-				if !charged && nodeCharges(pass.Info, sums, n) {
-					charged = true
+				if !f.charged && nodeCharges(pass.Info, sums, n) {
+					f.charged = true
 				}
-				if what, ok := sites[n]; ok && !charged && !reported[n] {
-					reported[n] = true
-					pass.Reportf(n.Pos(),
-						"%s grows without charging exec.MemTracker first (call Grow, directly or via a charging helper, before the insert)", what)
+				if as, ok := n.(*ast.AssignStmt); ok {
+					switch key, action := resetAction(as); action {
+					case resetSets:
+						if f.reset == nil {
+							f.reset = make(map[string]bool)
+						}
+						f.reset[key] = true
+					case resetKills:
+						delete(f.reset, key)
+					}
+				}
+				if site, ok := sites[n]; ok && !reported[n] {
+					if !f.charged && !(site.resettable && f.reset[site.key]) {
+						reported[n] = true
+						pass.Reportf(n.Pos(),
+							"%s grows without charging exec.MemTracker first (call Grow, directly or via a charging helper, before the insert)", site.what)
+					}
 				}
 			}
-			return charged
+			return f
 		},
 		Join: func(a, b Fact) Fact {
 			if a == nil {
@@ -92,10 +145,76 @@ func analyzeMemScope(pass *Pass, body *ast.BlockStmt, sums *Summaries) {
 			if b == nil {
 				return a
 			}
-			return asBool(a) && asBool(b)
+			fa, fb := asFact(a), asFact(b)
+			out := memFact{charged: fa.charged && fb.charged}
+			for k := range fa.reset {
+				if fb.reset[k] {
+					if out.reset == nil {
+						out.reset = make(map[string]bool)
+					}
+					out.reset[k] = true
+				}
+			}
+			return out
 		},
-		Equal: func(a, b Fact) bool { return asBool(a) == asBool(b) },
+		Equal: func(a, b Fact) bool {
+			fa, fb := asFact(a), asFact(b)
+			if fa.charged != fb.charged || len(fa.reset) != len(fb.reset) {
+				return false
+			}
+			for k := range fa.reset {
+				if !fb.reset[k] {
+					return false
+				}
+			}
+			return true
+		},
 	})
+}
+
+// resetAction classifies an assignment's effect on the reset set.
+const (
+	resetNone = iota
+	resetSets
+	resetKills
+)
+
+func resetAction(as *ast.AssignStmt) (string, int) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", resetNone
+	}
+	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok {
+		return "", resetNone
+	}
+	key := types.ExprString(sel)
+	// x.f = x.f[:0] resets; x.f = x.f[:n] or x.f = other[...] reassigns.
+	if sl, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr); ok {
+		if sl.Low == nil && isZeroLit(sl.High) && types.ExprString(ast.Unparen(sl.X)) == key {
+			return key, resetSets
+		}
+		return key, resetKills
+	}
+	// x.f = append(x.f, ...) and x.f = append(x.f[:0], ...) keep the field's
+	// identity (and retained capacity); anything else reassigns it.
+	if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok {
+				base = ast.Unparen(sl.X)
+			}
+			if types.ExprString(base) == key {
+				return "", resetNone
+			}
+		}
+	}
+	return key, resetKills
+}
+
+// isZeroLit reports whether e is the integer literal 0.
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
 }
 
 // nodeCharges reports whether the node contains a MemTracker charge, either
@@ -143,63 +262,82 @@ func scalarMapValue(t types.Type) bool {
 	return false
 }
 
-// growthSite classifies an assignment as operator-state growth. The what
-// string names the grown state for the diagnostic.
-func growthSite(info *types.Info, as *ast.AssignStmt) (string, bool) {
+// batchReceiver reports whether the selector's base is a Batch (directly or
+// through a pointer).
+func batchReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[ast.Unparen(sel.X)]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return typeNameIs(t, "Batch")
+}
+
+// growthSite classifies an assignment as operator-state growth. The site's
+// what string names the grown state for the diagnostic.
+func growthSite(info *types.Info, as *ast.AssignStmt) (memSite, bool) {
 	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-		return "", false
+		return memSite{}, false
 	}
 	// Map-field insert: x.f[k] = v.
 	if idx, ok := as.Lhs[0].(*ast.IndexExpr); ok {
 		sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
 		if !ok {
-			return "", false
+			return memSite{}, false
 		}
 		tv, ok := info.Types[sel]
 		if !ok {
-			return "", false
+			return memSite{}, false
 		}
 		if m, isMap := tv.Type.Underlying().(*types.Map); isMap && !scalarMapValue(m.Elem()) {
-			return "map field " + sel.Sel.Name, true
+			return memSite{what: "map field " + sel.Sel.Name}, true
 		}
-		return "", false
+		return memSite{}, false
 	}
 	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
 	if !ok {
-		return "", false
+		return memSite{}, false
 	}
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != "append" || len(call.Args) < 2 {
-		return "", false
+		return memSite{}, false
 	}
 	// Clone()d rows move page memory into operator-owned memory wherever
-	// they land, local variable or field.
+	// they land, local variable or field — never high-water reuse.
 	for _, arg := range call.Args[1:] {
 		if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
 			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" {
-				return "cloned-row buffer", true
+				return memSite{what: "cloned-row buffer"}, true
 			}
 		}
 	}
-	// Row-buffer field append: x.f = append(x.f, row) with Row/Value
-	// elements; x.f[:0] reuse appends recycle already-charged capacity.
+	// Row-buffer or batch-field append: x.f = append(x.f, ...). An
+	// append(x.f[:0], ...) first argument is an in-statement reset — reuse of
+	// already-charged capacity, exempt outright.
 	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
 	if !ok {
-		return "", false
+		return memSite{}, false
 	}
 	if _, isReuse := ast.Unparen(call.Args[0]).(*ast.SliceExpr); isReuse {
-		return "", false
+		return memSite{}, false
 	}
 	tv, ok := info.Types[sel]
 	if !ok {
-		return "", false
+		return memSite{}, false
 	}
 	sl, ok := tv.Type.Underlying().(*types.Slice)
 	if !ok {
-		return "", false
+		return memSite{}, false
 	}
+	key := types.ExprString(sel)
 	if typeNameIs(sl.Elem(), "Row") || typeNameIs(sl.Elem(), "Value") {
-		return "row-buffer field " + sel.Sel.Name, true
+		return memSite{what: "row-buffer field " + sel.Sel.Name, key: key, resettable: true}, true
 	}
-	return "", false
+	if batchReceiver(info, sel) {
+		return memSite{what: "batch field " + sel.Sel.Name, key: key, resettable: true}, true
+	}
+	return memSite{}, false
 }

@@ -22,6 +22,13 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// Batch is the stub batch the analyzer matches by name: its fields are
+// per-batch arenas, growth sites exactly like row buffers.
+type Batch struct {
+	Rows []Row
+	Sel  []int
+}
+
 type buildOp struct {
 	mem   *MemTracker
 	table map[string][]Row
@@ -80,4 +87,52 @@ func (o *buildOp) conditionalCharge(k string, r Row, ok bool) {
 		_ = o.mem.Grow(1)
 	}
 	o.table[k] = append(o.table[k], r) // want `map field table grows without charging`
+}
+
+// batchNoReset grows a batch arena with neither a charge nor a reset.
+func (o *buildOp) batchNoReset(b *Batch, r Row) {
+	b.Sel = append(b.Sel, 1)   // want `batch field Sel grows without charging`
+	b.Rows = append(b.Rows, r) // want `row-buffer field Rows grows without charging`
+}
+
+// batchHighWater is the sanctioned batch shape: reset to length zero, then
+// append into capacity retained from earlier calls.
+func (o *buildOp) batchHighWater(b *Batch, rows []Row) {
+	b.Sel = b.Sel[:0]
+	b.Rows = b.Rows[:0]
+	for i, r := range rows {
+		b.Sel = append(b.Sel, i)
+		b.Rows = append(b.Rows, r)
+	}
+}
+
+// resetDominates: an earlier x.f = x.f[:0] makes the append high-water
+// reuse of charged capacity, same as the in-statement append(x.f[:0], ...).
+func (o *buildOp) resetDominates(rows []Row) {
+	o.buf = o.buf[:0]
+	for _, r := range rows {
+		o.buf = append(o.buf, r)
+	}
+}
+
+// resetOnOnePath does not dominate the append: flagged.
+func (o *buildOp) resetOnOnePath(r Row, ok bool) {
+	if ok {
+		o.buf = o.buf[:0]
+	}
+	o.buf = append(o.buf, r) // want `row-buffer field buf grows without charging`
+}
+
+// resetKilled: reassigning the field discards the reset's guarantee.
+func (o *buildOp) resetKilled(r Row, other []Row) {
+	o.buf = o.buf[:0]
+	o.buf = other
+	o.buf = append(o.buf, r) // want `row-buffer field buf grows without charging`
+}
+
+// cloneAfterReset: a clone is new memory wherever it lands; resets never
+// exempt it.
+func (o *buildOp) cloneAfterReset(r Row) {
+	o.buf = o.buf[:0]
+	o.buf = append(o.buf, r.Clone()) // want `cloned-row buffer grows without charging`
 }

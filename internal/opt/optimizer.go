@@ -540,6 +540,16 @@ func (o *Optimizer) finish(q *Query, body plan.Node) (plan.Node, error) {
 		}
 		node = s
 	}
+	// The limit goes below the projection (they commute): the projection then
+	// materializes only the rows that survive it, which matters to the batch
+	// executor — a projection under the limit processes whole batches, so
+	// putting it above keeps the work (and the CPU accounting) identical to
+	// the row-at-a-time path.
+	if q.Limit > 0 {
+		l := &plan.Limit{Input: node, N: q.Limit}
+		l.Estm = plan.Estimates{Rows: math.Min(float64(q.Limit), node.Est().Rows), Cost: node.Est().Cost}
+		node = l
+	}
 	cols := q.SelectCols
 	if q.Star {
 		s := node.OutSchema()
@@ -553,13 +563,7 @@ func (o *Optimizer) finish(q *Query, body plan.Node) (plan.Node, error) {
 		return nil, err
 	}
 	p.Estm = plan.Estimates{Rows: node.Est().Rows, Cost: node.Est().Cost}
-	node = p
-	if q.Limit > 0 {
-		l := &plan.Limit{Input: node, N: q.Limit}
-		l.Estm = plan.Estimates{Rows: math.Min(float64(q.Limit), node.Est().Rows), Cost: node.Est().Cost}
-		node = l
-	}
-	return node, nil
+	return p, nil
 }
 
 // accessPathCovering extends accessPath with covering index scans: when an

@@ -48,6 +48,30 @@ func Decode(s *Schema, data []byte) (Row, error) {
 // across calls lets steady-state scans decode without per-row allocation
 // (string payloads still allocate; fixed-width columns do not).
 func DecodeAppend(dst []Value, s *Schema, data []byte) ([]Value, error) {
+	// All-fixed-width schemas (the common case for scan-heavy workloads)
+	// decode without the per-column kind dispatch or length bookkeeping:
+	// one size check for the whole row, then straight-line 8-byte reads.
+	if s.fixedSize >= 0 {
+		if len(data) != s.fixedSize {
+			return nil, fmt.Errorf("tuple: fixed-width row is %d bytes, want %d", len(data), s.fixedSize)
+		}
+		// Extend dst once for the whole row, then write values in place —
+		// per-value appends would re-check capacity on every column.
+		n := len(s.cols)
+		base := len(dst)
+		if cap(dst)-base >= n {
+			dst = dst[:base+n]
+		} else {
+			dst = append(dst, make([]Value, n)...)
+		}
+		for i := range s.cols {
+			dst[base+i] = Value{
+				Kind: s.cols[i].Kind,
+				Int:  int64(binary.LittleEndian.Uint64(data[i*8:])),
+			}
+		}
+		return dst, nil
+	}
 	row := dst
 	rest := data
 	for i := 0; i < s.NumColumns(); i++ {

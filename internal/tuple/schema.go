@@ -45,6 +45,10 @@ type Column struct {
 type Schema struct {
 	cols   []Column
 	byName map[string]int
+	// fixedSize is the encoded row size when every column is fixed-width,
+	// or -1 when the schema has a string column; it gates the branch-free
+	// decode fast path.
+	fixedSize int
 }
 
 // NewSchema builds a schema from the given columns. Column names must be
@@ -61,12 +65,24 @@ func NewSchema(cols ...Column) *Schema {
 			panic("tuple: duplicate column name " + c.Name)
 		}
 		s.byName[key] = i
+		if s.fixedSize >= 0 {
+			if c.Kind == KindString {
+				s.fixedSize = -1
+			} else {
+				s.fixedSize += 8
+			}
+		}
 	}
 	return s
 }
 
 // NumColumns reports the number of columns.
 func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// FixedSize returns the encoded byte size shared by every row of an
+// all-fixed-width schema, or -1 when the schema has a string column. Each
+// fixed-width column occupies 8 bytes, so column i starts at offset 8*i.
+func (s *Schema) FixedSize() int { return s.fixedSize }
 
 // Column returns the i-th column.
 func (s *Schema) Column(i int) Column { return s.cols[i] }

@@ -1,0 +1,211 @@
+package pagefeedback
+
+import (
+	"strings"
+	"testing"
+
+	"pagefeedback/internal/exec"
+)
+
+// buildVecDB is buildTestDB plus a join partner u(c1, fk) whose fk column is
+// unindexed on both sides of the join it is used in, forcing a hash join.
+func buildVecDB(t *testing.T, n int) *Engine {
+	t.Helper()
+	eng := buildTestDB(t, n)
+	uschema := NewSchema(
+		Column{Name: "c1", Kind: KindInt},
+		Column{Name: "fk", Kind: KindInt},
+	)
+	if _, err := eng.CreateClusteredTable("u", uschema, []string{"c1"}); err != nil {
+		t.Fatal(err)
+	}
+	urows := make([]Row, n/4)
+	for i := range urows {
+		urows[i] = Row{Int64(int64(i)), Int64(int64((i * 7) % n))}
+	}
+	if err := eng.Load("u", urows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("u"); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// vecParityQueries covers every vectorized operator plus the row-only ones
+// behind the adapter: predicate scans, an index-driven selection, projection,
+// LIMIT, ORDER BY (Sort stays row-at-a-time), GROUP BY, aggregation, and a
+// hash join on unindexed columns.
+var vecParityQueries = []string{
+	"SELECT COUNT(padding) FROM t WHERE c2 < 2000",
+	"SELECT c1, c5 FROM t WHERE c5 < 500",
+	"SELECT c1 FROM t WHERE c5 < 100",
+	"SELECT c2, COUNT(*) FROM t WHERE c1 < 3000 GROUP BY c2",
+	"SELECT c1, c2 FROM t WHERE c1 < 5000 LIMIT 37",
+	"SELECT c1, c5 FROM t WHERE c5 < 300 ORDER BY c5",
+	"SELECT COUNT(padding) FROM t, u WHERE u.c1 < 500 AND u.fk = t.c5",
+}
+
+// renderRows renders result rows in order — the row and batch paths must
+// agree on order too, not just content.
+func renderRows(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		var b strings.Builder
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// renderDPCResults renders the monitored feedback in result order.
+func renderDPCResults(res *Result) []string {
+	out := make([]string, 0, len(res.DPC))
+	for _, r := range res.DPC {
+		e := r.Request.Pred.String()
+		if r.Request.Join {
+			e = "<join>"
+		}
+		out = append(out, strings.Join([]string{
+			r.Request.Table, e, r.Mechanism,
+		}, "|")+"|"+renderInt(r.DPC)+"|"+renderInt(r.Cardinality))
+	}
+	return out
+}
+
+func renderInt(v int64) string { return Int64(v).String() }
+
+// deterministicRuntime zeroes the fields of a runtime-stats record that are
+// legitimately path- or timing-dependent, leaving the slice both executors
+// must agree on byte for byte: simulated cost, read counts, rows touched,
+// memory peak, monitor accounting, compiled predicates.
+func deterministicRuntime(rt exec.RuntimeStats) exec.RuntimeStats {
+	rt.QueueWait, rt.QueueDepth = 0, 0
+	rt.PoolWaits, rt.PoolWaitTime = 0, 0
+	rt.PrefetchedPages = 0
+	rt.PlanCacheHit = false
+	rt.BatchesProcessed, rt.VectorizedOps = 0, 0
+	return rt
+}
+
+// TestVectorizedRowParity runs the parity query sequence under the default
+// batch executor on one engine and under VecOff on a second engine over
+// identical data, and requires bit-for-bit agreement on everything
+// observable: row content and order, monitored DPC feedback, and the
+// deterministic runtime stats — rows touched above all, since per-operator
+// CPU accounting is the easiest thing for a batch rewrite to skew. (Two
+// engines, not two interleaved runs on one: the IO model classifies a
+// query's first read as sequential or random based on where the previous
+// query left the disk head, so only identical run sequences compare.)
+func TestVectorizedRowParity(t *testing.T) {
+	vecEng := buildVecDB(t, 12000)
+	rowEng := buildVecDB(t, 12000)
+	for _, q := range vecParityQueries {
+		vec, err := vecEng.Query(q, &RunOptions{MonitorAll: true})
+		if err != nil {
+			t.Fatalf("%s (vectorized): %v", q, err)
+		}
+		row, err := rowEng.Query(q, &RunOptions{MonitorAll: true, Vectorized: VecOff})
+		if err != nil {
+			t.Fatalf("%s (row): %v", q, err)
+		}
+		if got, want := renderRows(vec), renderRows(row); !equalStringSlices(got, want) {
+			t.Errorf("%s: rows diverge between paths\n vec: %v\n row: %v", q, got, want)
+		}
+		if got, want := renderDPCResults(vec), renderDPCResults(row); !equalStringSlices(got, want) {
+			t.Errorf("%s: DPC feedback diverges\n vec: %v\n row: %v", q, got, want)
+		}
+		vrt, rrt := vec.Stats.Runtime, row.Stats.Runtime
+		if vrt.RowsTouched != rrt.RowsTouched {
+			t.Errorf("%s: RowsTouched diverges: vectorized %d, row %d", q, vrt.RowsTouched, rrt.RowsTouched)
+		}
+		if got, want := deterministicRuntime(vrt), deterministicRuntime(rrt); got != want {
+			t.Errorf("%s: runtime stats diverge\n vec: %+v\n row: %+v", q, got, want)
+		}
+		if vrt.BatchesProcessed == 0 || vrt.VectorizedOps == 0 {
+			t.Errorf("%s: vectorized run reported no batch execution (%d batches, %d ops)",
+				q, vrt.BatchesProcessed, vrt.VectorizedOps)
+		}
+		if rrt.BatchesProcessed != 0 || rrt.VectorizedOps != 0 {
+			t.Errorf("%s: row run reported batch execution (%d batches, %d ops)",
+				q, rrt.BatchesProcessed, rrt.VectorizedOps)
+		}
+	}
+}
+
+// TestVectorizedRawPathParity is TestVectorizedRowParity without monitors:
+// unmonitored scans of fixed-width tables take the late-materializing raw
+// path (the predicate judged on encoded page bytes, only survivors
+// decoded), and that path must be invisible too — same rows, same rows
+// touched, same deterministic runtime stats.
+func TestVectorizedRawPathParity(t *testing.T) {
+	vecEng := buildVecDB(t, 12000)
+	rowEng := buildVecDB(t, 12000)
+	for _, q := range vecParityQueries {
+		vec, err := vecEng.Query(q, nil)
+		if err != nil {
+			t.Fatalf("%s (vectorized): %v", q, err)
+		}
+		row, err := rowEng.Query(q, &RunOptions{Vectorized: VecOff})
+		if err != nil {
+			t.Fatalf("%s (row): %v", q, err)
+		}
+		if got, want := renderRows(vec), renderRows(row); !equalStringSlices(got, want) {
+			t.Errorf("%s: rows diverge between paths\n vec: %v\n row: %v", q, got, want)
+		}
+		vrt, rrt := vec.Stats.Runtime, row.Stats.Runtime
+		if vrt.RowsTouched != rrt.RowsTouched {
+			t.Errorf("%s: RowsTouched diverges: vectorized %d, row %d", q, vrt.RowsTouched, rrt.RowsTouched)
+		}
+		if got, want := deterministicRuntime(vrt), deterministicRuntime(rrt); got != want {
+			t.Errorf("%s: runtime stats diverge\n vec: %+v\n row: %+v", q, got, want)
+		}
+	}
+}
+
+func equalStringSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExplainVectorizedLabels checks that EXPLAIN names the operators that
+// would run batch-native, and drops the line entirely when the row path is
+// forced.
+func TestExplainVectorizedLabels(t *testing.T) {
+	eng := buildVecDB(t, 4000)
+	out, err := eng.ExplainWithOptions("SELECT c1, c5 FROM t WHERE c5 < 500", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vectorized: ") {
+		t.Fatalf("explain output has no vectorized line:\n%s", out)
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "vectorized: ") {
+			line = l
+		}
+	}
+	if !strings.Contains(line, "Scan") {
+		t.Errorf("vectorized line does not mention the scan: %q", line)
+	}
+	off, err := eng.ExplainWithOptions("SELECT c1, c5 FROM t WHERE c5 < 500", &RunOptions{Vectorized: VecOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off, "vectorized: ") {
+		t.Errorf("explain with VecOff still prints a vectorized line:\n%s", off)
+	}
+}
