@@ -181,21 +181,39 @@ type AdmissionStats struct {
 	WaitTime time.Duration
 }
 
-// AdmissionStats reports the engine's admission-control counters.
-func (e *Engine) AdmissionStats() AdmissionStats {
-	g := e.gate
-	g.mu.Lock()
-	defer g.mu.Unlock()
+// liveWaitersLocked counts queued waiters that have not abandoned their
+// slot (an abandoned waiter still occupies a queue entry until a grant
+// passes over it). Callers hold g.mu.
+func (g *admissionGate) liveWaitersLocked() int {
 	live := 0
 	for _, w := range g.waiters {
 		if !w.abandoned {
 			live++
 		}
 	}
+	return live
+}
+
+// occupancy reports the gate's instantaneous state — admitted queries, live
+// waiters, and the deepest the queue has been — backing the engine's
+// pf_queries_active / pf_admission_queued / pf_admission_peak_queued
+// gauges, which are refreshed at snapshot time rather than on every
+// admission event.
+func (g *admissionGate) occupancy() (active, queued, peakQueued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active, g.liveWaitersLocked(), g.peakQueue
+}
+
+// AdmissionStats reports the engine's admission-control counters.
+func (e *Engine) AdmissionStats() AdmissionStats {
+	g := e.gate
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return AdmissionStats{
 		Limit:      g.limit,
 		Active:     g.active,
-		Queued:     live,
+		Queued:     g.liveWaitersLocked(),
 		PeakQueued: g.peakQueue,
 		Admitted:   g.admitted,
 		Rejected:   g.rejected,

@@ -32,9 +32,16 @@ const helpText = `commands:
   \explain SELECT ...   show the plan and page-count provenance, don't run
   \prepare NAME SQL     prepare a parameterized statement (? or $n placeholders)
   \exec NAME ARG...     execute a prepared statement ('str', 2007-06-01, or int args)
+  \analyze SELECT ...   run the query and show the tree with est-vs-actual
+                        rows and page counts, q-errors, and operator times
   \monitor on|off       toggle DPC monitoring for subsequent queries
   \parallel N           set intra-query parallelism (0/1 = serial)
   \vectorized on|off    toggle batch-at-a-time execution (default on)
+  \trace on|off         record span traces for subsequent queries
+  \trace show           print the last traced query's span listing
+  \metrics              print engine metrics (Prometheus text format)
+  \slowlog              list queries captured by the slow-query log
+                        (arm it with the -slowlog flag)
   \feedback apply       inject the page counts observed by the last query
   \feedback show        list the feedback cache
   \feedback export F    write learned state (cache/histograms/curves) to file F
@@ -51,6 +58,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none), e.g. 30s")
 	parallel := flag.Int("parallel", 0, "intra-query parallelism for scans and hash-join probes (0/1 = serial)")
 	vectorized := flag.Bool("vectorized", true, "batch-at-a-time execution (false forces the row-at-a-time path)")
+	slowlog := flag.Duration("slowlog", 0, "slow-query threshold (0 = off), e.g. 250ms; slow queries are captured with trace and plan (\\slowlog)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (covers the whole session)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,7 +93,9 @@ func main() {
 		}()
 	}
 
-	eng := pagefeedback.New(pagefeedback.DefaultConfig())
+	cfg := pagefeedback.DefaultConfig()
+	cfg.SlowQueryThreshold = *slowlog
+	eng := pagefeedback.New(cfg)
 	fmt.Fprintf(os.Stderr, "building synthetic database (%d rows)...\n", *rows)
 	if _, err := datagen.BuildSynthetic(eng, *rows, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -116,6 +126,7 @@ func main() {
 type shell struct {
 	eng        *pagefeedback.Engine
 	monitor    bool
+	trace      bool
 	timeout    time.Duration
 	parallel   int
 	vectorized bool
@@ -130,6 +141,17 @@ func (s *shell) vecMode() pagefeedback.VecMode {
 		return pagefeedback.VecOn
 	}
 	return pagefeedback.VecOff
+}
+
+// runOpts assembles the run options from the shell toggles.
+func (s *shell) runOpts() *pagefeedback.RunOptions {
+	return &pagefeedback.RunOptions{
+		MonitorAll:  s.monitor,
+		Timeout:     s.timeout,
+		Parallelism: s.parallel,
+		Vectorized:  s.vecMode(),
+		Trace:       s.trace,
+	}
 }
 
 // handle processes one line; false means quit.
@@ -175,6 +197,42 @@ func (s *shell) meta(line string) bool {
 			return true
 		}
 		fmt.Fprint(s.out, out)
+	case `\analyze`:
+		sql := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		out, err := s.eng.ExplainAnalyze(sql, s.runOpts())
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return true
+		}
+		fmt.Fprint(s.out, out)
+	case `\trace`:
+		if len(fields) == 2 {
+			switch strings.ToLower(fields[1]) {
+			case "show":
+				if s.last == nil || s.last.Trace == nil {
+					fmt.Fprintln(s.out, "no traced query (\\trace on, then run one)")
+				} else {
+					fmt.Fprint(s.out, s.last.Trace.Render())
+				}
+				return true
+			default:
+				s.trace = strings.EqualFold(fields[1], "on")
+			}
+		}
+		fmt.Fprintf(s.out, "tracing: %v\n", s.trace)
+	case `\metrics`:
+		if err := s.eng.WriteMetricsPrometheus(s.out); err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+		}
+	case `\slowlog`:
+		slow := s.eng.SlowQueries()
+		if len(slow) == 0 {
+			fmt.Fprintln(s.out, "slow-query log empty (arm with -slowlog DURATION)")
+		}
+		for _, sq := range slow {
+			fmt.Fprintf(s.out, "--- %s  wall=%v simulated=%v  %s\n%s",
+				sq.At.Format("15:04:05.000"), sq.WallTime, sq.SimulatedTime, sq.Query, sq.Analyze)
+		}
 	case `\tables`:
 		for _, t := range s.eng.Catalog().Tables() {
 			kind := "heap"
@@ -287,9 +345,7 @@ func (s *shell) exec(args []string) {
 		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	res, err := stmt.QueryContext(ctx, vals,
-		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel,
-			Vectorized: s.vecMode()})
+	res, err := stmt.QueryContext(ctx, vals, s.runOpts())
 	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
@@ -351,9 +407,7 @@ func (s *shell) runQuery(sql string) {
 	// Ctrl-C cancels the running query (first poll aborts it) instead of
 	// killing the shell; the scope is released as soon as the query ends.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	res, err := s.eng.QueryContext(ctx, sql,
-		&pagefeedback.RunOptions{MonitorAll: s.monitor, Timeout: s.timeout, Parallelism: s.parallel,
-			Vectorized: s.vecMode()})
+	res, err := s.eng.QueryContext(ctx, sql, s.runOpts())
 	stop()
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)

@@ -35,6 +35,7 @@ import (
 	"pagefeedback/internal/plan"
 	"pagefeedback/internal/sql"
 	"pagefeedback/internal/storage"
+	"pagefeedback/internal/trace"
 	"pagefeedback/internal/tuple"
 )
 
@@ -61,6 +62,17 @@ type Config struct {
 	// query shape and selectivity bucket, invalidated by feedback epochs).
 	// 0 uses the default capacity; negative disables plan caching.
 	PlanCacheSize int
+	// SlowQueryThreshold, when > 0, arms the slow-query log: every query is
+	// executed with tracing on (the documented cost of the feature), and any
+	// query whose wall time meets the threshold is captured — trace, plan,
+	// and runtime stats — retrievable via SlowQueries.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query log; older entries are evicted.
+	// 0 uses the default (32).
+	SlowQueryLogSize int
+	// TraceSpanCapacity sizes per-query trace buffers in spans. 0 uses
+	// trace.DefaultCapacity.
+	TraceSpanCapacity int
 }
 
 // DefaultConfig returns a 2007-era disk model, a 64 MB buffer pool,
@@ -83,6 +95,8 @@ type Engine struct {
 	opt   *opt.Optimizer
 	cache *core.FeedbackCache
 	gate  *admissionGate
+	met   *engineMetrics
+	slow  *slowLog
 
 	// epochs tracks per-table feedback epochs; plans caches optimized plan
 	// templates validated against them. plans is nil when caching is
@@ -125,6 +139,8 @@ func New(cfg Config) *Engine {
 		gate:     newAdmissionGate(cfg.MaxConcurrent, cfg.MaxQueueDepth),
 		opt:      opt.New(cat, cfg.IOModel, cfg.CPUPerRow),
 		cache:    core.NewFeedbackCache(),
+		met:      newEngineMetrics(),
+		slow:     newSlowLog(cfg.SlowQueryLogSize),
 		epochs:   core.NewEpochTracker(),
 		tracked:  make(map[string]trackedEntry),
 		histCols: make(map[[2]string]bool),
@@ -141,6 +157,12 @@ func New(cfg Config) *Engine {
 	// DropTableFeedback, histogram/curve observations — bumps the affected
 	// table's epoch, invalidating cached plans built from the old state.
 	e.opt.SetInvalidationHook(e.bumpPlanEpoch)
+	// Buffer-pool frame waits feed the pool-wait histogram directly from
+	// the storage layer; the observer is a pair of atomic adds, cheap
+	// enough for the (rare) blocked path it runs on.
+	pool.SetWaitObserver(func(d time.Duration) {
+		e.met.poolFrameWait.Observe(d.Microseconds())
+	})
 	return e
 }
 
@@ -281,6 +303,16 @@ type RunOptions struct {
 	// runtime stats are identical across the two paths; only the batch
 	// counters (BatchesProcessed, VectorizedOps) differ.
 	Vectorized VecMode
+	// Trace records a per-query span tree (operator open/next/close phases,
+	// parallel partitions, admission wait, storage events) into
+	// Result.Trace. Off by default; the disabled path costs one nil check
+	// per emission site. Tracing never changes results, DPC feedback, or
+	// the statistics document — only Result.Trace and the traced-only
+	// OperatorStats fields (Wall, Calls) are populated.
+	Trace bool
+	// TraceCapacity overrides the trace buffer size in spans for this query
+	// (0 inherits Config.TraceSpanCapacity, then trace.DefaultCapacity).
+	TraceCapacity int
 }
 
 // VecMode selects between the vectorized (batch-at-a-time) and the
@@ -298,6 +330,17 @@ const (
 
 // vectorized reports whether the options select the batch path.
 func (o *RunOptions) vectorized() bool { return o == nil || o.Vectorized != VecOff }
+
+// traced reports whether the options request span recording.
+func (o *RunOptions) traced() bool { return o != nil && o.Trace }
+
+// traceCapacity returns the per-query span buffer override (0 = inherit).
+func (o *RunOptions) traceCapacity() int {
+	if o == nil {
+		return 0
+	}
+	return o.TraceCapacity
+}
 
 // parallelDegree clamps the requested degree to [0, GOMAXPROCS].
 func (o *RunOptions) parallelDegree() int {
@@ -332,6 +375,12 @@ type Result struct {
 	// PlanCacheHit reports whether the plan came from the engine's plan
 	// cache (instantiated from a template, optimizer skipped).
 	PlanCacheHit bool
+	// Trace is the recorded span tree (nil unless the run was traced via
+	// RunOptions.Trace or an armed slow-query log).
+	Trace *trace.Trace
+	// Operators is the number of operators in the executed physical plan —
+	// the count Trace.Validate checks lifetime spans against.
+	Operators int
 }
 
 // Query parses, optimizes, and executes SQL in one call. It is
@@ -381,6 +430,11 @@ func (e *Engine) RunQueryContext(ctx context.Context, q *opt.Query, opts *RunOpt
 	res.Query = q
 	res.PlanCacheHit = hit
 	res.Stats.Runtime.PlanCacheHit = hit
+	if hit {
+		e.met.planCacheHits.Inc()
+	} else {
+		e.met.planCacheMisses.Inc()
+	}
 	e.fillEstimates(q, res)
 	return res, nil
 }
@@ -445,6 +499,9 @@ func (e *Engine) Execute(node plan.Node, mcfg *exec.MonitorConfig, opts *RunOpti
 // wrapping the cause; all operator Close paths run before it returns, so
 // no page pins leak and the engine stays usable.
 func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exec.MonitorConfig, opts *RunOptions) (res *Result, err error) {
+	// The metrics defer is registered before the panic boundary so it runs
+	// after it and sees the classified error even on recovered panics.
+	defer func() { e.met.noteQuery(res, err) }()
 	defer recoverQueryPanic(&err)
 	if goCtx == nil {
 		goCtx = context.Background()
@@ -457,6 +514,18 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	if err := goCtx.Err(); err != nil {
 		return nil, classifyQueryError(err)
 	}
+	// Tracing is on when requested explicitly or when the slow-query log is
+	// armed (a slow query can only be captured if it was traced). The
+	// recorder is created before admission so the queue wait falls inside
+	// the trace epoch.
+	var rec *trace.Recorder
+	if opts.traced() || e.cfg.SlowQueryThreshold > 0 {
+		capacity := opts.traceCapacity()
+		if capacity <= 0 {
+			capacity = e.cfg.TraceSpanCapacity
+		}
+		rec = trace.NewRecorder(capacity)
+	}
 	// Admission: queue wait counts against the query's deadline because the
 	// timeout context above wraps it.
 	effLimit := 0
@@ -468,6 +537,14 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 		return nil, err
 	}
 	defer e.gate.release()
+	if rec != nil && queueWait > 0 {
+		now := rec.Now()
+		start := now - queueWait
+		if start < 0 {
+			start = 0
+		}
+		rec.Emit(trace.Span{Op: trace.NoOp, Kind: trace.KindAdmission, Start: start, End: now, N: int64(queueDepth)})
+	}
 	if opts == nil || !opts.WarmCache {
 		if err := e.pool.Reset(); err != nil {
 			return nil, classifyQueryError(fmt.Errorf("pagefeedback: cold-cache reset: %w", err))
@@ -475,6 +552,7 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 	}
 	ctx := exec.NewContext(e.pool)
 	ctx.CPUPerRow = e.cfg.CPUPerRow
+	ctx.Trace = rec
 	ctx.Parallelism = opts.parallelDegree()
 	if opts != nil && opts.MemBudget > 0 {
 		ctx.Mem = exec.NewMemTracker(opts.MemBudget)
@@ -502,6 +580,26 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 		DPC:           ex.DPCResults(),
 		SimulatedTime: io.SimulatedIO + ctx.SimCPU(),
 		WallTime:      wall,
+		Operators:     ex.OperatorCount(),
+	}
+	if rec != nil {
+		// Storage-side events are synthesized from the stat deltas as point
+		// spans: under parallelism the underlying intervals overlap
+		// arbitrarily, so only the aggregates are trustworthy.
+		at := rec.Now()
+		if poolStats.Waits > 0 {
+			rec.Emit(trace.Span{Op: trace.NoOp, Kind: trace.KindPinWait, Start: at, End: at,
+				N: poolStats.Waits, Total: poolStats.WaitTime})
+		}
+		if io.ReadRetries > 0 {
+			rec.Emit(trace.Span{Op: trace.NoOp, Kind: trace.KindReadRetry, Start: at, End: at,
+				N: io.ReadRetries})
+		}
+		if poolStats.Prefetched > 0 {
+			rec.Emit(trace.Span{Op: trace.NoOp, Kind: trace.KindPrefetch, Start: at, End: at,
+				N: poolStats.Prefetched})
+		}
+		res.Trace = rec.Finish()
 	}
 	res.Stats = exec.ExecutionStats{
 		Plan: ex.StatsSnapshot(),
@@ -548,6 +646,10 @@ func (e *Engine) ExecuteContext(goCtx context.Context, node plan.Node, mcfg *exe
 			Shed:       r.Shed,
 			Reason:     r.Reason,
 		})
+	}
+	if t := e.cfg.SlowQueryThreshold; t > 0 && wall >= t {
+		e.slow.note(res, time.Now())
+		e.met.slowQueries.Inc()
 	}
 	return res, nil
 }

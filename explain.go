@@ -12,7 +12,9 @@ import (
 // without executing it. The second return value lists, for each predicate
 // expression the optimizer costed with a distinct page count, where that
 // estimate came from (analytical model, feedback injection, or the learned
-// histogram) — the provenance a DBA checks before trusting a plan.
+// histogram) — the provenance a DBA checks before trusting a plan. For the
+// runtime complement — the same tree annotated with actual rows, measured
+// DPCs, and q-errors after really running the query — see ExplainAnalyze.
 func (e *Engine) Explain(src string) (string, error) {
 	return e.ExplainWithOptions(src, nil)
 }

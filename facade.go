@@ -128,6 +128,7 @@ func (e *Engine) Load(table string, rows []Row) error {
 	if _, err := tab.BulkLoad(rows); err != nil {
 		return err
 	}
+	e.met.rowsLoaded.Add(int64(len(rows)))
 	e.InvalidateFeedback(table)
 	return nil
 }

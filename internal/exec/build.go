@@ -22,6 +22,7 @@ type Execution struct {
 	shedRes   []DPCResult  // placeholder results for monitors never planted under shed
 	satisfied map[int]bool // request index -> satisfied
 	seedCtr   int64
+	opCtr     int32 // next operator id; assignment order is construction order
 
 	// orderSensitive is true while building a subtree whose row order the
 	// parent depends on (merge-join inputs without an explicit sort, Limit
@@ -47,6 +48,7 @@ func Build(ctx *Context, root plan.Node, cfg *MonitorConfig) (*Execution, error)
 				e.unsat = append(e.unsat, DPCResult{
 					Request:   req,
 					Mechanism: MechUnsatisfiable,
+					OpID:      -1,
 					Reason:    "the current plan does not evaluate this expression where page ids are visible (§II-B)",
 				})
 			}
@@ -69,7 +71,7 @@ func (e *Execution) shedLevel() int {
 // what was dropped.
 func (e *Execution) shedPlaceholder(i int, req DPCRequest, mech, reason string) {
 	e.shedRes = append(e.shedRes, DPCResult{
-		Request: req, Mechanism: mech, Degraded: true, Shed: true, Reason: reason,
+		Request: req, Mechanism: mech, OpID: -1, Degraded: true, Shed: true, Reason: reason,
 	})
 	e.satisfied[i] = true
 }
@@ -90,8 +92,25 @@ func (e *Execution) build(n plan.Node) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &guardOp{inner: op}, nil
+	return e.guard(op), nil
 }
+
+// guard wraps op in the panic boundary and assigns its operator id.
+// Children are guarded before their parents, so ids are in post-order:
+// deterministic for a given plan, independent of whether tracing runs.
+// The guard doubles as the tracing hook — it carries the context's
+// recorder (nil when tracing is off) and the operator's stats node, so
+// emitted spans and the stats tree share ids.
+func (e *Execution) guard(op Operator) Operator {
+	st := op.Stats()
+	st.OpID = e.opCtr
+	e.opCtr++
+	return &guardOp{inner: op, tr: e.Ctx.Trace, st: st}
+}
+
+// OperatorCount reports how many operators the built tree contains —
+// the count a complete trace's lifetime spans must match.
+func (e *Execution) OperatorCount() int { return int(e.opCtr) }
 
 // buildWith builds a child subtree under the given order sensitivity,
 // restoring the surrounding value afterwards.
@@ -314,6 +333,7 @@ func (e *Execution) attachScanMonitors(op monitoredScan, node *plan.Scan) {
 				prefixLen: len(node.Pred.Atoms), gc: core.NewGroupedCounter()}
 			m.injectFail = e.cfg.failInjected(m.mechanism())
 			m.overheadBudget = e.cfg.OverheadBudget
+			m.host = op.Stats()
 			op.attach(m)
 			e.scanMons = append(e.scanMons, m)
 			e.satisfied[i] = true
@@ -378,6 +398,7 @@ func (e *Execution) attachScanMonitors(op monitoredScan, node *plan.Scan) {
 		}
 		m.injectFail = e.cfg.failInjected(m.mechanism())
 		m.overheadBudget = e.cfg.OverheadBudget
+		m.host = op.Stats()
 		op.attach(m)
 		e.scanMons = append(e.scanMons, m)
 		e.satisfied[i] = true
@@ -439,7 +460,9 @@ func (e *Execution) buildSeek(node *plan.Seek) (Operator, error) {
 				"load-shed: monitoring disabled under overload (level 3)")
 			continue
 		}
-		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
+		m := e.newSeekMonitor(req, node.Tab, MechLinearCount)
+		m.host = op.Stats()
+		op.attach(m)
 		e.satisfied[i] = true
 	}
 	return op, nil
@@ -463,7 +486,9 @@ func (e *Execution) buildIntersect(node *plan.Intersect) (Operator, error) {
 				"load-shed: monitoring disabled under overload (level 3)")
 			continue
 		}
-		op.attach(e.newSeekMonitor(req, node.Tab, MechLinearCount))
+		m := e.newSeekMonitor(req, node.Tab, MechLinearCount)
+		m.host = op.Stats()
+		op.attach(m)
 		e.satisfied[i] = true
 	}
 	return op, nil
@@ -505,12 +530,12 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 		if node.SortOuter {
 			so := NewSort(e.Ctx, outer, []int{outerOrd})
 			so.Stats().Children = []*OpStats{outer.Stats()}
-			outer = &guardOp{inner: so}
+			outer = e.guard(so)
 		}
 		if node.SortInner {
 			si := NewSort(e.Ctx, inner, []int{innerOrd})
 			si.Stats().Children = []*OpStats{inner.Stats()}
-			inner = &guardOp{inner: si}
+			inner = e.guard(si)
 		}
 	}
 
@@ -563,6 +588,7 @@ func (e *Execution) buildJoin(node *plan.Join) (Operator, error) {
 			}
 			m.overheadBudget = e.cfg.OverheadBudget
 			m.injectFail = e.cfg.failInjected(m.mechanism())
+			m.host = innerScan.Stats()
 			sink = &filterSink{m: m, f: filter}
 			innerScan.attach(m)
 			e.scanMons = append(e.scanMons, m)
@@ -649,7 +675,9 @@ func (e *Execution) buildINL(node *plan.Join) (Operator, error) {
 			// The INL fetch stream is exactly the pages relevant to
 			// DPC(inner, join-pred): probabilistic counting applies
 			// directly (§IV).
-			op.attach(e.newSeekMonitor(req, node.InnerTab, MechINLFetch))
+			m := e.newSeekMonitor(req, node.InnerTab, MechINLFetch)
+			m.host = op.Stats()
+			op.attach(m)
 			e.satisfied[i] = true
 		}
 	}

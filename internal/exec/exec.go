@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pagefeedback/internal/storage"
+	"pagefeedback/internal/trace"
 	"pagefeedback/internal/tuple"
 )
 
@@ -49,6 +50,11 @@ type Context struct {
 	// per Next call. The two paths produce identical results, feedback, and
 	// deterministic runtime stats; only the batch counters below differ.
 	Vectorized bool
+	// Trace, when non-nil, receives per-operator spans from every panic
+	// guard and partition spans from parallel workers. Nil is the tracing-
+	// off state: every emission site is behind a nil check, so the
+	// disabled path costs one pointer compare and zero allocations.
+	Trace *trace.Recorder
 
 	rowsTouched int64
 	// compiledPreds counts operators that evaluate their predicate through
@@ -112,7 +118,7 @@ func (c *Context) interrupted() error {
 // rowsTouched locally, so workers never contend on (or race over) the parent
 // counter; the barrier absorbs the counts after the workers have exited.
 func (c *Context) child() *Context {
-	return &Context{Pool: c.Pool, CPUPerRow: c.CPUPerRow, Mem: c.Mem, goCtx: c.goCtx, done: c.done}
+	return &Context{Pool: c.Pool, CPUPerRow: c.CPUPerRow, Mem: c.Mem, Trace: c.Trace, goCtx: c.goCtx, done: c.done}
 }
 
 // absorb folds a finished worker context's counters into c. Callers must
@@ -176,6 +182,18 @@ type OpStats struct {
 	ActRows int64
 	// Children in plan order.
 	Children []*OpStats
+
+	// OpID identifies the operator within its execution; the builder
+	// assigns ids in construction (post-) order, so they are deterministic
+	// for a given plan whether or not tracing runs. Trace spans and DPC
+	// results carry the same ids, which is how EXPLAIN ANALYZE aligns
+	// per-operator actuals without runtime tree pointers.
+	OpID int32
+	// Wall and Calls are filled by the panic guard on traced runs only:
+	// inclusive wall time inside the operator (Open + all Next + Close)
+	// and the number of Next/NextBatch invocations.
+	Wall  time.Duration
+	Calls int64
 }
 
 // OperatorPanic is a panic raised inside a physical operator, recovered at
@@ -206,6 +224,23 @@ type guardOp struct {
 	// BatchOperator, and batch-native parents reach their children's
 	// NextBatch without losing the panic boundary.
 	batch BatchOperator
+
+	// Tracing state. The guard is also the tracing hook: because every
+	// operator is wrapped in exactly one guard, instrumenting the guard
+	// instruments the whole tree without touching any operator. tr is nil
+	// when tracing is off. Per-call Next spans would make trace size
+	// proportional to the data, so the guard accumulates and emits one
+	// summary span (plus open/close/lifetime spans) at first Close.
+	tr        *trace.Recorder
+	st        *OpStats
+	openAt    time.Duration
+	openDur   time.Duration
+	firstNext time.Duration
+	lastNext  time.Duration
+	nextTotal time.Duration
+	calls     int64
+	rows      int64
+	ended     bool
 }
 
 func (g *guardOp) recovered(errp *error) {
@@ -229,13 +264,36 @@ func (g *guardOp) Open() (err error) {
 			}()
 		}
 	}()
-	return g.inner.Open()
+	if g.tr == nil {
+		return g.inner.Open()
+	}
+	g.openAt = g.tr.Now()
+	err = g.inner.Open()
+	end := g.tr.Now()
+	g.openDur = end - g.openAt
+	g.tr.Emit(trace.Span{Op: g.st.OpID, Kind: trace.KindOpen, Start: g.openAt, End: end})
+	return err
 }
 
 // Next implements Operator.
 func (g *guardOp) Next() (row tuple.Row, ok bool, err error) {
 	defer g.recovered(&err)
-	return g.inner.Next()
+	if g.tr == nil {
+		return g.inner.Next()
+	}
+	t0 := g.tr.Now()
+	if g.calls == 0 {
+		g.firstNext = t0
+	}
+	row, ok, err = g.inner.Next()
+	t1 := g.tr.Now()
+	g.calls++
+	g.nextTotal += t1 - t0
+	g.lastNext = t1
+	if ok {
+		g.rows++
+	}
+	return row, ok, err
 }
 
 // NextBatch implements BatchOperator with the same panic boundary as Next.
@@ -244,13 +302,51 @@ func (g *guardOp) NextBatch(b *Batch) (n int, err error) {
 	if g.batch == nil {
 		g.batch = asBatch(g.inner)
 	}
-	return g.batch.NextBatch(b)
+	if g.tr == nil {
+		return g.batch.NextBatch(b)
+	}
+	t0 := g.tr.Now()
+	if g.calls == 0 {
+		g.firstNext = t0
+	}
+	n, err = g.batch.NextBatch(b)
+	t1 := g.tr.Now()
+	g.calls++
+	g.nextTotal += t1 - t0
+	g.lastNext = t1
+	g.rows += int64(n)
+	return n, err
 }
 
-// Close implements Operator.
+// Close implements Operator. On traced runs the first Close ends the
+// operator: it emits the close span, the Next summary span, and the
+// lifetime span (each exactly once, whatever the teardown order of the
+// error paths), and publishes the accumulated wall time into the
+// operator's stats — a field the XML marshaling excludes, so the
+// statistics document stays byte-identical with tracing on or off.
 func (g *guardOp) Close() (err error) {
 	defer g.recovered(&err)
-	return g.inner.Close()
+	if g.tr == nil {
+		return g.inner.Close()
+	}
+	t0 := g.tr.Now()
+	err = g.inner.Close()
+	t1 := g.tr.Now()
+	if !g.ended {
+		g.ended = true
+		g.tr.Emit(trace.Span{Op: g.st.OpID, Kind: trace.KindClose, Start: t0, End: t1})
+		if g.calls > 0 {
+			g.tr.Emit(trace.Span{
+				Op: g.st.OpID, Kind: trace.KindNext,
+				Start: g.firstNext, End: g.lastNext,
+				N: g.rows, Calls: g.calls, Total: g.nextTotal,
+			})
+		}
+		g.tr.Emit(trace.Span{Op: g.st.OpID, Kind: trace.KindOperator, Start: g.openAt, End: t1, N: g.rows})
+		g.st.Wall = g.openDur + g.nextTotal + (t1 - t0)
+		g.st.Calls = g.calls
+	}
+	return err
 }
 
 // Schema implements Operator.

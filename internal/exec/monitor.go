@@ -108,6 +108,11 @@ const (
 type DPCResult struct {
 	Request   DPCRequest
 	Mechanism string
+	// OpID is the id of the operator the monitor was attached to (matching
+	// OpStats.OpID in the executed plan), or -1 for requests that were
+	// never planted: unsatisfiable ones and shed placeholders. EXPLAIN
+	// ANALYZE uses it to print each DPC observation at its operator.
+	OpID int32
 	// DPC is the observed/estimated distinct page count (0 when
 	// unsatisfiable).
 	DPC int64
@@ -146,6 +151,11 @@ const (
 type scanMonitor struct {
 	req  DPCRequest
 	kind scanMonitorKind
+	// host is the stats node of the operator the monitor is attached to.
+	// The builder assigns operator ids after attachment, so the id is read
+	// through this pointer at result() time, not copied at attach time.
+	// Shards leave it nil; only the template reports.
+	host *OpStats
 
 	// monExactPrefix: the scan predicate's first prefixLen atoms form the
 	// monitored predicate.
@@ -434,7 +444,8 @@ func (m *scanMonitor) lateMatch(rid storage.RID) {
 func (m *scanMonitor) result() DPCResult {
 	if m.disabled {
 		r := DPCResult{
-			Request: m.req, Mechanism: m.mechanism(), Degraded: true, Shed: m.shed,
+			Request: m.req, Mechanism: m.mechanism(), OpID: m.hostID(),
+			Degraded: true, Shed: m.shed,
 			Reason: "monitor quarantined: " + m.failure,
 		}
 		if m.shed {
@@ -478,5 +489,15 @@ func (m *scanMonitor) result() DPCResult {
 		r.Shed = true
 		r.Reason = m.shedReason
 	}
+	r.OpID = m.hostID()
 	return r
+}
+
+// hostID returns the attached operator's id, or -1 when the monitor has
+// no host (never attached, or a worker shard).
+func (m *scanMonitor) hostID() int32 {
+	if m.host == nil {
+		return -1
+	}
+	return m.host.OpID
 }

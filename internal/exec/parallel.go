@@ -7,6 +7,7 @@ import (
 
 	"pagefeedback/internal/catalog"
 	"pagefeedback/internal/expr"
+	"pagefeedback/internal/trace"
 	"pagefeedback/internal/tuple"
 )
 
@@ -142,6 +143,21 @@ func (p *ParallelScan) worker(idx int, wctx *Context, part catalog.ScanPart, mon
 			p.send(parBatch{err: recoveredPanic(p.stats.Label, r)})
 		}
 	}()
+	// On traced runs every worker emits one partition span into the shared
+	// recorder — concurrent lock-free emission is exactly what the span
+	// buffer is built for. Workers start after the operator's Open began
+	// and exit before its Close returns, so the span nests in the
+	// operator's lifetime. The row count is worker-local until the
+	// finalize barrier, so reading it here races with nothing.
+	if tr := wctx.Trace; tr != nil {
+		pstart := tr.Now()
+		defer func() {
+			tr.Emit(trace.Span{
+				Op: p.stats.OpID, Kind: trace.KindPartition,
+				Start: pstart, End: tr.Now(), N: p.actRows[idx],
+			})
+		}()
+	}
 
 	var (
 		batch   catalog.RowBatch

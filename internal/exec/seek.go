@@ -21,6 +21,8 @@ type seekMonitor struct {
 	sd   *core.SampleDistinct // optional comparison estimator
 	rows int64
 	mech string
+	// host is the attached operator's stats node; see scanMonitor.host.
+	host *OpStats
 
 	// quarantine state; see scanMonitor.
 	disabled   bool
@@ -69,10 +71,18 @@ func (m *seekMonitor) observe(pid storage.PageID) {
 	}
 }
 
+func (m *seekMonitor) hostID() int32 {
+	if m.host == nil {
+		return -1
+	}
+	return m.host.OpID
+}
+
 func (m *seekMonitor) result() DPCResult {
 	if m.disabled {
 		r := DPCResult{
-			Request: m.req, Mechanism: m.mech, Degraded: true, Shed: m.shed,
+			Request: m.req, Mechanism: m.mech, OpID: m.hostID(),
+			Degraded: true, Shed: m.shed,
 			Reason: "monitor quarantined: " + m.failure,
 		}
 		if m.shed {
@@ -81,7 +91,7 @@ func (m *seekMonitor) result() DPCResult {
 		return r
 	}
 	r := DPCResult{
-		Request: m.req, Mechanism: m.mech,
+		Request: m.req, Mechanism: m.mech, OpID: m.hostID(),
 		DPC: m.lc.EstimateInt(), Cardinality: m.rows,
 	}
 	if m.sd != nil {

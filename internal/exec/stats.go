@@ -16,13 +16,22 @@ type ExecutionStats struct {
 	Runtime RuntimeStats   `xml:"Runtime"`
 }
 
-// OperatorStats is one operator node in the XML plan.
+// OperatorStats is one operator node in the XML plan. OpID, Wall, and
+// Calls travel with the snapshot for EXPLAIN ANALYZE but are excluded
+// from the XML: ids are an internal alignment key, and wall time is
+// nonzero only on traced runs — marshaling it would make the statistics
+// document differ between traced and untraced executions of the same
+// query, breaking the byte-stability the feedback pipeline relies on.
 type OperatorStats struct {
 	Label    string          `xml:"label,attr"`
 	EstRows  float64         `xml:"estimatedRows,attr"`
 	ActRows  int64           `xml:"actualRows,attr"`
 	EstDPC   float64         `xml:"estimatedPageCount,attr,omitempty"`
 	Children []OperatorStats `xml:"Operator,omitempty"`
+
+	OpID  int32         `xml:"-"`
+	Wall  time.Duration `xml:"-"` // inclusive wall time (traced runs only)
+	Calls int64         `xml:"-"` // Next/NextBatch invocations (traced runs only)
 }
 
 // PageCountXML is one monitored distinct page count.
@@ -98,6 +107,9 @@ func snapshotOpStats(s *OpStats) OperatorStats {
 		EstRows: s.EstRows,
 		ActRows: s.ActRows,
 		EstDPC:  s.EstDPC,
+		OpID:    s.OpID,
+		Wall:    s.Wall,
+		Calls:   s.Calls,
 	}
 	for _, c := range s.Children {
 		out.Children = append(out.Children, snapshotOpStats(c))

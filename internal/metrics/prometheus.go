@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, instruments in name order. Histograms emit cumulative buckets
+// (le is each occupied bucket's inclusive upper bound) capped with the
+// mandatory +Inf bucket, plus _sum and _count series; empty buckets
+// between occupied ones are elided, which the cumulative encoding makes
+// lossless.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if c.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", c.Name, c.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", h.Name, h.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Hist.Buckets {
+			cum += b.Count
+			_, hi := BucketBounds(b.Index)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.Name, hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Hist.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", h.Name, h.Hist.Sum, h.Name, h.Hist.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

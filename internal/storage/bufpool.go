@@ -136,6 +136,13 @@ type BufferPool struct {
 	// a frame when its shard is exhausted. Zero keeps the historical
 	// fail-fast behavior: exhaustion errors immediately.
 	waitBudget atomic.Int64
+
+	// waitObs, when set, is invoked with the duration of every completed
+	// frame wait — the engine feeds these into its pool-wait histogram.
+	// The callback runs on the rare blocked path only (never on a cache
+	// hit or a free-frame miss), while the shard lock is held, so it must
+	// be fast and must not re-enter the pool.
+	waitObs atomic.Pointer[func(time.Duration)]
 }
 
 // SetWaitBudget bounds how long FetchPage blocks for a free frame when every
@@ -153,6 +160,18 @@ func (bp *BufferPool) SetWaitBudget(d time.Duration) {
 // WaitBudget returns the current frame-wait budget.
 func (bp *BufferPool) WaitBudget() time.Duration {
 	return time.Duration(bp.waitBudget.Load())
+}
+
+// SetWaitObserver installs fn to be called with each completed frame
+// wait's duration (nil uninstalls). The observer runs under the waiting
+// shard's lock on the already-blocked slow path: keep it to a few atomic
+// operations and never call back into the pool from it.
+func (bp *BufferPool) SetWaitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		bp.waitObs.Store(nil)
+		return
+	}
+	bp.waitObs.Store(&fn)
 }
 
 // NewBufferPool creates a pool holding up to capacity pages, sharded as wide
@@ -273,7 +292,13 @@ func (s *poolShard) acquireFrameLocked(bp *BufferPool, key frameKey) (*frame, bo
 	start := time.Now()
 	timer := time.AfterFunc(budget, s.cond.Broadcast)
 	defer timer.Stop()
-	defer func() { s.waitTime += time.Since(start) }()
+	defer func() {
+		d := time.Since(start)
+		s.waitTime += d
+		if fn := bp.waitObs.Load(); fn != nil {
+			(*fn)(d)
+		}
+	}()
 	for {
 		s.cond.Wait()
 		// A concurrent fetch may have brought the page in while we slept.

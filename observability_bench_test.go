@@ -1,0 +1,44 @@
+package pagefeedback_test
+
+import (
+	"testing"
+
+	"pagefeedback"
+)
+
+// BenchmarkTraceOverhead measures the cost of span tracing against the
+// identical untraced query — the number the "guaranteed-cheap when off,
+// bounded when on" design claim rests on. Both sub-benchmarks run the warm
+// 64k-row throughput scan serially so the ratio isolates the tracing hook
+// itself rather than scheduler noise. The off/on ns-per-op pair is appended
+// to BENCH_observability.json when both sub-benchmarks ran (under `make
+// bench`; a -bench filter hitting only one side skips the write).
+func BenchmarkTraceOverhead(b *testing.B) {
+	const rows = 64000
+	sql := "SELECT COUNT(w) FROM tb WHERE v < 32000"
+	run := func(b *testing.B, trace bool) float64 {
+		eng := buildBenchEngine(b, rows)
+		opts := &pagefeedback.RunOptions{WarmCache: true, Trace: trace}
+		if _, err := eng.Query(sql, opts); err != nil { // warm the pool and plan cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(sql, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	var offNs, onNs float64
+	b.Run("off", func(b *testing.B) { offNs = run(b, false) })
+	b.Run("on", func(b *testing.B) { onNs = run(b, true) })
+	if offNs > 0 && onNs > 0 {
+		writeBenchJSON(b, "BENCH_observability.json", "BenchmarkTraceOverhead", map[string]any{
+			"off_ns_per_op": offNs,
+			"on_ns_per_op":  onNs,
+			"overhead_pct":  (onNs - offNs) / offNs * 100,
+		})
+	}
+}
